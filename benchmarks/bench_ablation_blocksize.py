@@ -1,0 +1,69 @@
+"""Ablation A2 — block size: parallelism vs per-task overhead.
+
+"dfs.block.size" is the knob the HDFS lab has students reason about:
+small blocks mean many map tasks (parallel, but each pays JVM startup
+and scheduling latency); huge blocks mean few tasks (cheap, but
+under-parallel and coarse for locality).  The sweep shows the U-shape
+and where 2012-era Hadoop's 64 MB default sits conceptually.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.hdfs.config import HdfsConfig
+from repro.jobs.wordcount import WordCountWithCombinerJob
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.util.rng import RngStream
+from repro.util.textable import TextTable
+
+DATA_BYTES = 512 * 1024
+BLOCK_SIZES = (4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 512 * 1024)
+
+
+def _sweep():
+    text = ZipfTextGenerator(RngStream(33).child("bs")).text_of_bytes(
+        DATA_BYTES
+    )
+    actual_bytes = len(text.encode("utf-8"))
+    results = [("__bytes__", actual_bytes)]
+    for block_size in BLOCK_SIZES:
+        cluster = MapReduceCluster(
+            num_workers=8,
+            hdfs_config=HdfsConfig(block_size=block_size, replication=2),
+            seed=33,
+        )
+        cluster.client().put_text("/data/in.txt", text)
+        report = cluster.run_job(
+            WordCountWithCombinerJob(), "/data/in.txt", "/out",
+            require_success=True,
+        )
+        results.append((block_size, report))
+    return results
+
+
+def bench_ablation_blocksize(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _tag, actual_bytes = results.pop(0)
+    banner(f"Ablation A2: block size sweep over {actual_bytes // 1024} KB "
+           f"of text on 8 workers (16 map slots)")
+    table = TextTable(["Block size", "Map tasks", "Avg map time", "Job elapsed"])
+    for block_size, report in results:
+        table.add_row(
+            [f"{block_size // 1024} KB", report.num_maps,
+             f"{report.avg_map_time:.2f}s", f"{report.elapsed:.0f}s"]
+        )
+    show(table.render())
+    show("tiny blocks: task-startup overhead dominates; huge blocks: "
+         "the cluster's slots sit idle")
+
+    by_size = {bs: r for bs, r in results}
+    smallest, largest = BLOCK_SIZES[0], BLOCK_SIZES[-1]
+    # One map per block throughout.
+    for block_size, report in results:
+        expected = -(-actual_bytes // block_size)  # ceil
+        assert report.num_maps == expected
+    # The extremes both lose to a middle setting.
+    middle_elapsed = min(
+        by_size[bs].elapsed for bs in BLOCK_SIZES[1:-1]
+    )
+    assert by_size[smallest].elapsed > middle_elapsed
+    assert by_size[largest].elapsed > middle_elapsed

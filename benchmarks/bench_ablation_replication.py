@@ -1,0 +1,83 @@
+"""Ablation A3 — replication factor vs durability under node loss.
+
+Replication 3 is the HDFS default the course teaches; this ablation
+quantifies why.  For each replication factor, kill k of 8 DataNodes
+simultaneously (before re-replication can react) and count missing
+blocks.  Storage cost is the other axis of the trade-off.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.hdfs.cluster import HdfsCluster
+from repro.hdfs.config import HdfsConfig
+from repro.util.rng import RngStream
+from repro.util.textable import TextTable
+
+NUM_BLOCKS = 60
+NODES = 8
+
+
+def _loss_after_failures(replication: int, failures: int, seed: int) -> tuple:
+    cluster = HdfsCluster(
+        num_datanodes=NODES,
+        config=HdfsConfig(
+            block_size=1024,
+            replication=replication,
+            # Freeze the repair machinery: we measure the instantaneous
+            # exposure window, before re-replication reacts.
+            replication_check_interval=10**9,
+        ),
+        seed=seed,
+    )
+    client = cluster.client()
+    client.put_bytes("/data/file.bin", b"\xab" * (NUM_BLOCKS * 1024))
+    stored = cluster.total_stored_bytes()
+    rng = RngStream(seed).child("kill")
+    victims = list(cluster.datanodes)
+    rng.shuffle(victims)
+    for name in victims[:failures]:
+        cluster.crash_datanode(name)
+    cluster.sim.run_for(cluster.config.dead_node_timeout + 10)
+    missing = len(cluster.namenode.missing_blocks())
+    return missing, stored
+
+
+def _sweep():
+    rows = []
+    for replication in (1, 2, 3):
+        for failures in (1, 2):
+            # Average over a few placements.
+            losses = [
+                _loss_after_failures(replication, failures, seed)[0]
+                for seed in (1, 2, 3)
+            ]
+            _, stored = _loss_after_failures(replication, failures, 1)
+            rows.append(
+                (replication, failures, sum(losses) / len(losses), stored)
+            )
+    return rows
+
+
+def bench_ablation_replication(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    banner(f"Ablation A3: replication vs durability "
+           f"({NUM_BLOCKS} blocks on {NODES} nodes, simultaneous failures)")
+    table = TextTable(
+        ["Replication", "Nodes killed", "Avg missing blocks", "Bytes stored"]
+    )
+    for replication, failures, missing, stored in rows:
+        table.add_row([replication, failures, f"{missing:.1f}", stored])
+    show(table.render())
+    show("replication 3 pays 3x storage and survives any two-node loss; "
+         "replication 1 loses ~1/8 of the data per dead node")
+
+    by_key = {(r, f): m for r, f, m, _ in rows}
+    # More replication, less loss — monotone in both axes.
+    assert by_key[(1, 1)] > 0
+    assert by_key[(1, 2)] > by_key[(1, 1)] * 1.5
+    assert by_key[(2, 1)] == 0
+    assert by_key[(2, 2)] >= 0
+    assert by_key[(3, 1)] == 0
+    assert by_key[(3, 2)] == 0  # the default survives two failures
+    # Storage scales linearly with replication.
+    stored = {r: s for r, _f, _m, s in rows}
+    assert stored[3] == 3 * stored[1]

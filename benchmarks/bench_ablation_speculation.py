@@ -1,0 +1,109 @@
+"""Ablation A4 — speculative execution on a heterogeneous cluster.
+
+One node's disk reads at 10 KB/s (a dying drive), so its node-local
+maps run ~10x the cluster average.
+
+The advanced-MapReduce lecture covers speculation; this ablation builds
+the situation it exists for — one straggler node with a disk an order
+of magnitude slower — and measures job completion with speculation off
+vs on.  On a *homogeneous* cluster, speculation must not fire at all
+(no wasted duplicate work).
+"""
+
+from benchmarks.conftest import banner, show
+from repro.cluster.builder import build_hadoop_cluster
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.config import HdfsConfig
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.streaming import streaming_job
+from repro.util.textable import TextTable
+from repro.util.units import MB
+
+
+def _heterogeneous_cluster(seed: int) -> MapReduceCluster:
+    topology = ClusterTopology()
+    fast = NodeSpec()
+    # A dying disk: reads crawl, so node-local maps on this node take
+    # several times the cluster average.
+    slow = NodeSpec(disk_read_bw=10 * 1024)  # 10 KB/s reads
+    from repro.cluster.hardware import Node
+
+    for i in range(7):
+        topology.add_node(Node(name=f"node{i}", spec=fast), "rack0")
+    topology.add_node(Node(name="node7", spec=slow), "rack0")
+    from repro.cluster.builder import HadoopHardware
+    from repro.cluster.network import NetworkModel
+
+    hardware = HadoopHardware(
+        topology=topology, network=NetworkModel(topology=topology)
+    )
+    return MapReduceCluster(
+        hardware=hardware,
+        hdfs_config=HdfsConfig(block_size=128 * 1024, replication=3),
+        seed=seed,
+    )
+
+
+#: Line-oriented workload (balanced splits — no record straddles the
+#: whole file, which would manufacture a fake straggler).
+WORKLOAD = "word stream flowing by\n" * 180_000
+
+
+def _wc(speculative: bool):
+    return streaming_job(
+        "spec" if speculative else "nospec",
+        lambda k, v: ((w, 1) for w in v.split()),
+        lambda k, vs: [(k, sum(vs))],
+        combine_fn=lambda k, vs: [(k, sum(vs))],
+        conf=JobConf(
+            name="spec" if speculative else "nospec",
+            speculative_execution=speculative,
+        ),
+    )
+
+
+def _run_pair():
+    results = {}
+    for speculative in (False, True):
+        cluster = _heterogeneous_cluster(seed=37)
+        cluster.client(node="node0").put_text("/data/in.txt", WORKLOAD)
+        report = cluster.run_job(
+            _wc(speculative), "/data/in.txt", "/out", require_success=True
+        )
+        results[speculative] = report
+    # Control: homogeneous cluster with speculation on.
+    homogeneous = MapReduceCluster(
+        hardware=build_hadoop_cluster(num_workers=8),
+        hdfs_config=HdfsConfig(block_size=64 * 1024, replication=3),
+        seed=37,
+    )
+    homogeneous.client(node="node0").put_text("/data/in.txt", WORKLOAD)
+    control = homogeneous.run_job(
+        _wc(True), "/data/in.txt", "/out", require_success=True
+    )
+    return results, control
+
+
+def bench_ablation_speculation(benchmark):
+    results, control = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    off, on = results[False], results[True]
+    banner("Ablation A4: speculative execution with one dying-disk straggler node")
+    table = TextTable(
+        ["Configuration", "Job elapsed", "Killed speculative attempts"]
+    )
+    table.add_row(["heterogeneous, speculation OFF",
+                   f"{off.elapsed:.0f}s", off.killed_attempts])
+    table.add_row(["heterogeneous, speculation ON",
+                   f"{on.elapsed:.0f}s", on.killed_attempts])
+    table.add_row(["homogeneous, speculation ON (control)",
+                   f"{control.elapsed:.0f}s", control.killed_attempts])
+    show(table.render())
+    show("speculation clones the straggler's task onto a fast node and "
+         "keeps the first finisher; on a healthy cluster it stays quiet")
+
+    assert on.elapsed < off.elapsed * 0.8  # the straggler no longer gates
+    assert on.killed_attempts >= 1  # a losing twin was killed
+    assert control.killed_attempts == 0  # and no spurious speculation
+    assert on.succeeded and off.succeeded

@@ -1,0 +1,99 @@
+"""Claim C2 (Section III.A) — the combiner trade-off.
+
+"The students observe the tradeoff between increased map task run time
+(observed through Hadoop's JobTracker's web interface) versus reduced
+network traffic (observed through final MapReduce job report)."  The
+airline examples then push the same idea further: combiner with a
+custom value class, and in-mapper combining via node-level memory.
+
+Two sub-experiments on a cluster:
+1. WordCount with vs without a combiner;
+2. the three airline-delay variants.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.datasets.airline import generate_airline
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.hdfs.config import HdfsConfig
+from repro.jobs.airline_delay import (
+    AirlineDelayCombinerJob,
+    AirlineDelayInMapperJob,
+    AirlineDelayNaiveJob,
+)
+from repro.jobs.wordcount import WordCountJob, WordCountWithCombinerJob
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.util.rng import RngStream
+from repro.util.textable import TextTable
+
+
+def _make_cluster(seed=19):
+    return MapReduceCluster(
+        num_workers=8,
+        hdfs_config=HdfsConfig(block_size=32 * 1024, replication=3),
+        seed=seed,
+    )
+
+
+def _run_experiments():
+    cluster = _make_cluster()
+    text = ZipfTextGenerator(RngStream(19).child("wc")).text_of_bytes(
+        300 * 1024
+    )
+    cluster.client().put_text("/data/corpus.txt", text)
+    wc_plain = cluster.run_job(
+        WordCountJob(), "/data/corpus.txt", "/out/wc-plain",
+        require_success=True,
+    )
+    wc_combined = cluster.run_job(
+        WordCountWithCombinerJob(), "/data/corpus.txt", "/out/wc-comb",
+        require_success=True,
+    )
+
+    airline = generate_airline(seed=19, num_rows=8000)
+    cluster.client().put_text("/data/airline.csv", airline.csv_text)
+    air_reports = {}
+    for name, job_cls in (
+        ("v1 naive", AirlineDelayNaiveJob),
+        ("v2 combiner", AirlineDelayCombinerJob),
+        ("v3 in-mapper", AirlineDelayInMapperJob),
+    ):
+        air_reports[name] = cluster.run_job(
+            job_cls(), "/data/airline.csv",
+            f"/out/air-{name.split()[0]}", require_success=True,
+        )
+    return wc_plain, wc_combined, air_reports
+
+
+def bench_claim_combiner(benchmark):
+    wc_plain, wc_combined, air_reports = benchmark.pedantic(
+        _run_experiments, rounds=1, iterations=1
+    )
+    banner("Claim C2: combiner trade-off (WordCount and airline delay)")
+    table = TextTable(["Job", "Avg map time", "Shuffle bytes"])
+    table.add_row(
+        ["WordCount (no combiner)", f"{wc_plain.avg_map_time:.2f}s",
+         wc_plain.shuffle_bytes]
+    )
+    table.add_row(
+        ["WordCount (combiner)", f"{wc_combined.avg_map_time:.2f}s",
+         wc_combined.shuffle_bytes]
+    )
+    for name, report in air_reports.items():
+        table.add_row(
+            [f"airline {name}", f"{report.avg_map_time:.2f}s",
+             report.shuffle_bytes]
+        )
+    show(table.render())
+    show("paper: combiner => map time up, network traffic down; "
+         "in-mapper combining trades memory for the combiner class")
+
+    # WordCount: combiner slashes shuffle traffic at a map-time premium.
+    assert wc_combined.shuffle_bytes < wc_plain.shuffle_bytes / 3
+    assert wc_combined.avg_map_time >= wc_plain.avg_map_time
+
+    # Airline: each variant shuffles no more than the previous.
+    naive = air_reports["v1 naive"].shuffle_bytes
+    combiner = air_reports["v2 combiner"].shuffle_bytes
+    in_mapper = air_reports["v3 in-mapper"].shuffle_bytes
+    assert combiner < naive / 5
+    assert in_mapper <= combiner

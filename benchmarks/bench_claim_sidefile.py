@@ -1,0 +1,73 @@
+"""Claim C1 (Section III.B) — side-file access strategy costs ~10x.
+
+"The optimized implementation of this external access with respect to
+the map tasks can make the program run one order of magnitude faster.
+... Having individual mappers reading from the same additional data
+file increases runtimes to several hours, and implementing a customized
+Java object to preprocess the additional data can reduce the runtimes
+to minutes."  And for the serial assignment: "the best implementation
+... can run as fast as several minutes, while the worst implementation
+takes a little over half an hour".
+
+The benchmark runs the genre-statistics job with all three strategies
+on the same synthetic MovieLens data (serially, as assignment 1
+specifies) and compares simulated runtimes.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.datasets.movielens import generate_movielens
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.movie_genres import STRATEGIES, GenreStatsJob
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.util.textable import TextTable
+from repro.util.units import format_duration
+
+#: Scaled-up MovieLens: enough records for the naive penalty to bite.
+NUM_RATINGS = 6_000
+NUM_MOVIES = 400
+
+
+def _run_all_strategies():
+    data = generate_movielens(
+        seed=17, num_ratings=NUM_RATINGS, num_movies=NUM_MOVIES, num_users=300
+    )
+    results = {}
+    for strategy in STRATEGIES:
+        localfs = LinuxFileSystem()
+        localfs.write_file("/ratings.dat", data.ratings_text)
+        localfs.write_file("/movies.dat", data.movies_text)
+        runner = LocalJobRunner(localfs=localfs, split_size=64 * 1024)
+        results[strategy] = runner.run(
+            GenreStatsJob(movies_path="/movies.dat", strategy=strategy),
+            "/ratings.dat",
+            "/out",
+        )
+    return results
+
+
+def bench_claim_sidefile(benchmark):
+    results = benchmark.pedantic(_run_all_strategies, rounds=1, iterations=1)
+    banner("Claim C1: side-file access strategy (genre statistics, serial)")
+    table = TextTable(
+        ["Strategy", "Simulated runtime", "Slowdown vs cached"]
+    )
+    cached = results["cached"].simulated_seconds
+    for strategy in ("cached", "per_task", "naive"):
+        runtime = results[strategy].simulated_seconds
+        table.add_row(
+            [strategy, format_duration(runtime), f"{runtime / cached:.1f}x"]
+        )
+    show(table.render())
+    show("paper: best 'several minutes', worst 'a little over half an "
+         "hour' serially; an order of magnitude apart")
+
+    # Identical answers across strategies.
+    baseline = sorted(results["cached"].pairs)
+    for strategy in STRATEGIES:
+        assert sorted(results[strategy].pairs) == baseline
+
+    # The shape: naive is an order of magnitude slower than cached.
+    naive = results["naive"].simulated_seconds
+    per_task = results["per_task"].simulated_seconds
+    assert naive >= 10 * cached, (naive, cached)
+    assert cached <= per_task <= naive

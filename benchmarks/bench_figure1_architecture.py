@@ -1,0 +1,48 @@
+"""Figure 1 — HPC (compute/storage separated) vs Hadoop (co-located).
+
+The paper's Figure 1 is an architecture diagram; its claim is why the
+module exists: "the typical computation/storage cluster architecture of
+supercomputing clusters sometimes fails to support data-intensive
+computing".  This benchmark makes the diagram quantitative: a full-scan
+workload swept over node counts on both architectures.
+
+Expected shape:
+- the Hadoop curve scales ~linearly (every node brings a disk);
+- the HPC curve flattens at the parallel store's saturation point
+  (aggregate backbone / per-client NIC = 32 clients here);
+- past saturation, co-located storage wins by a growing factor.
+"""
+
+from benchmarks.conftest import banner, show
+from repro.core.figures import figure1_scan_sweep
+from repro.util.textable import TextTable
+from repro.util.units import format_duration
+
+
+def bench_figure1_architecture(benchmark):
+    sweep = benchmark(figure1_scan_sweep)
+    banner("Figure 1: scan time of 10 TB, HPC vs Hadoop architecture")
+    table = TextTable(
+        ["Nodes", "HPC (central storage)", "Hadoop (data-local)", "Speedup"]
+    )
+    for point in sweep:
+        table.add_row(
+            [
+                point.num_nodes,
+                format_duration(point.hpc_seconds),
+                format_duration(point.hadoop_seconds),
+                f"{point.hadoop_speedup:.1f}x",
+            ]
+        )
+    show(table.render())
+
+    by_n = {p.num_nodes: p for p in sweep}
+    # Hadoop scales ~linearly with nodes.
+    assert by_n[128].hadoop_seconds < by_n[4].hadoop_seconds / 25
+    # HPC stops improving at the backbone saturation point (32 clients).
+    assert by_n[128].hpc_seconds > by_n[32].hpc_seconds * 0.99
+    # The crossover: beyond saturation Hadoop wins by a growing factor.
+    assert by_n[32].hadoop_speedup < by_n[64].hadoop_speedup < (
+        by_n[128].hadoop_speedup
+    )
+    assert by_n[128].hadoop_speedup > 2.0

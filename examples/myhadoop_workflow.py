@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The myHadoop workflow: your own Hadoop cluster on a shared machine.
+
+Walks the full Versions-2-4 student experience: qsub a reservation,
+provision a personal Hadoop cluster with the (modified) myHadoop
+scripts, stage data, run a job, export results — then demonstrates the
+two classic failure modes: wrong paths, and another student's ghost
+daemons squatting on your ports.
+
+Run:  python examples/myhadoop_workflow.py
+"""
+
+from repro.core.platforms import build_myhadoop_platform
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.wordcount import WordCountWithCombinerJob
+from repro.myhadoop.provision import MyHadoopConfig
+from repro.myhadoop.submission import BatchSubmission
+from repro.util.errors import BadPathError, PortInUseError
+from repro.util.units import MINUTE
+
+
+def main() -> None:
+    env = build_myhadoop_platform(seed=3, supercomputer_nodes=64)
+    print(f"supercomputer: {len(env.topology)} nodes, "
+          f"{env.topology.num_racks()} racks "
+          f"(parallel FS file locking: "
+          f"{env.pfs.supports_file_locking})")
+
+    # --- the happy path ------------------------------------------------
+    home = LinuxFileSystem()
+    home.write_file("/home/alice/shakespeare.txt",
+                    "to be or not to be\n" * 200)
+    config = MyHadoopConfig(
+        user="alice",
+        num_nodes=8,
+        hdfs=HdfsConfig(block_size=4096, replication=2),
+    )
+    submission = BatchSubmission(
+        env.scheduler, env.provisioner, config, home, walltime=2 * 3600
+    )
+    submission.add_stage_in("/home/alice/shakespeare.txt",
+                            "/user/alice/input.txt")
+    submission.add_job(
+        WordCountWithCombinerJob(),
+        "/user/alice/input.txt",
+        "/user/alice/wc-out",
+        export_local="/home/alice/results.txt",
+    )
+    result = submission.run()
+    print("\n--- alice's PBS output file " + "-" * 27)
+    print(result.render_log())
+    print("exported results:",
+          home.read_text("/home/alice/results.txt").replace("\n", "  "))
+
+    # --- failure mode 1: the classic wrong-path configuration ----------
+    print("\n--- failure mode 1: bad paths " + "-" * 25)
+    try:
+        MyHadoopConfig(user="bob", data_dir="/home/bob/hdfs-data").validate()
+    except BadPathError as exc:
+        print(f"myhadoop-configure: {exc}")
+
+    # --- failure mode 2: ghost daemons ----------------------------------
+    print("\n--- failure mode 2: ghost daemons " + "-" * 21)
+    r_bob = env.scheduler.qsub("bob", 4, 3600)
+    bob_cluster = env.provisioner.start_cluster(
+        r_bob, MyHadoopConfig(user="bob", num_nodes=4,
+                              hdfs=HdfsConfig(block_size=4096, replication=2))
+    )
+    env.provisioner.abandon_cluster(bob_cluster)  # logs out, no stop-all.sh
+    env.scheduler.release(r_bob)
+    print(f"bob abandoned daemons on {bob_cluster.node_names}")
+
+    r_carol = env.scheduler.qsub("carol", 4, 3600)
+    print(f"carol got nodes {r_carol.node_names()} (LIFO reuse)")
+    try:
+        env.provisioner.start_cluster(
+            r_carol,
+            MyHadoopConfig(user="carol", num_nodes=4,
+                           hdfs=HdfsConfig(block_size=4096, replication=2)),
+        )
+    except PortInUseError as exc:
+        print(f"carol's start-all.sh failed: {exc}")
+    print("carol waits for the scheduler's 15-minute cleanup sweep...")
+    env.sim.run_for(16 * MINUTE)
+    carol_cluster = env.provisioner.start_cluster(
+        r_carol,
+        MyHadoopConfig(user="carol", num_nodes=4,
+                       hdfs=HdfsConfig(block_size=4096, replication=2)),
+    )
+    print(f"carol's cluster is up on {carol_cluster.node_names}")
+    env.provisioner.stop_cluster(carol_cluster)
+    env.scheduler.release(r_carol)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (no `wheel` package available).
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in the
+network-less environment this repository targets.
+"""
+
+from setuptools import setup
+
+setup()

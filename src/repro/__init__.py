@@ -1,0 +1,43 @@
+"""repro — an educational Hadoop 1.x stack in pure Python.
+
+This package reproduces the system described in *"Teaching HDFS/MapReduce
+Systems Concepts to Undergraduates"* (Ngo, Apon, Duffy; Clemson
+University, 2014).  It provides:
+
+- :mod:`repro.hdfs` — a functional HDFS: NameNode, DataNodes, blocks with
+  checksums, rack-aware replica placement, a write pipeline, an
+  ``hadoop fs``-style shell, fsck and dfsadmin.
+- :mod:`repro.mapreduce` — a MapReduce engine: Writable types, the
+  Mapper/Reducer/Combiner API, locality-aware JobTracker scheduling,
+  TaskTrackers with failure modes, sort/shuffle with byte accounting,
+  counters and job reports, plus a serial no-HDFS runner.
+- :mod:`repro.cluster` — the hardware substrate: nodes, racks, a network
+  cost model, local disks vs. a central parallel file system.
+- :mod:`repro.myhadoop` — a PBS-like batch scheduler and the myHadoop
+  dynamic provisioning workflow, including the paper's ghost-daemon and
+  port-conflict failure modes.
+- :mod:`repro.datasets` — seeded synthetic generators for the four course
+  datasets (text corpus, airline on-time, movie ratings, music ratings)
+  and a Google-cluster-trace-like event log.
+- :mod:`repro.jobs` — every example and assignment MapReduce program the
+  course used, in efficient and inefficient variants.
+- :mod:`repro.core` — the teaching module itself: the four course
+  versions, executable assignments with graders, platform setups and the
+  classroom (deadline-cascade) simulator.
+- :mod:`repro.survey` — the course-evaluation analytics that regenerate
+  Tables I–IV and the curriculum mapping of Table V.
+
+Quickstart::
+
+    from repro.core.platforms import build_teaching_cluster
+    from repro.jobs.wordcount import WordCountJob
+
+    platform = build_teaching_cluster(num_workers=4, seed=7)
+    platform.put_text("/data/input.txt", "to be or not to be")
+    result = platform.run_job(WordCountJob(), "/data/input.txt", "/out/wc")
+    print(dict(result.output_pairs()))
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,146 @@
+"""``python -m repro`` — a small CLI over the reproduction.
+
+Subcommands:
+
+- ``demo``        quickstart cluster + WordCount + the Figure-2 view
+- ``tables``      regenerate the survey tables (Tables I-IV)
+- ``curriculum``  Table V with implementing artifacts
+- ``syllabus``    the four module versions + data sources
+- ``handout``     the executable myHadoop tutorial handout
+- ``classroom``   replay the Fall-2012 meltdown vs the Spring-2013 fix
+- ``figure1``     the architecture scan sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args) -> int:
+    from repro.core.figures import figure2_integration_text
+
+    print(figure2_integration_text(seed=7))
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.survey.dataset import synthesize_responses
+    from repro.survey.tables import (
+        table1_proficiency,
+        table2_time,
+        table3_helpfulness,
+        table4_level,
+    )
+
+    responses = synthesize_responses(seed=2013)
+    for builder in (
+        table1_proficiency,
+        table2_time,
+        table3_helpfulness,
+        table4_level,
+    ):
+        table, _deviations = builder(responses)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_curriculum(_args) -> int:
+    from repro.survey.curriculum import curriculum_table, validate_coverage
+
+    print(curriculum_table().render())
+    failures = validate_coverage()
+    if failures:
+        print("COVERAGE FAILURES:", failures)
+        return 1
+    print("\nall artifacts resolve")
+    return 0
+
+
+def _cmd_syllabus(_args) -> int:
+    from repro.core.materials import syllabus
+
+    print(syllabus())
+    return 0
+
+
+def _cmd_handout(args) -> int:
+    from repro.core.materials import run_handout_walkthrough, tutorial_handout
+
+    print(tutorial_handout())
+    if args.execute:
+        print("\nreplaying the handout on a simulated platform...")
+        context = run_handout_walkthrough()
+        print(f"job: {context['report'].state}; "
+              f"fsck: {context['fsck'].status}; "
+              f"results exported: "
+              f"{context['home'].exists('/home/student/results.txt')}")
+    return 0
+
+
+def _cmd_classroom(args) -> int:
+    from repro.core.classroom import ClassroomScenario, run_classroom
+    from repro.util.units import HOUR, MINUTE
+
+    for platform in ("dedicated", "myhadoop"):
+        report = run_classroom(
+            ClassroomScenario(
+                name=f"cli-{platform}",
+                platform=platform,
+                num_students=args.students,
+                window=args.hours * HOUR,
+                buggy_probability=0.55,
+                fix_probability=0.45,
+                instructor_reaction_delay=45 * MINUTE,
+                seed=args.seed,
+            )
+        )
+        print(report.describe())
+        print()
+    return 0
+
+
+def _cmd_figure1(_args) -> int:
+    from repro.core.figures import figure1_scan_sweep
+    from repro.util.units import format_duration
+
+    for point in figure1_scan_sweep():
+        print(
+            f"nodes={point.num_nodes:4d}  "
+            f"hpc={format_duration(point.hpc_seconds):>8}  "
+            f"hadoop={format_duration(point.hadoop_seconds):>8}  "
+            f"speedup={point.hadoop_speedup:.1f}x"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Educational Hadoop 1.x stack (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo").set_defaults(fn=_cmd_demo)
+    sub.add_parser("tables").set_defaults(fn=_cmd_tables)
+    sub.add_parser("curriculum").set_defaults(fn=_cmd_curriculum)
+    sub.add_parser("syllabus").set_defaults(fn=_cmd_syllabus)
+    handout = sub.add_parser("handout")
+    handout.add_argument(
+        "--execute", action="store_true",
+        help="replay the handout on a simulated platform",
+    )
+    handout.set_defaults(fn=_cmd_handout)
+    classroom = sub.add_parser("classroom")
+    classroom.add_argument("--students", type=int, default=20)
+    classroom.add_argument("--hours", type=float, default=24.0)
+    classroom.add_argument("--seed", type=int, default=2012)
+    classroom.set_defaults(fn=_cmd_classroom)
+    sub.add_parser("figure1").set_defaults(fn=_cmd_figure1)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Cluster hardware substrate.
+
+Models the two architectures of the paper's Figure 1:
+
+- a typical HPC cluster — compute nodes separated from a central parallel
+  storage system (:func:`~repro.cluster.builder.build_hpc_cluster`), and
+- a Hadoop cluster — storage co-located on the compute nodes for data
+  locality (:func:`~repro.cluster.builder.build_hadoop_cluster`).
+"""
+
+from repro.cluster.hardware import NodeSpec, Node, NodeState, CLEMSON_NODE_SPEC
+from repro.cluster.topology import Rack, ClusterTopology
+from repro.cluster.network import NetworkModel, TrafficCounters
+from repro.cluster.storage import LocalDisk, ParallelFileSystem
+from repro.cluster.builder import (
+    build_hadoop_cluster,
+    build_hpc_cluster,
+    HpcCluster,
+    HadoopHardware,
+)
+
+__all__ = [
+    "NodeSpec",
+    "Node",
+    "NodeState",
+    "CLEMSON_NODE_SPEC",
+    "Rack",
+    "ClusterTopology",
+    "NetworkModel",
+    "TrafficCounters",
+    "LocalDisk",
+    "ParallelFileSystem",
+    "build_hadoop_cluster",
+    "build_hpc_cluster",
+    "HpcCluster",
+    "HadoopHardware",
+]

@@ -1,0 +1,108 @@
+"""Builders for the two Figure-1 cluster architectures.
+
+:func:`build_hadoop_cluster` produces the co-located storage/compute
+design of Figure 1(b); :func:`build_hpc_cluster` produces the separated
+compute + central parallel-storage design of Figure 1(a).  The Figure 1
+benchmark sweeps a scan workload across both and shows where and why
+data locality wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import NodeSpec, CLEMSON_NODE_SPEC
+from repro.cluster.network import NetworkModel
+from repro.cluster.storage import ParallelFileSystem
+from repro.cluster.topology import ClusterTopology
+from repro.util.units import GB, MB
+
+
+@dataclass
+class HadoopHardware:
+    """A Hadoop-style cluster: topology of disk-bearing nodes + network."""
+
+    topology: ClusterTopology
+    network: NetworkModel
+
+    def scan_time(self, total_bytes: int, overlap_compute: float = 0.0) -> float:
+        """Time for all nodes to scan ``total_bytes`` split evenly, each
+        from its own local disk (the ideal data-local layout).
+
+        ``overlap_compute`` is seconds of per-node CPU work overlapped
+        with I/O; the slower of the two dominates.
+        """
+        nodes = self.topology.live_nodes()
+        if not nodes:
+            raise ValueError("no live nodes")
+        per_node = total_bytes / len(nodes)
+        io_time = max(per_node / n.spec.disk_read_bw for n in nodes)
+        return max(io_time, overlap_compute)
+
+
+@dataclass
+class HpcCluster:
+    """An HPC-style cluster: diskless compute nodes + central storage."""
+
+    topology: ClusterTopology
+    network: NetworkModel
+    storage: ParallelFileSystem
+
+    def scan_time(self, total_bytes: int, overlap_compute: float = 0.0) -> float:
+        """Time for all compute nodes to pull ``total_bytes`` (split
+        evenly) from the central parallel file system concurrently."""
+        nodes = self.topology.live_nodes()
+        if not nodes:
+            raise ValueError("no live nodes")
+        per_node = total_bytes / len(nodes)
+        io_time = per_node / self.storage.effective_bw(len(nodes))
+        return max(io_time, overlap_compute)
+
+
+def build_hadoop_cluster(
+    num_workers: int = 8,
+    nodes_per_rack: int = 8,
+    spec: NodeSpec = CLEMSON_NODE_SPEC,
+    rack_oversubscription: float = 4.0,
+) -> HadoopHardware:
+    """Figure 1(b): storage on the compute nodes for data locality.
+
+    Defaults to the paper's dedicated teaching cluster: 8 nodes, each
+    dual 8-core / 64 GB RAM / 850 GB HDD, one rack.
+    """
+    topology = ClusterTopology.regular(
+        num_nodes=num_workers, nodes_per_rack=nodes_per_rack, spec=spec
+    )
+    network = NetworkModel(
+        topology=topology,
+        nic_bw=spec.nic_bw,
+        rack_oversubscription=rack_oversubscription,
+    )
+    return HadoopHardware(topology=topology, network=network)
+
+
+def build_hpc_cluster(
+    num_compute: int = 64,
+    nodes_per_rack: int = 16,
+    spec: NodeSpec | None = None,
+    storage_aggregate_bw: float = 4_000 * MB,
+    storage_capacity: int = 500 * 1024 * GB,
+) -> HpcCluster:
+    """Figure 1(a): compute nodes separated from parallel storage.
+
+    Compute nodes keep only a small scratch disk (the situation that
+    forced myHadoop to use node-local scratch for HDFS in the paper).
+    """
+    if spec is None:
+        spec = NodeSpec(disk_bytes=100 * GB)  # small local scratch only
+    topology = ClusterTopology.regular(
+        num_nodes=num_compute, nodes_per_rack=nodes_per_rack, spec=spec
+    )
+    network = NetworkModel(topology=topology, nic_bw=spec.nic_bw)
+    storage = ParallelFileSystem(
+        aggregate_bw=storage_aggregate_bw,
+        per_client_bw=spec.nic_bw,
+        capacity=storage_capacity,
+        supports_file_locking=False,
+    )
+    return HpcCluster(topology=topology, network=network, storage=storage)

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the Hadoop MapReduce teaching module.
+
+- :mod:`~repro.core.module` — the four course versions (Fall 2012,
+  Spring 2013, Summer 2013 REU, Fall 2013) as structured lesson plans
+  with the issues each iteration hit and the changes it made;
+- :mod:`~repro.core.assignments` — the assignments as executable specs
+  with reference solutions and graders over the synthetic datasets;
+- :mod:`~repro.core.platforms` — the three computing-platform setups the
+  course tried (pseudo-distributed VM, dedicated shared cluster,
+  myHadoop dynamic clusters);
+- :mod:`~repro.core.classroom` — the classroom simulator that replays
+  the Version-1 deadline meltdown and the Version-2+ fix;
+- :mod:`~repro.core.figures` — data/text generators for Figures 1 and 2.
+"""
+
+from repro.core.module import (
+    MODULE_VERSIONS,
+    ModuleVersion,
+    Lecture,
+    module_history_table,
+)
+from repro.core.platforms import (
+    TeachingPlatform,
+    build_teaching_cluster,
+    build_vm_platform,
+    build_dedicated_platform,
+    build_myhadoop_platform,
+)
+from repro.core.assignments import ASSIGNMENTS, Assignment, GradeResult
+from repro.core.classroom import ClassroomScenario, ClassroomReport, run_classroom
+from repro.core.figures import figure1_scan_sweep, figure2_integration_text
+from repro.core.materials import (
+    lecture_outline,
+    tutorial_handout,
+    run_handout_walkthrough,
+    syllabus,
+)
+
+__all__ = [
+    "MODULE_VERSIONS",
+    "ModuleVersion",
+    "Lecture",
+    "module_history_table",
+    "TeachingPlatform",
+    "build_teaching_cluster",
+    "build_vm_platform",
+    "build_dedicated_platform",
+    "build_myhadoop_platform",
+    "ASSIGNMENTS",
+    "Assignment",
+    "GradeResult",
+    "ClassroomScenario",
+    "ClassroomReport",
+    "run_classroom",
+    "figure1_scan_sweep",
+    "figure2_integration_text",
+    "lecture_outline",
+    "tutorial_handout",
+    "run_handout_walkthrough",
+    "syllabus",
+]

@@ -1,0 +1,313 @@
+"""The course assignments as executable specifications.
+
+Each :class:`Assignment` carries the narrative spec from the paper and a
+``run_reference`` that executes the reference solution on synthetic data
+and grades it against the dataset's exact ground truth.  This is what a
+downstream instructor adopts: assignments that can verify themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.platforms import TeachingPlatform, build_teaching_cluster
+from repro.datasets.google_trace import generate_google_trace
+from repro.datasets.movielens import generate_movielens
+from repro.datasets.shakespeare import generate_shakespeare
+from repro.datasets.yahoo_music import generate_yahoo_music
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.album_rating import AlbumRatingJob, best_album_from_output
+from repro.jobs.movie_genres import GenreStatsJob, parse_stats_value
+from repro.jobs.top_rater import RaterProfileWritable, TopRaterJob
+from repro.jobs.top_word import find_top_word
+from repro.jobs.trace_resubmissions import find_max_resubmission_job
+from repro.mapreduce.local_runner import LocalJobRunner
+
+
+@dataclass
+class GradeResult:
+    """One graded check inside an assignment."""
+
+    assignment_id: str
+    check: str
+    expected: object
+    actual: object
+    detail: str = ""
+
+    @property
+    def correct(self) -> bool:
+        return self.expected == self.actual
+
+    def describe(self) -> str:
+        status = "PASS" if self.correct else "FAIL"
+        return (
+            f"[{status}] {self.assignment_id}/{self.check}: "
+            f"expected={self.expected!r} actual={self.actual!r} {self.detail}"
+        )
+
+
+@dataclass
+class Assignment:
+    """One assignment: spec + self-grading reference solution."""
+
+    id: str
+    version: int
+    title: str
+    weeks: int
+    description: str
+    datasets: tuple[str, ...]
+    runner: Callable[[int], list[GradeResult]] = field(repr=False)
+
+    def run_reference(self, seed: int = 0) -> list[GradeResult]:
+        return self.runner(seed)
+
+
+# --------------------------------------------------------------------------
+# Version 1, assignment 1: top word in Shakespeare (on the cluster).
+
+
+def _run_v1_top_word(seed: int) -> list[GradeResult]:
+    corpus = generate_shakespeare(seed=seed, num_plays=3, words_per_play=900)
+    platform = build_teaching_cluster(num_workers=4, seed=seed, block_size=4096)
+    platform.put_text("/data/shakespeare.txt", corpus.text)
+    word, count = find_top_word(platform.mr, "/data/shakespeare.txt", "/work/tw")
+    return [
+        GradeResult(
+            assignment_id="v1-top-word",
+            check="top-word",
+            expected=corpus.top_word,
+            actual=(word, count),
+        )
+    ]
+
+
+# --------------------------------------------------------------------------
+# Version 1, assignment 2: max task resubmissions in the Google trace.
+
+
+def _run_v1_google_trace(seed: int) -> list[GradeResult]:
+    trace = generate_google_trace(seed=seed, num_jobs=40)
+    platform = build_teaching_cluster(num_workers=8, seed=seed, block_size=8192)
+    platform.put_text("/data/google-trace.csv", trace.events_text)
+    job_id, resubs = find_max_resubmission_job(
+        platform.mr, "/data/google-trace.csv", "/work/trace"
+    )
+    return [
+        GradeResult(
+            assignment_id="v1-google-trace",
+            check="max-resubmissions",
+            expected=trace.max_resubmission_job(),
+            actual=(job_id, resubs),
+        )
+    ]
+
+
+# --------------------------------------------------------------------------
+# Versions 2-4, assignment 1: MovieLens, serial (no HDFS).
+
+
+def _run_v2_movielens(seed: int) -> list[GradeResult]:
+    data = generate_movielens(
+        seed=seed, num_ratings=3000, num_movies=100, num_users=150
+    )
+    localfs = LinuxFileSystem()
+    localfs.write_file("/home/student/ratings.dat", data.ratings_text)
+    localfs.write_file("/home/student/movies.dat", data.movies_text)
+    runner = LocalJobRunner(localfs=localfs, split_size=32 * 1024)
+    results: list[GradeResult] = []
+
+    # Part 1: descriptive statistics per genre.
+    stats_run = runner.run(
+        GenreStatsJob(movies_path="/home/student/movies.dat", strategy="cached"),
+        "/home/student/ratings.dat",
+        "/home/student/out-genres",
+    )
+    produced = {k: parse_stats_value(v) for k, v in stats_run.pairs}
+    mismatches = []
+    for genre, stats in data.genre_stats.items():
+        got = produced.get(genre)
+        if (
+            got is None
+            or int(got["count"]) != stats.count
+            or abs(got["mean"] - stats.mean) > 1e-3
+            or got["min"] != stats.minimum
+            or got["max"] != stats.maximum
+        ):
+            mismatches.append(genre)
+    results.append(
+        GradeResult(
+            assignment_id="v2-movielens",
+            check="genre-statistics",
+            expected=[],
+            actual=mismatches,
+            detail=f"{len(produced)} genres emitted",
+        )
+    )
+
+    # Part 2: top rater + favourite genre (custom output value class).
+    top_run = runner.run(
+        TopRaterJob(movies_path="/home/student/movies.dat"),
+        "/home/student/ratings.dat",
+        "/home/student/out-toprater",
+    )
+    user_text, profile_text = top_run.pairs[0]
+    profile = RaterProfileWritable.decode(profile_text)
+    expected_user = data.top_rater()
+    results.append(
+        GradeResult(
+            assignment_id="v2-movielens",
+            check="top-rater",
+            expected=(
+                expected_user,
+                data.ratings_per_user[expected_user],
+                data.favorite_genre_of(expected_user),
+            ),
+            actual=(int(user_text), profile.num_ratings, profile.favorite_genre),
+        )
+    )
+    return results
+
+
+# --------------------------------------------------------------------------
+# Versions 2-4, assignment 2: same jars on HDFS + Yahoo albums.
+
+
+def _run_v2_yahoo_hdfs(seed: int) -> list[GradeResult]:
+    results: list[GradeResult] = []
+    movie_data = generate_movielens(
+        seed=seed, num_ratings=2000, num_movies=80, num_users=120
+    )
+
+    # Part 1: rerun the assignment-1 jar on HDFS; answers must agree
+    # with the serial run ("demonstrate the ease in which Hadoop
+    # MapReduce can immediately speed up the application").
+    localfs = LinuxFileSystem()
+    localfs.write_file("/home/student/ratings.dat", movie_data.ratings_text)
+    localfs.write_file("/home/student/movies.dat", movie_data.movies_text)
+    serial = LocalJobRunner(localfs=localfs, split_size=32 * 1024).run(
+        GenreStatsJob(movies_path="/home/student/movies.dat", strategy="cached"),
+        "/home/student/ratings.dat",
+        "/home/student/out-serial",
+    )
+
+    platform = build_teaching_cluster(num_workers=4, seed=seed, block_size=8192)
+    platform.put_text("/data/ratings.dat", movie_data.ratings_text)
+    platform.put_text("/data/movies.dat", movie_data.movies_text)
+    hdfs_run = platform.run_job(
+        GenreStatsJob(movies_path="/data/movies.dat", strategy="cached"),
+        "/data/ratings.dat",
+        "/out/genres",
+    )
+    results.append(
+        GradeResult(
+            assignment_id="v2-yahoo-hdfs",
+            check="serial-vs-hdfs-equivalence",
+            expected=sorted(serial.pairs),
+            actual=sorted(hdfs_run.pairs),
+            detail="same jar, with and without HDFS",
+        )
+    )
+
+    # Part 1 also asks students to record HDFS shell observations.
+    shell = platform.shell()
+    listing = shell.run("-ls", "/data")
+    stat = shell.run("-stat", "/data/ratings.dat")
+    results.append(
+        GradeResult(
+            assignment_id="v2-yahoo-hdfs",
+            check="hdfs-shell-observations",
+            expected=True,
+            actual=listing.ok and stat.ok and "blocks=" in stat.output,
+            detail=stat.output,
+        )
+    )
+
+    # Part 2: the best-rated album on HDFS.
+    music = generate_yahoo_music(seed=seed, num_ratings=2500, num_albums=40)
+    platform.put_text("/data/yahoo/ratings.txt", music.ratings_text)
+    platform.put_text("/data/yahoo/songs.txt", music.songs_text)
+    album_run = platform.run_job(
+        AlbumRatingJob(songs_path="/data/yahoo/songs.txt"),
+        "/data/yahoo/ratings.txt",
+        "/out/albums",
+    )
+    album, _avg = best_album_from_output(album_run.pairs, min_ratings=1)
+    results.append(
+        GradeResult(
+            assignment_id="v2-yahoo-hdfs",
+            check="best-album",
+            expected=music.best_album(min_ratings=1),
+            actual=album,
+        )
+    )
+    return results
+
+
+# --------------------------------------------------------------------------
+
+ASSIGNMENTS: dict[str, Assignment] = {
+    assignment.id: assignment
+    for assignment in (
+        Assignment(
+            id="v1-top-word",
+            version=1,
+            title="Highest-count word in the complete Shakespeare collection",
+            weeks=2,
+            description=(
+                "A slight modification of WordCount: find the word with "
+                "the highest count in the complete Shakespeare collection."
+            ),
+            datasets=("shakespeare",),
+            runner=_run_v1_top_word,
+        ),
+        Assignment(
+            id="v1-google-trace",
+            version=1,
+            title="Google trace: job with most task resubmissions",
+            weeks=3,
+            description=(
+                "Analyze the 171GB Google data-center system log and find "
+                "the computing job with the largest number of task "
+                "resubmissions."
+            ),
+            datasets=("google_trace",),
+            runner=_run_v1_google_trace,
+        ),
+        Assignment(
+            id="v2-movielens",
+            version=2,
+            title="MovieLens descriptive statistics + top rater (serial)",
+            weeks=2,
+            description=(
+                "Descriptive statistics of ratings per movie genre "
+                "(requires a side file join), then the user with the most "
+                "ratings and their favourite genre (requires a customized "
+                "output value class).  Run serially, without HDFS."
+            ),
+            datasets=("movielens",),
+            runner=_run_v2_movielens,
+        ),
+        Assignment(
+            id="v2-yahoo-hdfs",
+            version=2,
+            title="Rerun on HDFS + best-rated Yahoo! Music album",
+            weeks=3,
+            description=(
+                "Rerun the assignment-1 jars on HDFS data, record HDFS "
+                "shell observations, then find the album with the highest "
+                "average rating in the Yahoo song database."
+            ),
+            datasets=("movielens", "yahoo_music"),
+            runner=_run_v2_yahoo_hdfs,
+        ),
+    )
+}
+
+
+def grade_all(seed: int = 0) -> list[GradeResult]:
+    """Run every assignment's reference solution and grade it."""
+    results: list[GradeResult] = []
+    for assignment in ASSIGNMENTS.values():
+        results.extend(assignment.run_reference(seed))
+    return results

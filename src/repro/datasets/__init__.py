@@ -1,0 +1,37 @@
+"""Synthetic dataset generators for the course's assignments.
+
+Each generator is seeded and returns both the text of the dataset and an
+exactly-computed ground truth, so assignment graders and tests can check
+student-style MapReduce answers without re-deriving them.
+
+Real-world datasets these stand in for (and their paper-quoted sizes):
+
+- Shakespeare-style text corpus (the WordCount assignments);
+- Airline On-Time Performance, ~12 GB (:mod:`~repro.datasets.airline`);
+- MovieLens 10M ratings, ~250 MB (:mod:`~repro.datasets.movielens`);
+- Yahoo! Music ratings, ~10 GB (:mod:`~repro.datasets.yahoo_music`);
+- Google cluster trace, ~171 GB (:mod:`~repro.datasets.google_trace`).
+"""
+
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.datasets.shakespeare import generate_shakespeare
+from repro.datasets.airline import AirlineDataset, generate_airline
+from repro.datasets.movielens import MovieLensDataset, generate_movielens
+from repro.datasets.yahoo_music import YahooMusicDataset, generate_yahoo_music
+from repro.datasets.google_trace import GoogleTraceDataset, generate_google_trace
+from repro.datasets.catalog import DATASET_CATALOG, DatasetInfo
+
+__all__ = [
+    "ZipfTextGenerator",
+    "generate_shakespeare",
+    "AirlineDataset",
+    "generate_airline",
+    "MovieLensDataset",
+    "generate_movielens",
+    "YahooMusicDataset",
+    "generate_yahoo_music",
+    "GoogleTraceDataset",
+    "generate_google_trace",
+    "DATASET_CATALOG",
+    "DatasetInfo",
+]

@@ -1,0 +1,131 @@
+"""Synthetic Airline On-Time Performance data.
+
+Stands in for the ASA Data Expo 2009 dataset (~12 GB, "a reasonable
+size with a straightforward single-table data schematic") the course
+uses for the combiner examples: "find out the average delay time for
+each individual airline on the entire data set".
+
+Schema (the columns the examples touch, in the real file's spirit)::
+
+    Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,FlightNum,
+    ArrDelay,DepDelay,Origin,Dest,Distance,Cancelled
+
+Each carrier has a characteristic delay distribution; cancelled flights
+carry ``NA`` delays — the parsing wrinkle real data inflicts on
+students, preserved here deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+HEADER = (
+    "Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,FlightNum,"
+    "ArrDelay,DepDelay,Origin,Dest,Distance,Cancelled"
+)
+
+#: (carrier code, mean arrival delay minutes, std) — ordered so the
+#: ranking students compute is stable and plausible.
+CARRIERS: list[tuple[str, float, float]] = [
+    ("WN", 4.0, 18.0),
+    ("HA", 1.5, 12.0),
+    ("AS", 6.0, 20.0),
+    ("DL", 7.5, 24.0),
+    ("AA", 9.0, 26.0),
+    ("UA", 11.0, 28.0),
+    ("US", 8.0, 22.0),
+    ("CO", 10.0, 25.0),
+    ("NW", 6.5, 21.0),
+    ("B6", 12.0, 30.0),
+    ("F9", 8.5, 23.0),
+    ("FL", 9.5, 24.0),
+    ("MQ", 13.0, 32.0),
+    ("OO", 11.5, 29.0),
+    ("EV", 14.0, 34.0),
+    ("YV", 12.5, 31.0),
+]
+
+AIRPORTS = (
+    "ATL ORD DFW LAX CLT PHX IAH DEN DTW MSP SFO EWR LAS MCO BOS SEA GSP CAE"
+).split()
+
+
+@dataclass
+class AirlineDataset:
+    """CSV text plus exact per-carrier ground truth."""
+
+    csv_text: str
+    num_rows: int
+    #: carrier -> (sum of arrival delays, count) over non-cancelled rows.
+    delay_sums: dict[str, tuple[float, int]] = field(default_factory=dict)
+
+    def true_average_delays(self) -> dict[str, float]:
+        return {
+            carrier: total / count
+            for carrier, (total, count) in self.delay_sums.items()
+            if count
+        }
+
+    def best_carrier(self) -> str:
+        """Lowest average arrival delay (the bragging-rights answer)."""
+        averages = self.true_average_delays()
+        return min(sorted(averages), key=lambda c: averages[c])
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.csv_text.encode("utf-8"))
+
+
+def generate_airline(
+    seed: int = 0,
+    num_rows: int = 20_000,
+    cancelled_rate: float = 0.02,
+    year: int = 2008,
+) -> AirlineDataset:
+    """Generate ``num_rows`` of flight records (vectorized)."""
+    rng = RngStream(seed=seed).child("datasets", "airline")
+    gen = rng.rng
+
+    carrier_idx = gen.integers(0, len(CARRIERS), size=num_rows)
+    months = gen.integers(1, 13, size=num_rows)
+    days = gen.integers(1, 29, size=num_rows)
+    dows = gen.integers(1, 8, size=num_rows)
+    dep_times = gen.integers(500, 2300, size=num_rows)
+    flight_nums = gen.integers(1, 7000, size=num_rows)
+    origins = gen.integers(0, len(AIRPORTS), size=num_rows)
+    dests = gen.integers(0, len(AIRPORTS), size=num_rows)
+    distances = gen.integers(100, 2700, size=num_rows)
+    cancelled = gen.random(num_rows) < cancelled_rate
+
+    means = np.array([CARRIERS[i][1] for i in carrier_idx])
+    stds = np.array([CARRIERS[i][2] for i in carrier_idx])
+    arr_delays = np.round(gen.normal(means, stds)).astype(np.int64)
+    dep_delays = np.round(
+        arr_delays * 0.8 + gen.normal(0.0, 6.0, size=num_rows)
+    ).astype(np.int64)
+
+    lines = [HEADER]
+    delay_sums: dict[str, list] = {code: [0.0, 0] for code, _, _ in CARRIERS}
+    for i in range(num_rows):
+        code = CARRIERS[carrier_idx[i]][0]
+        if cancelled[i]:
+            arr, dep = "NA", "NA"
+        else:
+            arr, dep = str(arr_delays[i]), str(dep_delays[i])
+            stats = delay_sums[code]
+            stats[0] += float(arr_delays[i])
+            stats[1] += 1
+        lines.append(
+            f"{year},{months[i]},{days[i]},{dows[i]},{dep_times[i]},{code},"
+            f"{flight_nums[i]},{arr},{dep},{AIRPORTS[origins[i]]},"
+            f"{AIRPORTS[dests[i]]},{distances[i]},{int(cancelled[i])}"
+        )
+    return AirlineDataset(
+        csv_text="\n".join(lines) + "\n",
+        num_rows=num_rows,
+        delay_sums={k: (v[0], v[1]) for k, v in delay_sums.items()},
+    )

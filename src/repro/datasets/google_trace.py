@@ -1,0 +1,129 @@
+"""Synthetic Google-cluster-trace-style task event log.
+
+Stands in for the 2011 Google cluster trace (~171 GB), which the
+Version-1 second assignment mined: "analyze the 171GB of a Google Data
+Center's system log and find the computing job with largest number of
+task resubmissions".
+
+Format (a compact cut of the real ``task_events`` table)::
+
+    timestamp,job_id,task_index,machine_id,event_type
+
+with the real trace's event vocabulary: SUBMIT(0), SCHEDULE(1),
+EVICT(2), FAIL(3), FINISH(4), KILL(5), LOST(6).  A *resubmission* is a
+SUBMIT of a task that already ran — exactly what a student's MapReduce
+job must count per job id.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.util.rng import RngStream
+
+EVENT_SUBMIT = 0
+EVENT_SCHEDULE = 1
+EVENT_EVICT = 2
+EVENT_FAIL = 3
+EVENT_FINISH = 4
+EVENT_KILL = 5
+EVENT_LOST = 6
+
+EVENT_NAMES = {
+    EVENT_SUBMIT: "SUBMIT",
+    EVENT_SCHEDULE: "SCHEDULE",
+    EVENT_EVICT: "EVICT",
+    EVENT_FAIL: "FAIL",
+    EVENT_FINISH: "FINISH",
+    EVENT_KILL: "KILL",
+    EVENT_LOST: "LOST",
+}
+
+
+@dataclass
+class GoogleTraceDataset:
+    """Event log text plus exact per-job resubmission ground truth."""
+
+    events_text: str
+    num_jobs: int
+    num_events: int
+    resubmissions_per_job: Counter = field(default_factory=Counter)
+
+    def max_resubmission_job(self) -> tuple[int, int]:
+        """(job_id, resubmissions) — the assignment answer
+        (count desc, job id asc)."""
+        if not self.resubmissions_per_job:
+            return (0, 0)
+        best = max(self.resubmissions_per_job.values())
+        job = min(
+            j for j, c in self.resubmissions_per_job.items() if c == best
+        )
+        return job, best
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.events_text.encode("utf-8"))
+
+
+def generate_google_trace(
+    seed: int = 0,
+    num_jobs: int = 80,
+    flaky_fraction: float = 0.15,
+    mean_tasks: float = 12.0,
+    num_machines: int = 1000,
+) -> GoogleTraceDataset:
+    """Generate a task-event log with a heavy tail of flaky jobs.
+
+    Most jobs run their tasks once; a ``flaky_fraction`` of jobs suffers
+    eviction/failure storms, producing the resubmission bursts the
+    assignment hunts for.
+    """
+    rng = RngStream(seed=seed).child("datasets", "google_trace")
+    lines: list[str] = []
+    resubs: Counter = Counter()
+    timestamp = 0
+    num_events = 0
+
+    for job_id in range(1, num_jobs + 1):
+        num_tasks = max(1, int(rng.exponential(mean_tasks)))
+        flaky = rng.bernoulli(flaky_fraction)
+        # Flaky jobs retry each task a geometric number of times.
+        for task_index in range(num_tasks):
+            attempts = 1
+            if flaky:
+                # 1 + Geometric: heavy-ish retry tail.
+                while rng.bernoulli(0.55) and attempts < 40:
+                    attempts += 1
+            for attempt in range(attempts):
+                machine = rng.integers(1, num_machines + 1)
+                timestamp += rng.integers(1, 50)
+                lines.append(
+                    f"{timestamp},{job_id},{task_index},{machine},{EVENT_SUBMIT}"
+                )
+                timestamp += rng.integers(1, 20)
+                lines.append(
+                    f"{timestamp},{job_id},{task_index},{machine},{EVENT_SCHEDULE}"
+                )
+                is_last = attempt == attempts - 1
+                outcome = (
+                    EVENT_FINISH
+                    if is_last
+                    else (EVENT_FAIL if rng.bernoulli(0.6) else EVENT_EVICT)
+                )
+                timestamp += rng.integers(10, 500)
+                lines.append(
+                    f"{timestamp},{job_id},{task_index},{machine},{outcome}"
+                )
+                num_events += 3
+                if attempt > 0:
+                    resubs[job_id] += 1
+        if job_id not in resubs:
+            resubs[job_id] = 0
+
+    return GoogleTraceDataset(
+        events_text="\n".join(lines) + "\n",
+        num_jobs=num_jobs,
+        num_events=num_events,
+        resubmissions_per_job=resubs,
+    )

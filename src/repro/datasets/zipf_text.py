@@ -1,0 +1,77 @@
+"""Zipf-distributed word streams — the backbone of text corpora.
+
+Natural-language word frequencies follow Zipf's law; a WordCount over
+Zipfian text therefore exhibits the same skew students see on real
+text: a few huge reduce groups ("the", "and") and a long tail —
+the reason the top-word assignment cannot just look at one reducer's
+local maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+#: A compact high-frequency English vocabulary; ranks beyond it are
+#: synthesized ("w<rank>") so vocab size is unbounded.
+_COMMON_WORDS = (
+    "the and to of i you my a that in is not it me s his be he with as this "
+    "have thy him will so but her what for no shall all d they our if we "
+    "lord thou king by do love good now sir from come o more at on your she "
+    "or here would there then let how am was man than did when who their "
+    "them like know may upon us such make yet must go speak see why where "
+    "never doth tis give death day night heart most nor take hath which can "
+    "mine eyes time hear say well enter are had"
+).split()
+
+
+class ZipfTextGenerator:
+    """Generate line-oriented text with Zipfian word frequencies."""
+
+    def __init__(
+        self,
+        rng: RngStream,
+        vocab_size: int = 2000,
+        exponent: float = 1.07,
+        words_per_line: int = 9,
+    ):
+        if vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        self.rng = rng
+        self.vocab_size = vocab_size
+        self.words_per_line = words_per_line
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        weights = ranks**-exponent
+        self._probs = weights / weights.sum()
+        self._vocab = [
+            _COMMON_WORDS[i] if i < len(_COMMON_WORDS) else f"w{i}"
+            for i in range(vocab_size)
+        ]
+
+    def words(self, count: int) -> list[str]:
+        """Draw ``count`` words (vectorized)."""
+        indices = self.rng.rng.choice(
+            self.vocab_size, size=count, p=self._probs
+        )
+        vocab = self._vocab
+        return [vocab[i] for i in indices]
+
+    def text(self, num_words: int) -> str:
+        """``num_words`` of text broken into lines."""
+        words = self.words(num_words)
+        per_line = self.words_per_line
+        lines = [
+            " ".join(words[i : i + per_line])
+            for i in range(0, len(words), per_line)
+        ]
+        return "\n".join(lines) + "\n"
+
+    def text_of_bytes(self, target_bytes: int) -> str:
+        """Approximately ``target_bytes`` of text (within one line)."""
+        # Average word ~4.5 chars + separator.
+        estimate = max(1, int(target_bytes / 5.5))
+        out = self.text(estimate)
+        while len(out.encode()) < target_bytes:
+            out += self.text(max(1, estimate // 10))
+        return out

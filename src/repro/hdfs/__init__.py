@@ -1,0 +1,44 @@
+"""HDFS: a functional, instrumented Hadoop Distributed File System.
+
+The pieces mirror Hadoop 1.x (the version the course taught, Apache
+Hadoop 1.2.1):
+
+- :class:`~repro.hdfs.namenode.NameNode` — namespace + block map + safe
+  mode + dead-node detection + replication monitor.  Block metadata
+  lives in (simulated) memory, exactly as the paper's Figure 2 stresses.
+- :class:`~repro.hdfs.datanode.DataNode` — block storage with CRC32
+  checksums on a node's local disk, heartbeats, block reports, and the
+  startup integrity scan that made cluster restarts take "at least
+  fifteen minutes" in the paper's war story.
+- :class:`~repro.hdfs.client.DFSClient` — file create/read/delete with
+  block splitting, rack-aware pipeline writes and closest-replica reads.
+- :class:`~repro.hdfs.shell.FsShell` — the ``hadoop fs`` commands the
+  assignments require students to run and record.
+- :func:`~repro.hdfs.fsck.fsck` and :mod:`~repro.hdfs.dfsadmin` — the
+  health tooling the course used to diagnose its corrupted cluster.
+- :class:`~repro.hdfs.cluster.HdfsCluster` — one-call assembly of all of
+  the above over a :class:`~repro.cluster.builder.HadoopHardware`.
+"""
+
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.block import Block, StoredBlock
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.client import DFSClient
+from repro.hdfs.shell import FsShell
+from repro.hdfs.fsck import fsck
+from repro.hdfs.cluster import HdfsCluster
+from repro.hdfs.balancer import Balancer
+
+__all__ = [
+    "Balancer",
+    "HdfsConfig",
+    "Block",
+    "StoredBlock",
+    "NameNode",
+    "DataNode",
+    "DFSClient",
+    "FsShell",
+    "fsck",
+    "HdfsCluster",
+]

@@ -1,0 +1,92 @@
+"""Blocks: the unit of HDFS storage and replication.
+
+A :class:`Block` is the NameNode-side identity (id, generation stamp,
+length); a :class:`StoredBlock` is the DataNode-side physical replica —
+real bytes plus a CRC32 checksum, so corruption is detectable exactly
+the way Hadoop detects it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass
+
+from repro.util.errors import CorruptBlockError
+
+
+@dataclass(frozen=True)
+class Block:
+    """NameNode-side block identity."""
+
+    block_id: int
+    generation: int
+    length: int
+
+    @property
+    def name(self) -> str:
+        """The on-disk file name, as in Figure 2's physical view."""
+        return f"blk_{self.block_id}"
+
+    def __repr__(self) -> str:
+        return f"Block(blk_{self.block_id}, gen={self.generation}, len={self.length})"
+
+
+class BlockIdGenerator:
+    """Monotonic block-id source owned by the NameNode."""
+
+    def __init__(self, start: int = 1001):
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+
+def checksum(data: bytes) -> int:
+    """CRC32 of a block's bytes (Hadoop checksums per 512-byte chunk;
+    one CRC over the block preserves the detect-on-read behaviour)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class StoredBlock:
+    """A physical replica on one DataNode: bytes + checksum."""
+
+    __slots__ = ("block", "data", "crc")
+
+    def __init__(self, block: Block, data: bytes):
+        if len(data) != block.length:
+            raise ValueError(
+                f"data length {len(data)} != block length {block.length}"
+            )
+        self.block = block
+        self.data = data
+        self.crc = checksum(data)
+
+    @property
+    def block_id(self) -> int:
+        return self.block.block_id
+
+    @property
+    def length(self) -> int:
+        return self.block.length
+
+    def verify(self) -> bool:
+        """Recompute the checksum; False means the replica is corrupt."""
+        return checksum(self.data) == self.crc
+
+    def read(self) -> bytes:
+        """Return the bytes, raising if the replica fails verification."""
+        if not self.verify():
+            raise CorruptBlockError(
+                f"checksum mismatch reading blk_{self.block.block_id}"
+            )
+        return self.data
+
+    def corrupt(self, offset: int = 0) -> None:
+        """Flip a byte (test/fault-injection hook) without updating crc."""
+        if self.length == 0:
+            return
+        offset %= self.length
+        mutated = bytearray(self.data)
+        mutated[offset] ^= 0xFF
+        self.data = bytes(mutated)

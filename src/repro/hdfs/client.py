@@ -1,0 +1,267 @@
+"""DFSClient: the file-level read/write path.
+
+Writes split data into blocks, ask the NameNode for targets, and push
+each block through the replica pipeline; reads fetch each block from the
+nearest live, non-corrupt replica, reporting bad checksums back to the
+NameNode exactly as Hadoop clients do.
+
+Every operation returns an ``elapsed`` simulated duration computed from
+the disk and network cost models; by default the client also advances
+the shared simulation clock by that amount (interactive, shell-style
+use).  The MapReduce engine constructs clients with
+``charge_time=False`` and folds the elapsed time into task durations
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.network import NetworkModel
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.pipeline import pipeline_write
+from repro.sim.engine import Simulation
+from repro.util.errors import (
+    CorruptBlockError,
+    DataNodeDownError,
+    BlockNotFoundError,
+    HdfsError,
+    ReplicationError,
+)
+
+
+@dataclass
+class WriteResult:
+    """Outcome of one file write."""
+
+    path: str
+    length: int
+    blocks: int
+    elapsed: float
+    locations: dict[int, list[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one file read."""
+
+    path: str
+    data: bytes
+    elapsed: float
+    blocks: int
+    node_local_blocks: int = 0
+    rack_local_blocks: int = 0
+    off_rack_blocks: int = 0
+    corrupt_replicas_hit: int = 0
+
+    def text(self) -> str:
+        return self.data.decode("utf-8")
+
+
+class DFSClient:
+    """A client handle, optionally pinned to a cluster node."""
+
+    #: Pipeline retries when every target of an allocation fails.
+    MAX_BLOCK_RETRIES = 3
+
+    def __init__(
+        self,
+        namenode: NameNode,
+        dn_lookup: Callable[[str], DataNode],
+        network: NetworkModel,
+        sim: Simulation,
+        node: str | None = None,
+        charge_time: bool = True,
+    ):
+        self.namenode = namenode
+        self.dn_lookup = dn_lookup
+        self.network = network
+        self.sim = sim
+        self.node = node
+        self.charge_time = charge_time
+        self.config: HdfsConfig = namenode.config
+
+    # ------------------------------------------------------------------
+    def _charge(self, elapsed: float) -> None:
+        if self.charge_time and elapsed > 0:
+            self.sim.run_for(elapsed)
+
+    def _transfer_in(self, source_dn: str, nbytes: int) -> float:
+        """Network time to pull bytes from a DataNode to this client."""
+        if self.node is not None and self.node in self.network.topology:
+            return self.network.transfer_time(source_dn, self.node, nbytes)
+        # Client outside the cluster (login node / laptop): off-rack rate.
+        self.network.counters.off_rack += nbytes
+        slowest = self.network.nic_bw / self.network.rack_oversubscription
+        return self.network.latency + nbytes / slowest
+
+    # ------------------------------------------------------------------
+    # write path
+    def put_bytes(
+        self,
+        path: str,
+        data: bytes,
+        replication: int | None = None,
+        overwrite: bool = False,
+    ) -> WriteResult:
+        """Create ``path`` from ``data``, splitting into blocks."""
+        self.namenode.create_file(path, replication=replication, overwrite=overwrite)
+        block_size = self.config.block_size
+        elapsed = 0.0
+        locations: dict[int, list[str]] = {}
+        chunks = [data[i : i + block_size] for i in range(0, len(data), block_size)]
+        if not chunks:
+            chunks = [b""]  # an empty file still completes
+        for chunk in chunks:
+            if chunk == b"" and len(chunks) == 1 and not data:
+                break  # zero-length file: no blocks at all
+            result = self._write_one_block(path, chunk)
+            elapsed += result[1]
+            locations[result[0]] = result[2]
+        self.namenode.complete_file(path)
+        self._charge(elapsed)
+        return WriteResult(
+            path=path,
+            length=len(data),
+            blocks=len(locations),
+            elapsed=elapsed,
+            locations=locations,
+        )
+
+    def _write_one_block(
+        self, path: str, chunk: bytes
+    ) -> tuple[int, float, list[str]]:
+        exclude: tuple[str, ...] = ()
+        last_error: Exception | None = None
+        for _ in range(self.MAX_BLOCK_RETRIES):
+            try:
+                block, targets = self.namenode.add_block(
+                    path, length=len(chunk), writer=self.node, exclude=exclude
+                )
+            except ReplicationError as exc:
+                last_error = exc
+                break
+            result = pipeline_write(
+                block,
+                chunk,
+                targets,
+                self.dn_lookup,
+                self.network,
+                self.namenode,
+                client_node=self.node,
+            )
+            if result.ok:
+                return block.block_id, result.elapsed, result.locations
+            self.namenode.abandon_block(path, block)
+            exclude = exclude + tuple(result.failed)
+            last_error = ReplicationError(
+                f"pipeline failed on all targets {result.failed} for {path}"
+            )
+        raise last_error or ReplicationError(f"could not write a block of {path}")
+
+    def put_text(self, path: str, text: str, **kwargs) -> WriteResult:
+        return self.put_bytes(path, text.encode("utf-8"), **kwargs)
+
+    # ------------------------------------------------------------------
+    # read path
+    def read_bytes(self, path: str) -> ReadResult:
+        located = self.namenode.get_block_locations(path, client_node=self.node)
+        pieces: list[bytes] = []
+        elapsed = 0.0
+        result = ReadResult(
+            path=path, data=b"", elapsed=0.0, blocks=len(located)
+        )
+        for lb in located:
+            data, block_elapsed = self._read_one_block(lb, result)
+            pieces.append(data)
+            elapsed += block_elapsed
+        result.data = b"".join(pieces)
+        result.elapsed = elapsed
+        self._charge(elapsed)
+        return result
+
+    def _read_one_block(self, located_block, result: ReadResult) -> tuple[bytes, float]:
+        block = located_block.block
+        errors: list[str] = []
+        for dn_name in located_block.locations:
+            try:
+                datanode = self.dn_lookup(dn_name)
+            except KeyError:
+                continue
+            try:
+                data = datanode.read_block(block.block_id)
+            except CorruptBlockError:
+                result.corrupt_replicas_hit += 1
+                self.namenode.report_bad_block(block.block_id, dn_name)
+                errors.append(f"{dn_name}: corrupt")
+                continue
+            except (DataNodeDownError, BlockNotFoundError) as exc:
+                errors.append(f"{dn_name}: {exc}")
+                continue
+            elapsed = datanode.node.disk.read_time(block.length)
+            elapsed += self._transfer_in(dn_name, block.length)
+            self._tally_locality(dn_name, result)
+            return data, elapsed
+        raise HdfsError(
+            f"could not read blk_{block.block_id} of {result.path}: "
+            f"tried {located_block.locations or 'no replicas'} ({errors})"
+        )
+
+    def _tally_locality(self, dn_name: str, result: ReadResult) -> None:
+        if self.node is None or self.node not in self.network.topology:
+            result.off_rack_blocks += 1
+            return
+        distance = self.network.topology.distance(self.node, dn_name)
+        if distance == 0:
+            result.node_local_blocks += 1
+        elif distance == 2:
+            result.rack_local_blocks += 1
+        else:
+            result.off_rack_blocks += 1
+
+    def read_text(self, path: str) -> str:
+        return self.read_bytes(path).text()
+
+    # ------------------------------------------------------------------
+    # local <-> HDFS staging
+    def copy_from_local(
+        self, localfs: LinuxFileSystem, local_path: str, hdfs_path: str, **kwargs
+    ) -> WriteResult:
+        return self.put_bytes(hdfs_path, localfs.read_file(local_path), **kwargs)
+
+    def copy_to_local(
+        self, localfs: LinuxFileSystem, hdfs_path: str, local_path: str
+    ) -> ReadResult:
+        result = self.read_bytes(hdfs_path)
+        localfs.write_file(local_path, result.data)
+        return result
+
+    # ------------------------------------------------------------------
+    # namespace passthroughs
+    def mkdirs(self, path: str) -> bool:
+        return self.namenode.mkdirs(path)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        return self.namenode.delete(path, recursive=recursive)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namenode.rename(src, dst)
+
+    def list_status(self, path: str):
+        return self.namenode.list_status(path)
+
+    def status(self, path: str):
+        return self.namenode.status(path)
+
+    def du(self, path: str) -> int:
+        return self.namenode.namespace.du(path)
+
+    def set_replication(self, path: str, replication: int) -> None:
+        self.namenode.set_replication(path, replication)

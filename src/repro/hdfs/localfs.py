@@ -1,0 +1,100 @@
+"""A minimal Linux-file-system stand-in.
+
+Students' home directories, staged datasets and exported job output all
+live on the "Linux file system" side of the paper's Figure 2.  This is
+a deliberately small in-memory model: enough for ``-put``/``-get``
+round-trips, myHadoop staging, and the serial no-HDFS runner.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.util.errors import FileNotFoundInHdfs, IsADirectory
+
+
+class LinuxFileSystem:
+    """Flat in-memory file store with directory-style listing."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return posixpath.normpath(path)
+
+    # ------------------------------------------------------------------
+    def write_file(self, path: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._files[self._norm(path)] = data
+
+    def append_file(self, path: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        key = self._norm(path)
+        self._files[key] = self._files.get(key, b"") + data
+
+    def read_file(self, path: str) -> bytes:
+        key = self._norm(path)
+        try:
+            return self._files[key]
+        except KeyError:
+            if self.is_dir(key):
+                raise IsADirectory(path) from None
+            raise FileNotFoundInHdfs(f"local path not found: {path}") from None
+
+    def read_text(self, path: str) -> str:
+        return self.read_file(path).decode("utf-8")
+
+    def delete(self, path: str) -> bool:
+        key = self._norm(path)
+        if key in self._files:
+            del self._files[key]
+            return True
+        removed = [p for p in self._files if p.startswith(key + "/")]
+        for p in removed:
+            del self._files[p]
+        return bool(removed)
+
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        key = self._norm(path)
+        return key in self._files or self.is_dir(key)
+
+    def is_dir(self, path: str) -> bool:
+        key = self._norm(path)
+        if key == "/":
+            return True
+        prefix = key + "/"
+        return any(p.startswith(prefix) for p in self._files)
+
+    def size(self, path: str) -> int:
+        return len(self.read_file(path))
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children (names, not paths) of a directory."""
+        key = self._norm(path)
+        prefix = "/" if key == "/" else key + "/"
+        children = set()
+        for p in self._files:
+            if p.startswith(prefix):
+                rest = p[len(prefix):]
+                children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def walk(self, path: str = "/") -> list[str]:
+        """All file paths under a directory."""
+        key = self._norm(path)
+        if key in self._files:
+            return [key]
+        prefix = "/" if key == "/" else key + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def total_bytes(self, path: str = "/") -> int:
+        return sum(len(self._files[p]) for p in self.walk(path))
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,633 @@
+"""The NameNode: namespace, block map, liveness, replication management.
+
+Per the paper's Figure 2: *"Block metadata lives in memory"* — the
+NameNode holds the directory tree (:class:`~repro.hdfs.namespace.Namespace`)
+and a block map from block id to expected replication and current
+locations.  DataNodes report in; the NameNode never calls them — all
+control flows back through heartbeat responses
+(:class:`~repro.hdfs.protocol.HeartbeatResponse`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.block import Block, BlockIdGenerator
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.namespace import FileStatus, Namespace
+from repro.hdfs.placement import ReplicaPlacementPolicy
+from repro.hdfs.protocol import (
+    BlockReport,
+    Command,
+    DatanodeInfo,
+    HeartbeatResponse,
+    InvalidateCommand,
+    ReplicateCommand,
+)
+from repro.hdfs.safemode import SafeMode
+from repro.sim.engine import Simulation
+from repro.util.errors import (
+    BlockNotFoundError,
+    FileNotFoundInHdfs,
+    HdfsError,
+    QuotaExceededError,
+    ReplicationError,
+)
+from repro.util.rng import RngStream
+
+
+@dataclass
+class BlockMeta:
+    """NameNode-side record for one block."""
+
+    block: Block
+    expected_replication: int
+    file_path: str
+    locations: set[str] = field(default_factory=set)
+    corrupt_on: set[str] = field(default_factory=set)
+
+    @property
+    def live_replicas(self) -> int:
+        return len(self.locations)
+
+
+@dataclass
+class LocatedBlock:
+    """A block plus its replica locations, nearest-first for a reader."""
+
+    block: Block
+    locations: list[str]
+
+
+@dataclass
+class DataNodeDescriptor:
+    """What the NameNode remembers about one DataNode."""
+
+    info: DatanodeInfo
+    last_heartbeat: float
+    alive: bool = True
+
+
+class NameNode:
+    """The HDFS master."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        topology: ClusterTopology,
+        config: HdfsConfig | None = None,
+        rng: RngStream | None = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.config = config or HdfsConfig()
+        self.rng = rng or RngStream(seed=0).child("namenode")
+        self.namespace = Namespace()
+        self.block_map: dict[int, BlockMeta] = {}
+        self.datanodes: dict[str, DataNodeDescriptor] = {}
+        self.safemode = SafeMode(
+            threshold=self.config.safemode_threshold,
+            extension=self.config.safemode_extension,
+        )
+        self.placement = ReplicaPlacementPolicy(topology, self.rng.child("placement"))
+        self._block_ids = BlockIdGenerator()
+        self._pending_commands: dict[str, list[Command]] = defaultdict(list)
+        self._needs_reregister: set[str] = set()
+        self.under_replicated: set[int] = set()
+        self.over_replicated: set[int] = set()
+        #: Directory quotas: path -> (namespace quota | None,
+        #: space quota in bytes x replication | None).  Survives restart
+        #: (it's namespace metadata, like the fsimage).
+        self.quotas: dict[str, tuple[int | None, int | None]] = {}
+        #: DataNodes being drained: no new replicas are placed on them.
+        self.decommissioning: set[str] = set()
+        self.restarts = 0
+        self._monitors_started = False
+        self._start_monitors()
+        # A freshly formatted NameNode has no blocks to wait for.
+        self._update_safemode()
+
+    # ------------------------------------------------------------------
+    # monitors
+    def _start_monitors(self) -> None:
+        if self._monitors_started:
+            return
+        self._monitors_started = True
+        self._cancel_liveness = self.sim.every(
+            self.config.heartbeat_interval, self._check_liveness
+        )
+        self._cancel_replication = self.sim.every(
+            self.config.replication_check_interval, self._replication_sweep
+        )
+
+    def _check_liveness(self) -> None:
+        """Declare DataNodes dead after prolonged heartbeat silence."""
+        timeout = self.config.dead_node_timeout
+        for name, desc in self.datanodes.items():
+            if desc.alive and self.sim.now - desc.last_heartbeat > timeout:
+                desc.alive = False
+                self._remove_location_everywhere(name)
+                self.sim.bus.publish(
+                    "hdfs.namenode.node_dead", self.sim.now, datanode=name
+                )
+
+    def _remove_location_everywhere(self, datanode: str) -> None:
+        for meta in self.block_map.values():
+            if datanode in meta.locations:
+                meta.locations.discard(datanode)
+                self._check_replication(meta)
+        self._update_safemode()
+
+    def _replication_sweep(self) -> None:
+        """Queue re-replication / deletion work, a few blocks per sweep."""
+        if self.safemode.active:
+            return
+        streams = 0
+        for block_id in sorted(self.under_replicated):
+            if streams >= self.config.max_replication_streams:
+                break
+            meta = self.block_map.get(block_id)
+            if meta is None:
+                self.under_replicated.discard(block_id)
+                continue
+            live_sources = [
+                d
+                for d in sorted(meta.locations)
+                if self._is_live(d) and d not in meta.corrupt_on
+            ]
+            if not live_sources:
+                continue  # missing block: nothing to copy from
+            candidates = self._eligible_targets(meta.block.length)
+            targets = self.placement.choose_targets(
+                1, candidates, exclude=meta.locations
+            )
+            if not targets:
+                continue
+            source = live_sources[0]
+            self._pending_commands[source].append(
+                ReplicateCommand(block_id=block_id, target=targets[0])
+            )
+            streams += 1
+        # Trim over-replicated blocks (e.g., a dead node came back).
+        for block_id in sorted(self.over_replicated):
+            meta = self.block_map.get(block_id)
+            if meta is None or meta.live_replicas <= meta.expected_replication:
+                self.over_replicated.discard(block_id)
+                continue
+            extra = sorted(meta.locations, key=self._free_space_of)[0]
+            meta.locations.discard(extra)
+            self._pending_commands[extra].append(
+                InvalidateCommand(block_ids=(block_id,))
+            )
+            self._check_replication(meta)
+
+    def _free_space_of(self, datanode: str) -> int:
+        desc = self.datanodes.get(datanode)
+        return desc.info.remaining if desc else 0
+
+    def _is_live(self, datanode: str) -> bool:
+        desc = self.datanodes.get(datanode)
+        return desc is not None and desc.alive
+
+    def _eligible_targets(self, block_length: int) -> list[str]:
+        return [
+            name
+            for name, desc in self.datanodes.items()
+            if desc.alive
+            and name not in self.decommissioning
+            and desc.info.remaining >= block_length
+        ]
+
+    # ------------------------------------------------------------------
+    # quotas
+    def set_quota(
+        self,
+        path: str,
+        namespace_quota: int | None = None,
+        space_quota: int | None = None,
+    ) -> None:
+        """Set (or clear, with None/None) quotas on a directory."""
+        directory = self.namespace.get_dir(path)  # must exist and be a dir
+        from repro.hdfs.namespace import normalize
+
+        norm = normalize(path)
+        if namespace_quota is None and space_quota is None:
+            self.quotas.pop(norm, None)
+            return
+        if namespace_quota is not None and namespace_quota < 1:
+            raise QuotaExceededError("namespace quota must be >= 1")
+        if space_quota is not None and space_quota < 0:
+            raise QuotaExceededError("space quota must be >= 0")
+        self.quotas[norm] = (namespace_quota, space_quota)
+
+    def _quota_roots_for(self, path: str) -> list[str]:
+        from repro.hdfs.namespace import normalize
+
+        norm = normalize(path)
+        return [
+            root
+            for root in self.quotas
+            if norm == root or norm.startswith(root.rstrip("/") + "/")
+        ]
+
+    def _namespace_usage(self, root: str) -> int:
+        dirs, files, _bytes = self.namespace.count(root)
+        return dirs - 1 + files  # the quota root itself doesn't count
+
+    def _space_usage(self, root: str) -> int:
+        total = 0
+        for _path, inode in self.namespace.walk_files(root):
+            total += inode.length * inode.replication
+        return total
+
+    def _check_namespace_quota(self, new_path: str) -> None:
+        for root in self._quota_roots_for(new_path):
+            quota, _space = self.quotas[root]
+            if quota is not None and self._namespace_usage(root) + 1 > quota:
+                raise QuotaExceededError(
+                    f"namespace quota of {root} exceeded: "
+                    f"quota={quota}, trying to add {new_path}"
+                )
+
+    def _check_space_quota(self, path: str, added_bytes: int) -> None:
+        for root in self._quota_roots_for(path):
+            _ns, space = self.quotas[root]
+            if space is not None and self._space_usage(root) + added_bytes > space:
+                raise QuotaExceededError(
+                    f"space quota of {root} exceeded: quota={space} bytes "
+                    f"(with replication), adding {added_bytes}"
+                )
+
+    # ------------------------------------------------------------------
+    # decommissioning
+    def start_decommission(self, datanode: str) -> None:
+        """Begin draining a DataNode: no new replicas land on it, and
+        its existing replicas are copied elsewhere by the replication
+        monitor.  Reads keep working throughout."""
+        if datanode not in self.datanodes:
+            raise HdfsError(f"unknown DataNode {datanode!r}")
+        self.decommissioning.add(datanode)
+        for meta in self.block_map.values():
+            if datanode in meta.locations:
+                self._check_replication(meta)
+        self.sim.bus.publish(
+            "hdfs.namenode.decommission_started", self.sim.now,
+            datanode=datanode,
+        )
+
+    def decommission_complete(self, datanode: str) -> bool:
+        """True when every block on the node is safe without it."""
+        if datanode not in self.decommissioning:
+            return False
+        for meta in self.block_map.values():
+            if datanode not in meta.locations:
+                continue
+            safe_replicas = sum(
+                1
+                for d in meta.locations
+                if self._is_live(d)
+                and d != datanode
+                and d not in self.decommissioning
+            )
+            if safe_replicas < min(
+                meta.expected_replication, len(self._eligible_targets(0)) or 1
+            ):
+                return False
+        return True
+
+    def stop_decommission(self, datanode: str) -> None:
+        self.decommissioning.discard(datanode)
+        for meta in self.block_map.values():
+            if datanode in meta.locations:
+                self._check_replication(meta)
+
+    # ------------------------------------------------------------------
+    # namespace operations (client RPCs)
+    def mkdirs(self, path: str) -> bool:
+        self.safemode.check("mkdirs")
+        if not self.namespace.exists(path):
+            self._check_namespace_quota(path)
+        return self.namespace.mkdirs(path, mtime=self.sim.now)
+
+    def create_file(
+        self,
+        path: str,
+        replication: int | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        self.safemode.check("create")
+        rep = replication if replication is not None else self.config.replication
+        if rep < 1:
+            raise ReplicationError(f"replication must be >= 1, got {rep}")
+        if overwrite and self.namespace.exists(path) and not self.namespace.is_dir(path):
+            self.delete(path)
+        if not self.namespace.exists(path):
+            self._check_namespace_quota(path)
+        self.namespace.create_file(
+            path, replication=rep, mtime=self.sim.now, overwrite=overwrite
+        )
+
+    def add_block(
+        self,
+        path: str,
+        length: int,
+        writer: str | None = None,
+        exclude: tuple[str, ...] = (),
+    ) -> tuple[Block, list[str]]:
+        """Allocate the next block of an under-construction file and
+        choose pipeline targets for it."""
+        self.safemode.check("add block")
+        inode = self.namespace.get_file(path)
+        if not inode.under_construction:
+            raise HdfsError(f"{path} is not under construction")
+        self._check_space_quota(path, length * inode.replication)
+        block = Block(
+            block_id=self._block_ids.next_id(), generation=1, length=length
+        )
+        candidates = self._eligible_targets(length)
+        targets = self.placement.choose_targets(
+            inode.replication, candidates, writer=writer, exclude=exclude
+        )
+        if len(targets) < self.config.min_replicas:
+            raise ReplicationError(
+                f"could only place {len(targets)} of {inode.replication} "
+                f"replicas for a new block of {path} "
+                f"({len(candidates)} eligible DataNodes)"
+            )
+        inode.blocks.append(block)
+        self.block_map[block.block_id] = BlockMeta(
+            block=block,
+            expected_replication=inode.replication,
+            file_path=path,
+        )
+        return block, targets
+
+    def abandon_block(self, path: str, block: Block) -> None:
+        """Roll back a block whose pipeline completely failed."""
+        inode = self.namespace.get_file(path)
+        inode.blocks = [b for b in inode.blocks if b.block_id != block.block_id]
+        meta = self.block_map.pop(block.block_id, None)
+        if meta:
+            for dn in meta.locations:
+                self._pending_commands[dn].append(
+                    InvalidateCommand(block_ids=(block.block_id,))
+                )
+        self.under_replicated.discard(block.block_id)
+        self._update_safemode()
+
+    def complete_file(self, path: str) -> None:
+        inode = self.namespace.get_file(path)
+        for block in inode.blocks:
+            meta = self.block_map[block.block_id]
+            if meta.live_replicas < self.config.min_replicas:
+                raise ReplicationError(
+                    f"block blk_{block.block_id} of {path} has only "
+                    f"{meta.live_replicas} replicas at completion"
+                )
+            self._check_replication(meta)
+        inode.under_construction = False
+        inode.mtime = self.sim.now
+        self._update_safemode()
+        self.sim.bus.publish(
+            "hdfs.namenode.file_completed",
+            self.sim.now,
+            path=path,
+            blocks=len(inode.blocks),
+            length=inode.length,
+        )
+
+    def get_block_locations(
+        self, path: str, client_node: str | None = None
+    ) -> list[LocatedBlock]:
+        """Blocks of a file with live replica locations, nearest-first."""
+        inode = self.namespace.get_file(path)
+        located = []
+        for block in inode.blocks:
+            meta = self.block_map[block.block_id]
+            live = [
+                d
+                for d in sorted(meta.locations)
+                if self._is_live(d) and d not in meta.corrupt_on
+            ]
+            if client_node is not None and client_node in self.topology:
+                live.sort(key=lambda d: (self.topology.distance(client_node, d), d))
+            located.append(LocatedBlock(block=block, locations=live))
+        return located
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        self.safemode.check("delete")
+        freed = self.namespace.delete(path, recursive=recursive)
+        for block in freed:
+            meta = self.block_map.pop(block.block_id, None)
+            self.under_replicated.discard(block.block_id)
+            self.over_replicated.discard(block.block_id)
+            if meta:
+                for dn in meta.locations:
+                    self._pending_commands[dn].append(
+                        InvalidateCommand(block_ids=(block.block_id,))
+                    )
+        self._update_safemode()
+        return True
+
+    def rename(self, src: str, dst: str) -> None:
+        self.safemode.check("rename")
+        self.namespace.rename(src, dst)
+        # Keep fsck context accurate after moves.
+        for file_path, inode in self.namespace.walk_files("/"):
+            for block in inode.blocks:
+                meta = self.block_map.get(block.block_id)
+                if meta is not None:
+                    meta.file_path = file_path
+
+    def set_replication(self, path: str, replication: int) -> None:
+        self.safemode.check("setrep")
+        if replication < 1:
+            raise ReplicationError("replication must be >= 1")
+        inode = self.namespace.get_file(path)
+        if replication > inode.replication:
+            self._check_space_quota(
+                path, inode.length * (replication - inode.replication)
+            )
+        inode.replication = replication
+        for block in inode.blocks:
+            meta = self.block_map[block.block_id]
+            meta.expected_replication = replication
+            self._check_replication(meta)
+
+    # read-only namespace passthroughs
+    def exists(self, path: str) -> bool:
+        return self.namespace.exists(path)
+
+    def status(self, path: str) -> FileStatus:
+        return self.namespace.status(path)
+
+    def list_status(self, path: str) -> list[FileStatus]:
+        return self.namespace.list_status(path)
+
+    # ------------------------------------------------------------------
+    # DataNode RPCs
+    def register_datanode(self, info: DatanodeInfo) -> None:
+        self.datanodes[info.name] = DataNodeDescriptor(
+            info=info, last_heartbeat=self.sim.now, alive=True
+        )
+        self._needs_reregister.discard(info.name)
+        self.sim.bus.publish(
+            "hdfs.namenode.registered", self.sim.now, datanode=info.name
+        )
+
+    def heartbeat(self, info: DatanodeInfo) -> HeartbeatResponse:
+        desc = self.datanodes.get(info.name)
+        if desc is None or info.name in self._needs_reregister:
+            return HeartbeatResponse(re_register=True)
+        was_dead = not desc.alive
+        desc.info = info
+        desc.last_heartbeat = self.sim.now
+        desc.alive = True
+        if was_dead:
+            # A returning node must resend its block report.
+            return HeartbeatResponse(re_register=True)
+        commands = tuple(self._pending_commands.pop(info.name, ()))
+        return HeartbeatResponse(commands=commands)
+
+    def process_block_report(self, report: BlockReport) -> None:
+        name = report.datanode
+        orphans: list[int] = []
+        for block_id in report.block_ids:
+            meta = self.block_map.get(block_id)
+            if meta is None:
+                orphans.append(block_id)  # deleted while the node was away
+                continue
+            meta.locations.add(name)
+            meta.corrupt_on.discard(name)
+            self._check_replication(meta)
+        for block_id in report.corrupt_ids:
+            self.report_bad_block(block_id, name)
+        if orphans:
+            self._pending_commands[name].append(
+                InvalidateCommand(block_ids=tuple(orphans))
+            )
+        self._update_safemode()
+
+    def block_received(self, datanode: str, block: Block) -> None:
+        """A DataNode confirms one replica landed (pipeline or copy)."""
+        meta = self.block_map.get(block.block_id)
+        if meta is None:
+            raise BlockNotFoundError(f"blk_{block.block_id} unknown to NameNode")
+        meta.locations.add(datanode)
+        meta.corrupt_on.discard(datanode)
+        self._check_replication(meta)
+        self._update_safemode()
+
+    def report_bad_block(self, block_id: int, datanode: str) -> None:
+        """A reader or scanner found a corrupt replica."""
+        meta = self.block_map.get(block_id)
+        if meta is None:
+            return
+        meta.corrupt_on.add(datanode)
+        meta.locations.discard(datanode)
+        self._pending_commands[datanode].append(
+            InvalidateCommand(block_ids=(block_id,))
+        )
+        self._check_replication(meta)
+        self.sim.bus.publish(
+            "hdfs.namenode.corrupt_replica",
+            self.sim.now,
+            block_id=block_id,
+            datanode=datanode,
+        )
+
+    # ------------------------------------------------------------------
+    # replication bookkeeping
+    def _check_replication(self, meta: BlockMeta) -> None:
+        # Replicas on decommissioning nodes still serve reads but do not
+        # count toward the replication target: the block must become
+        # safe without them before the node can leave.
+        live = sum(
+            1
+            for d in meta.locations
+            if self._is_live(d) and d not in self.decommissioning
+        )
+        if live < meta.expected_replication:
+            self.under_replicated.add(meta.block.block_id)
+            self.over_replicated.discard(meta.block.block_id)
+        elif live > meta.expected_replication:
+            self.over_replicated.add(meta.block.block_id)
+            self.under_replicated.discard(meta.block.block_id)
+        else:
+            self.under_replicated.discard(meta.block.block_id)
+            self.over_replicated.discard(meta.block.block_id)
+
+    def missing_blocks(self) -> list[int]:
+        """Blocks with zero live replicas — data loss until a node returns."""
+        return sorted(
+            block_id
+            for block_id, meta in self.block_map.items()
+            if not any(self._is_live(d) for d in meta.locations)
+        )
+
+    # ------------------------------------------------------------------
+    # safe mode
+    def _update_safemode(self) -> None:
+        total = len(self.block_map)
+        safe = sum(
+            1
+            for meta in self.block_map.values()
+            if sum(1 for d in meta.locations if self._is_live(d))
+            >= self.config.min_replicas
+        )
+        self.safemode.set_block_totals(total, safe)
+        exit_time = self.safemode.maybe_schedule_exit(self.sim.now)
+        if exit_time is not None:
+            self.sim.schedule_at(exit_time, self._try_leave_safemode)
+
+    def _try_leave_safemode(self) -> None:
+        if self.safemode.try_exit(self.sim.now):
+            self.sim.bus.publish("hdfs.namenode.safemode_off", self.sim.now)
+
+    # ------------------------------------------------------------------
+    # restart (the war-story path)
+    def restart(self) -> None:
+        """Restart the NameNode: the namespace and block map survive (the
+        fsimage), but replica locations and DataNode registrations are
+        runtime state and are lost.  The NameNode re-enters safe mode
+        until DataNodes re-register and re-report — which is why the
+        paper's cluster took 15+ minutes to come back."""
+        self.restarts += 1
+        for meta in self.block_map.values():
+            meta.locations.clear()
+            meta.corrupt_on.clear()
+        self._needs_reregister = set(self.datanodes)
+        self.datanodes.clear()
+        self._pending_commands.clear()
+        self.under_replicated.clear()
+        self.over_replicated.clear()
+        self.safemode = SafeMode(
+            threshold=self.config.safemode_threshold,
+            extension=self.config.safemode_extension,
+        )
+        self._update_safemode()
+        self.sim.bus.publish("hdfs.namenode.restarted", self.sim.now)
+
+    # ------------------------------------------------------------------
+    # metrics / observability
+    def heap_used_bytes(self) -> int:
+        """Estimated NameNode heap held by block metadata (Figure 2:
+        'Block metadata lives in memory')."""
+        return len(self.block_map) * self.config.namenode_bytes_per_block
+
+    def capacity_report(self) -> dict[str, int]:
+        live = [d for d in self.datanodes.values() if d.alive]
+        return {
+            "capacity": sum(d.info.capacity for d in live),
+            "used": sum(d.info.used for d in live),
+            "remaining": sum(d.info.remaining for d in live),
+            "live_datanodes": len(live),
+            "dead_datanodes": sum(
+                1 for d in self.datanodes.values() if not d.alive
+            ),
+            "under_replicated": len(self.under_replicated),
+            "missing": len(self.missing_blocks()),
+            "blocks": len(self.block_map),
+        }

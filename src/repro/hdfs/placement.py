@@ -1,0 +1,86 @@
+"""Rack-aware replica placement (Hadoop's default policy).
+
+The default policy the course teaches in the HDFS lecture:
+
+1. first replica on the writer's node, when the writer runs on a
+   DataNode (this is what makes MapReduce *output* node-local);
+2. second replica on a node in a *different* rack (survives a rack
+   failure);
+3. third replica on a different node in the *same rack as the second*
+   (cheap third copy — only one cross-rack transfer per block);
+4. any further replicas on random nodes.
+
+On a single-rack cluster — like the paper's dedicated 8-node teaching
+cluster — the policy degrades gracefully to "distinct random nodes".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster.topology import ClusterTopology
+from repro.util.rng import RngStream
+
+
+class ReplicaPlacementPolicy:
+    """Chooses DataNode targets for a new block or a re-replication."""
+
+    def __init__(self, topology: ClusterTopology, rng: RngStream):
+        self.topology = topology
+        self.rng = rng
+
+    def choose_targets(
+        self,
+        num_replicas: int,
+        candidates: Sequence[str],
+        writer: str | None = None,
+        exclude: Iterable[str] = (),
+    ) -> list[str]:
+        """Pick up to ``num_replicas`` distinct DataNode names.
+
+        ``candidates`` are the eligible nodes (live, with space), in the
+        NameNode's deterministic order.  Returns fewer than requested if
+        the cluster cannot satisfy the policy — the caller records the
+        block as under-replicated, it does not fail the write.
+        """
+        excluded = set(exclude)
+        available = [c for c in candidates if c not in excluded]
+        targets: list[str] = []
+
+        def take(name: str) -> None:
+            targets.append(name)
+            available.remove(name)
+
+        # 1) writer-local replica.
+        if writer is not None and writer in available:
+            take(writer)
+        elif available and len(targets) < num_replicas:
+            take(self.rng.choice(available))
+
+        # 2) a different rack from the first replica.
+        if targets and len(targets) < num_replicas and available:
+            first_rack = self.topology.rack_of(targets[0])
+            off_rack = [
+                c for c in available if self.topology.rack_of(c) != first_rack
+            ]
+            if off_rack:
+                take(self.rng.choice(off_rack))
+            else:  # single-rack cluster: any other node
+                take(self.rng.choice(available))
+
+        # 3) same rack as the second replica.
+        if len(targets) >= 2 and len(targets) < num_replicas and available:
+            second_rack = self.topology.rack_of(targets[1])
+            same_rack = [
+                c for c in available if self.topology.rack_of(c) == second_rack
+            ]
+            if same_rack:
+                take(self.rng.choice(same_rack))
+            elif available:
+                take(self.rng.choice(available))
+
+        # 4) the rest anywhere.
+        while len(targets) < num_replicas and available:
+            take(self.rng.choice(available))
+
+        return targets

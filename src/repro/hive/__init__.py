@@ -1,0 +1,22 @@
+"""Hive-lite: SQL compiled to MapReduce jobs.
+
+The other half of Version 4's ecosystem lecture ("one lecture
+introducing HBase/Hive").  A metastore maps table names to delimited
+files in HDFS; a micro-SQL dialect (SELECT / WHERE / GROUP BY /
+ORDER BY / LIMIT with COUNT, SUM, AVG, MIN, MAX) compiles into the same
+MapReduce jobs students write by hand — which is the lecture's point:
+aggregation SQL *is* the WordCount pattern, with the monoid combiner
+falling out of the aggregate functions automatically.
+"""
+
+from repro.hive.schema import ColumnType, TableSchema
+from repro.hive.parser import parse_query
+from repro.hive.engine import HiveLite, QueryResult
+
+__all__ = [
+    "ColumnType",
+    "TableSchema",
+    "parse_query",
+    "HiveLite",
+    "QueryResult",
+]

@@ -1,0 +1,256 @@
+"""A micro-SQL parser (hand-rolled recursive descent).
+
+Grammar::
+
+    query    := SELECT items FROM ident [WHERE conj] [GROUP BY idents]
+                [ORDER BY ident [ASC|DESC]] [LIMIT int]
+    items    := item (',' item)*
+    item     := '*' | ident | agg '(' (ident | '*') ')'
+    agg      := COUNT | SUM | AVG | MIN | MAX
+    conj     := cond (AND cond)*
+    cond     := ident op literal
+    op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal  := number | 'single-quoted string'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigError
+
+
+class SqlError(ConfigError):
+    """A malformed or unsupported query."""
+
+
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: plain, aggregate, or '*'."""
+
+    column: str  # '*' allowed for COUNT(*) and SELECT *
+    aggregate: str | None = None
+
+    @property
+    def label(self) -> str:
+        if self.aggregate:
+            return f"{self.aggregate.lower()}({self.column})"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str
+    literal: str | float | int
+
+
+@dataclass(frozen=True)
+class Query:
+    table: str
+    items: tuple[SelectItem, ...]
+    where: tuple[Condition, ...] = ()
+    group_by: tuple[str, ...] = ()
+    order_by: str | None = None
+    order_desc: bool = False
+    limit: int | None = None
+
+    @property
+    def aggregates(self) -> tuple[SelectItem, ...]:
+        return tuple(i for i in self.items if i.aggregate)
+
+    @property
+    def is_aggregation(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:'(?P<str>[^']*)'|(?P<num>-?\d+\.?\d*)|(?P<word>[A-Za-z_][\w.]*)"
+    r"|(?P<op><=|>=|!=|=|<|>)|(?P<punct>[(),*]))"
+)
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip() == "":
+                break
+            raise SqlError(f"cannot tokenize near {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        for kind in ("str", "num", "word", "op", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.tokens = _tokenize(sql)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect_word(self, *words: str) -> str:
+        kind, value = self.next()
+        if kind != "word" or value.upper() not in words:
+            raise SqlError(f"expected {' or '.join(words)}, got {value!r}")
+        return value.upper()
+
+    def accept_word(self, word: str) -> bool:
+        token = self.peek()
+        if token and token[0] == "word" and token[1].upper() == word:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        kind, value = self.next()
+        if kind != "punct" or value != punct:
+            raise SqlError(f"expected {punct!r}, got {value!r}")
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_word("SELECT")
+        items = self._items()
+        self.expect_word("FROM")
+        kind, table = self.next()
+        if kind != "word":
+            raise SqlError(f"expected table name, got {table!r}")
+
+        where: tuple = ()
+        group_by: tuple = ()
+        order_by = None
+        order_desc = False
+        limit = None
+        while (token := self.peek()) is not None:
+            word = token[1].upper() if token[0] == "word" else None
+            if word == "WHERE":
+                self.pos += 1
+                where = self._conditions()
+            elif word == "GROUP":
+                self.pos += 1
+                self.expect_word("BY")
+                group_by = self._ident_list()
+            elif word == "ORDER":
+                self.pos += 1
+                self.expect_word("BY")
+                # A plain column or an aggregate label like AVG(delay).
+                order_by = self._item().label
+                if self.accept_word("DESC"):
+                    order_desc = True
+                else:
+                    self.accept_word("ASC")
+            elif word == "LIMIT":
+                self.pos += 1
+                kind, value = self.next()
+                if kind != "num":
+                    raise SqlError("expected number after LIMIT")
+                limit = int(float(value))
+            else:
+                raise SqlError(f"unexpected token {token[1]!r}")
+        return Query(
+            table=table,
+            items=items,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            order_desc=order_desc,
+            limit=limit,
+        )
+
+    def _items(self) -> tuple[SelectItem, ...]:
+        items = [self._item()]
+        while (token := self.peek()) and token == ("punct", ","):
+            self.pos += 1
+            items.append(self._item())
+        return tuple(items)
+
+    def _item(self) -> SelectItem:
+        kind, value = self.next()
+        if kind == "punct" and value == "*":
+            return SelectItem(column="*")
+        if kind != "word":
+            raise SqlError(f"expected column or aggregate, got {value!r}")
+        if value.upper() in AGGREGATES:
+            aggregate = value.upper()
+            self.expect_punct("(")
+            kind, inner = self.next()
+            if kind == "punct" and inner == "*":
+                column = "*"
+            elif kind == "word":
+                column = inner
+            else:
+                raise SqlError(f"bad aggregate argument {inner!r}")
+            self.expect_punct(")")
+            if column == "*" and aggregate != "COUNT":
+                raise SqlError(f"{aggregate}(*) is not supported")
+            return SelectItem(column=column, aggregate=aggregate)
+        return SelectItem(column=value)
+
+    def _conditions(self) -> tuple[Condition, ...]:
+        conditions = [self._condition()]
+        while self.accept_word("AND"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        kind, column = self.next()
+        if kind != "word":
+            raise SqlError(f"expected column in WHERE, got {column!r}")
+        kind, op = self.next()
+        if kind != "op":
+            raise SqlError(f"expected operator, got {op!r}")
+        kind, literal = self.next()
+        if kind == "num":
+            value: str | float | int = (
+                int(literal) if "." not in literal else float(literal)
+            )
+        elif kind == "str":
+            value = literal
+        else:
+            raise SqlError(f"expected literal, got {literal!r}")
+        return Condition(column=column, op=op, literal=value)
+
+    def _ident_list(self) -> tuple[str, ...]:
+        names = []
+        kind, value = self.next()
+        if kind != "word":
+            raise SqlError("expected column list")
+        names.append(value)
+        while (token := self.peek()) and token == ("punct", ","):
+            self.pos += 1
+            kind, value = self.next()
+            if kind != "word":
+                raise SqlError("expected column after comma")
+            names.append(value)
+        return tuple(names)
+
+
+def parse_query(sql: str) -> Query:
+    """Parse one SELECT statement.
+
+    >>> q = parse_query("SELECT carrier, AVG(delay) FROM flights "
+    ...                 "WHERE delay > 0 GROUP BY carrier")
+    >>> q.table, q.group_by
+    ('flights', ('carrier',))
+    """
+    return _Parser(sql).parse()

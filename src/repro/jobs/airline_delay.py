@@ -1,0 +1,160 @@
+"""Average delay per airline — three implementations, one lesson.
+
+"Three examples of code are provided which implement different
+algorithmic choices described in [Lin's 'Monoidify!']":
+
+1. :class:`AirlineDelayNaiveJob` — "a standard MapReduce program whose
+   mappers emit the airline code and the delay time as a key-value pair
+   and reducers calculate the average".  No combiner is *possible*:
+   the mean of means is not the mean, and averages don't form a monoid.
+2. :class:`AirlineDelayCombinerJob` — "implements a combiner, which also
+   requires the implementation of a customized Hadoop Value class":
+   (sum, count) pairs *are* a monoid, so the combiner is safe.
+3. :class:`AirlineDelayInMapperJob` — "utilizes global memory on each
+   node to implement a combining mechanism without implementing a
+   combiner class": per-node accumulation flushed at task cleanup.
+
+The benchmarks compare their shuffle bytes and map times — the
+memory-vs-network trade-off the lecture narrates.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.api import Context, Job, Mapper, Reducer
+from repro.mapreduce.types import (
+    FloatWritable,
+    Text,
+    Writable,
+    record_writable,
+)
+
+#: The "customized Hadoop Value class" of variant 2: a (sum, count)
+#: pair, the monoid that makes averaging combinable.
+SumCountWritable = record_writable(
+    "SumCountWritable", [("total", float), ("count", int)]
+)
+
+
+def parse_flight(line: str) -> tuple[str, float] | None:
+    """Extract (carrier, arrival delay) or None for header/cancelled."""
+    if line.startswith("Year,") or not line:
+        return None
+    fields = line.split(",")
+    if len(fields) < 13:
+        return None
+    carrier, arr_delay = fields[5], fields[7]
+    if arr_delay == "NA":
+        return None
+    try:
+        return carrier, float(arr_delay)
+    except ValueError:
+        return None
+
+
+# --------------------------------------------------------------------------
+# Variant 1: naive — one record per flight crosses the shuffle.
+
+
+class DelayEmitMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        parsed = parse_flight(value.value)
+        if parsed is not None:
+            carrier, delay = parsed
+            context.write(Text(carrier), FloatWritable(delay))
+
+
+class AverageReducer(Reducer):
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        total = 0.0
+        count = 0
+        for value in values:
+            total += value.value
+            count += 1
+        context.write(key, FloatWritable(total / count))
+
+
+class AirlineDelayNaiveJob(Job):
+    mapper = DelayEmitMapper
+    reducer = AverageReducer
+
+
+# --------------------------------------------------------------------------
+# Variant 2: combiner over (sum, count) — the monoidified version.
+
+
+class SumCountMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        parsed = parse_flight(value.value)
+        if parsed is not None:
+            carrier, delay = parsed
+            context.write(Text(carrier), SumCountWritable(total=delay, count=1))
+
+
+class SumCountCombiner(Reducer):
+    """Associative merge of partial (sum, count) pairs — a true monoid."""
+
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        total = 0.0
+        count = 0
+        for value in values:
+            total += value.total
+            count += value.count
+        context.write(key, SumCountWritable(total=total, count=count))
+
+
+class SumCountAverageReducer(Reducer):
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        total = 0.0
+        count = 0
+        for value in values:
+            total += value.total
+            count += value.count
+        context.write(key, FloatWritable(total / count))
+
+
+class AirlineDelayCombinerJob(Job):
+    mapper = SumCountMapper
+    combiner = SumCountCombiner
+    reducer = SumCountAverageReducer
+
+
+# --------------------------------------------------------------------------
+# Variant 3: in-mapper combining via node-level "global memory".
+
+
+class InMapperDelayMapper(Mapper):
+    """Accumulate (sum, count) per carrier in node memory; flush at
+    cleanup.  Memory traded for network: the per-task emission is one
+    pair per carrier instead of one per flight."""
+
+    CACHE_KEY = "airline-delay-accumulator"
+
+    def setup(self, context: Context) -> None:
+        # "Global memory on each node": the per-node cache survives
+        # across tasks on the same TaskTracker, like a static field in a
+        # reused JVM.  Each task flushes and clears what it accumulated.
+        self._acc: dict[str, list[float]] = context.node_cache.setdefault(
+            self.CACHE_KEY, {}
+        )
+
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        parsed = parse_flight(value.value)
+        if parsed is None:
+            return
+        carrier, delay = parsed
+        slot = self._acc.setdefault(carrier, [0.0, 0])
+        slot[0] += delay
+        slot[1] += 1
+
+    def cleanup(self, context: Context) -> None:
+        for carrier in sorted(self._acc):
+            total, count = self._acc[carrier]
+            context.write(
+                Text(carrier), SumCountWritable(total=total, count=int(count))
+            )
+        self._acc.clear()
+
+
+class AirlineDelayInMapperJob(Job):
+    mapper = InMapperDelayMapper
+    reducer = SumCountAverageReducer

@@ -1,0 +1,67 @@
+"""Assignment: "find the word with highest count in the complete
+Shakespeare collection" — a slight modification of WordCount.
+
+The canonical two-job solution: WordCount first, then a single-reduce
+max over its output.  :func:`find_top_word` chains them the way a
+student's driver ``main()`` would.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.wordcount import WordCountWithCombinerJob
+from repro.mapreduce.api import Context, Job, Mapper, Reducer
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.inputformat import KeyValueTextInputFormat
+from repro.mapreduce.types import IntWritable, Text, Writable
+
+
+class CountPassMapper(Mapper):
+    """Read a WordCount output line (``word<TAB>count``) back in."""
+
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        # KeyValueTextInputFormat already split word/count at the tab.
+        context.write(Text("max"), Text(f"{value.value}:{key.value}"))
+
+
+class MaxCountReducer(Reducer):
+    """Keep the (count, word) maximum; emit one winner.
+
+    Ties break toward the lexicographically smallest word, matching the
+    dataset ground truth's convention.
+    """
+
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        best_count = -1
+        best_word = ""
+        for packed in values:
+            count_text, word = packed.value.split(":", 1)
+            count = int(count_text)
+            if count > best_count or (count == best_count and word < best_word):
+                best_count, best_word = count, word
+        context.write(Text(best_word), IntWritable(best_count))
+
+
+class TopWordJob(Job):
+    """Single-reduce max over WordCount output."""
+
+    mapper = CountPassMapper
+    reducer = MaxCountReducer
+    input_format = KeyValueTextInputFormat
+
+    def __init__(self, conf: JobConf | None = None, **params):
+        conf = conf or JobConf(name="top-word", num_reduces=1)
+        conf.num_reduces = 1  # a global max needs a single reducer
+        super().__init__(conf=conf, **params)
+
+
+def find_top_word(cluster, input_path: str, work_dir: str) -> tuple[str, int]:
+    """Run the two-job chain on a cluster; return (word, count)."""
+    counts_path = f"{work_dir}/counts"
+    top_path = f"{work_dir}/top"
+    cluster.run_job(
+        WordCountWithCombinerJob(), input_path, counts_path, require_success=True
+    )
+    cluster.run_job(TopWordJob(), counts_path, top_path, require_success=True)
+    pairs = cluster.read_output(top_path)
+    word, count = pairs[0]
+    return word, int(count)

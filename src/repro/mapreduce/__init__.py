@@ -1,0 +1,47 @@
+"""MapReduce: the programming model and execution engine.
+
+The split the course teaches (Section II.B of the paper) is preserved in
+code: the *programming API* (:mod:`~repro.mapreduce.api`,
+:mod:`~repro.mapreduce.types`) is usable entirely without a cluster via
+the :mod:`~repro.mapreduce.local_runner` — exactly the serial, no-HDFS
+mode of the first assignment — while the *infrastructure*
+(:mod:`~repro.mapreduce.jobtracker`, :mod:`~repro.mapreduce.tasktracker`,
+:mod:`~repro.mapreduce.cluster`) runs the same jobs over HDFS with
+locality-aware scheduling, shuffle accounting and failure recovery.
+"""
+
+from repro.mapreduce.types import (
+    Text,
+    IntWritable,
+    LongWritable,
+    FloatWritable,
+    NullWritable,
+    Writable,
+    record_writable,
+)
+from repro.mapreduce.api import Mapper, Reducer, Job
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.counters import Counters, C
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.mapreduce.streaming import streaming_job
+
+__all__ = [
+    "Text",
+    "IntWritable",
+    "LongWritable",
+    "FloatWritable",
+    "NullWritable",
+    "Writable",
+    "record_writable",
+    "Mapper",
+    "Reducer",
+    "Job",
+    "JobConf",
+    "MapReduceConfig",
+    "Counters",
+    "C",
+    "MapReduceCluster",
+    "LocalJobRunner",
+    "streaming_job",
+]

@@ -1,0 +1,166 @@
+"""The user-facing MapReduce programming model.
+
+This is the API the course's first assignment exercises *without any
+cluster at all* — "develop and test MapReduce code on the standard Linux
+command line interface without using a supporting HDFS/MapReduce
+infrastructure" — and the second assignment reruns unchanged over HDFS.
+
+A job is a :class:`Mapper` (required), an optional :class:`Reducer`, an
+optional combiner (usually the reducer itself, or a custom class), and a
+:class:`~repro.mapreduce.config.JobConf`.  User code interacts with the
+framework only through the :class:`Context`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.types import Writable, wrap
+from repro.util.errors import MapReduceError
+
+
+class Context:
+    """What the framework hands to ``setup``/``map``/``reduce``/``cleanup``.
+
+    Notable teaching hooks:
+
+    - :meth:`read_side_file` — stream an auxiliary file *every call*
+      (the inefficient pattern the movie-genre assignment punishes);
+    - :meth:`cached_side_file` — read once per node and reuse (the
+      "Java object that reads the additional file once and stores the
+      content in memory" pattern that is an order of magnitude faster);
+    - :attr:`node_cache` — per-node shared memory surviving across tasks
+      on the same TaskTracker, used by the third airline-delay variant
+      ("global memory on each node to implement a combining mechanism
+      without implementing a combiner class").
+    """
+
+    def __init__(
+        self,
+        conf: JobConf,
+        counters: Counters,
+        side_reader: Callable[[str], tuple[str, float]] | None = None,
+        node_cache: dict[str, Any] | None = None,
+        task_node: str | None = None,
+    ):
+        self.conf = conf
+        self.counters = counters
+        self.node_cache = node_cache if node_cache is not None else {}
+        self.task_node = task_node
+        self._side_reader = side_reader
+        self._collected: list[tuple[Writable, Writable]] = []
+        #: Simulated seconds of extra I/O charged by user-code helpers
+        #: (side-file reads); folded into the task's duration.
+        self.extra_time = 0.0
+
+    # -- emission --------------------------------------------------------
+    def write(self, key: Any, value: Any) -> None:
+        """Emit one key/value pair (plain values are auto-wrapped)."""
+        self._collected.append((wrap(key), wrap(value)))
+
+    def drain(self) -> list[tuple[Writable, Writable]]:
+        pairs, self._collected = self._collected, []
+        return pairs
+
+    # -- configuration & counters ----------------------------------------
+    def get(self, param: str, default: Any = None) -> Any:
+        """Read a job parameter (``JobConf.params``)."""
+        return self.conf.params.get(param, default)
+
+    def increment(self, counter: tuple[str, str], amount: int = 1) -> None:
+        self.counters.increment(counter, amount)
+
+    # -- side files --------------------------------------------------------
+    def read_side_file(self, path: str) -> str:
+        """Read an auxiliary file, paying full streaming cost this call."""
+        if self._side_reader is None:
+            raise MapReduceError(
+                "no side-file reader configured for this job/runner"
+            )
+        text, elapsed = self._side_reader(path)
+        self.extra_time += elapsed
+        return text
+
+    def cached_side_file(self, path: str) -> str:
+        """Read an auxiliary file once per node, then serve from memory."""
+        key = f"sidefile:{path}"
+        if key not in self.node_cache:
+            self.node_cache[key] = self.read_side_file(path)
+        return self.node_cache[key]
+
+
+class Mapper:
+    """Override :meth:`map`; optionally :meth:`setup`/:meth:`cleanup`."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class Reducer:
+    """Override :meth:`reduce`; optionally :meth:`setup`/:meth:`cleanup`.
+
+    Also the contract for combiners.  A combiner must be a *monoid*
+    (associative, emits the same key) for the job's answer to be
+    independent of how many times it runs — the property Lin's
+    "Monoidify!" reading assigns, and which the property-based tests in
+    this repository check mechanically.
+    """
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def reduce(
+        self, key: Writable, values: Iterable[Writable], context: Context
+    ) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class Job:
+    """A runnable MapReduce program: classes + configuration.
+
+    Subclass and set the class attributes (the style of the course's
+    ``main()``-with-``JobConf`` Java skeletons)::
+
+        class WordCountJob(Job):
+            mapper = TokenizerMapper
+            reducer = SumReducer
+            combiner = SumReducer
+    """
+
+    mapper: type[Mapper] | None = None
+    reducer: type[Reducer] | None = None
+    combiner: type[Reducer] | None = None
+    #: Partitioner instance or None for the default hash partitioner.
+    partitioner = None
+    #: Input format class; None means TextInputFormat.
+    input_format = None
+
+    def __init__(self, conf: JobConf | None = None, **params: Any):
+        if self.mapper is None:
+            raise MapReduceError(f"{type(self).__name__} defines no mapper")
+        self.conf = conf or JobConf(name=type(self).__name__)
+        self.conf.params.update(params)
+
+    @property
+    def name(self) -> str:
+        return self.conf.name
+
+    def describe(self) -> str:
+        pieces = [f"mapper={self.mapper.__name__}"]
+        if self.combiner is not None:
+            pieces.append(f"combiner={self.combiner.__name__}")
+        if self.reducer is not None:
+            pieces.append(f"reducer={self.reducer.__name__}")
+        pieces.append(f"reduces={self.conf.num_reduces}")
+        return f"{self.name}({', '.join(pieces)})"

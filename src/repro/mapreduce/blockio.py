@@ -1,0 +1,125 @@
+"""Task-side HDFS block I/O with locality accounting.
+
+Map tasks do not read whole files; they read *their block*, ideally from
+the local disk.  The :class:`BlockFetcher` implements that path: nearest
+live replica, checksum verification, corrupt-replica failover and
+reporting, and per-read locality classification — the numbers behind the
+DATA_LOCAL/RACK_LOCAL/OFF_RACK map counters in the job report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.network import NetworkModel
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.util.errors import (
+    BlockNotFoundError,
+    CorruptBlockError,
+    DataNodeDownError,
+    HdfsError,
+)
+
+
+@dataclass
+class BlockRead:
+    """Result of one block (or partial block) read."""
+
+    data: bytes
+    elapsed: float
+    locality: str  # node_local | rack_local | off_rack
+    source: str
+
+
+class BlockFetcher:
+    """Reads file blocks on behalf of tasks running on cluster nodes."""
+
+    def __init__(
+        self,
+        namenode: NameNode,
+        dn_lookup: Callable[[str], DataNode],
+        network: NetworkModel,
+    ):
+        self.namenode = namenode
+        self.dn_lookup = dn_lookup
+        self.network = network
+
+    # ------------------------------------------------------------------
+    def block_layout(self, path: str) -> tuple[list[int], list[tuple[str, ...]]]:
+        """Lengths and replica locations of a file's blocks (for splits)."""
+        located = self.namenode.get_block_locations(path)
+        lengths = [lb.block.length for lb in located]
+        locations = [tuple(lb.locations) for lb in located]
+        return lengths, locations
+
+    def read_block(
+        self, path: str, block_index: int, node: str | None, max_bytes: int | None = None
+    ) -> BlockRead:
+        """Read one block (or its prefix) from the nearest live replica."""
+        located = self.namenode.get_block_locations(path, client_node=node)
+        if block_index >= len(located):
+            raise IndexError(
+                f"{path} has {len(located)} blocks, asked for {block_index}"
+            )
+        lb = located[block_index]
+        errors: list[str] = []
+        for dn_name in lb.locations:
+            try:
+                datanode = self.dn_lookup(dn_name)
+                data = datanode.read_block(lb.block.block_id)
+            except CorruptBlockError:
+                self.namenode.report_bad_block(lb.block.block_id, dn_name)
+                errors.append(f"{dn_name}: corrupt")
+                continue
+            except (DataNodeDownError, BlockNotFoundError, KeyError) as exc:
+                errors.append(f"{dn_name}: {exc}")
+                continue
+            if max_bytes is not None:
+                data = data[:max_bytes]
+            elapsed = datanode.node.disk.read_time(len(data))
+            locality = self._classify(node, dn_name)
+            if locality != "node_local":
+                if node is not None and node in self.network.topology:
+                    elapsed += self.network.transfer_time(dn_name, node, len(data))
+                else:
+                    self.network.counters.off_rack += len(data)
+                    slowest = self.network.nic_bw / self.network.rack_oversubscription
+                    elapsed += self.network.latency + len(data) / slowest
+            return BlockRead(
+                data=data, elapsed=elapsed, locality=locality, source=dn_name
+            )
+        raise HdfsError(
+            f"no readable replica for block {block_index} of {path}: {errors}"
+        )
+
+    def _classify(self, node: str | None, source: str) -> str:
+        if node is None or node not in self.network.topology:
+            return "off_rack"
+        distance = self.network.topology.distance(node, source)
+        return {0: "node_local", 2: "rack_local"}.get(distance, "off_rack")
+
+    # ------------------------------------------------------------------
+    def make_fetch(self, node: str | None, tally: dict[str, int] | None = None):
+        """Adapt to the :data:`~repro.mapreduce.inputformat.BlockFetch`
+        signature, optionally tallying locality per call."""
+
+        def fetch(path: str, block_index: int, max_bytes: int | None):
+            read = self.read_block(path, block_index, node, max_bytes)
+            if tally is not None:
+                tally[read.locality] = tally.get(read.locality, 0) + 1
+            return read.data, read.elapsed
+
+        return fetch
+
+    def read_whole_file(self, path: str, node: str | None) -> tuple[str, float]:
+        """Side-file read: stream every block to the task's node."""
+        located = self.namenode.get_block_locations(path, client_node=node)
+        pieces: list[bytes] = []
+        elapsed = 0.0
+        for index in range(len(located)):
+            read = self.read_block(path, index, node)
+            pieces.append(read.data)
+            elapsed += read.elapsed
+        return b"".join(pieces).decode("utf-8"), elapsed

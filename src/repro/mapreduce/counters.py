@@ -1,0 +1,88 @@
+"""Job counters — the "final MapReduce job report" the course reads.
+
+The combiner lecture has students observe "the tradeoff between
+increased map task run time ... versus reduced network traffic (observed
+through final MapReduce job report)"; these counters are that report.
+Names follow Hadoop 1.x so the output reads like the real thing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class C:
+    """Standard counter names (group, name), Hadoop-1 style."""
+
+    MAP_INPUT_RECORDS = ("Map-Reduce Framework", "Map input records")
+    MAP_OUTPUT_RECORDS = ("Map-Reduce Framework", "Map output records")
+    MAP_OUTPUT_BYTES = ("Map-Reduce Framework", "Map output bytes")
+    COMBINE_INPUT_RECORDS = ("Map-Reduce Framework", "Combine input records")
+    COMBINE_OUTPUT_RECORDS = ("Map-Reduce Framework", "Combine output records")
+    REDUCE_INPUT_GROUPS = ("Map-Reduce Framework", "Reduce input groups")
+    REDUCE_INPUT_RECORDS = ("Map-Reduce Framework", "Reduce input records")
+    REDUCE_OUTPUT_RECORDS = ("Map-Reduce Framework", "Reduce output records")
+    REDUCE_SHUFFLE_BYTES = ("Map-Reduce Framework", "Reduce shuffle bytes")
+    SPILLED_RECORDS = ("Map-Reduce Framework", "Spilled Records")
+
+    HDFS_BYTES_READ = ("FileSystemCounters", "HDFS_BYTES_READ")
+    HDFS_BYTES_WRITTEN = ("FileSystemCounters", "HDFS_BYTES_WRITTEN")
+    FILE_BYTES_READ = ("FileSystemCounters", "FILE_BYTES_READ")
+    FILE_BYTES_WRITTEN = ("FileSystemCounters", "FILE_BYTES_WRITTEN")
+
+    TOTAL_LAUNCHED_MAPS = ("Job Counters", "Launched map tasks")
+    TOTAL_LAUNCHED_REDUCES = ("Job Counters", "Launched reduce tasks")
+    DATA_LOCAL_MAPS = ("Job Counters", "Data-local map tasks")
+    RACK_LOCAL_MAPS = ("Job Counters", "Rack-local map tasks")
+    OFF_RACK_MAPS = ("Job Counters", "Off-rack map tasks")
+    FAILED_MAPS = ("Job Counters", "Failed map tasks")
+    FAILED_REDUCES = ("Job Counters", "Failed reduce tasks")
+    KILLED_SPECULATIVE = ("Job Counters", "Killed speculative attempts")
+
+
+@dataclass
+class Counters:
+    """Hierarchical ``group -> name -> int`` counters."""
+
+    _data: dict[str, dict[str, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+
+    def increment(self, counter: tuple[str, str], amount: int = 1) -> None:
+        group, name = counter
+        self._data[group][name] += amount
+
+    def get(self, counter: tuple[str, str]) -> int:
+        group, name = counter
+        return self._data.get(group, {}).get(name, 0)
+
+    def set(self, counter: tuple[str, str], value: int) -> None:
+        group, name = counter
+        self._data[group][name] = value
+
+    def groups(self) -> list[str]:
+        return sorted(self._data)
+
+    def items(self, group: str) -> list[tuple[str, int]]:
+        return sorted(self._data.get(group, {}).items())
+
+    def merge(self, other: "Counters") -> None:
+        for group, names in other._data.items():
+            for name, value in names.items():
+                self._data[group][name] += value
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {g: dict(ns) for g, ns in self._data.items()}
+
+    def render(self) -> str:
+        """Render like the tail of a ``hadoop jar`` run."""
+        lines = ["Counters:"]
+        for group in self.groups():
+            lines.append(f"  {group}")
+            for name, value in self.items(group):
+                lines.append(f"    {name}={value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

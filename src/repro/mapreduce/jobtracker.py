@@ -1,0 +1,540 @@
+"""The JobTracker: submission, locality-aware scheduling, recovery.
+
+Figure 2's caption, in executable form: "JobTracker assigns work and
+facilitates map/reduce on TaskTrackers based on block location
+information from NameNode."  Scheduling follows Hadoop 1.x:
+
+- TaskTrackers pull work via heartbeats; the JobTracker never pushes.
+- Map tasks prefer node-local splits, then rack-local, then any —
+  producing the DATA_LOCAL/RACK_LOCAL/OFF_RACK counters students read.
+- Failed attempts are resubmitted up to ``max_attempts``; four strikes
+  fails the job (and trackers with three failures for a job are
+  blacklisted for it).
+- Lost TaskTrackers get their running attempts *and completed map
+  outputs* rescheduled, because map output lives on the dead node.
+- Optional speculative execution launches a second attempt of a straggler
+  and keeps whichever finishes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.api import Job
+from repro.mapreduce.blockio import BlockFetcher
+from repro.mapreduce.config import MapReduceConfig
+from repro.mapreduce.counters import C
+from repro.mapreduce.job import JobState, RunningJob
+from repro.mapreduce.runtime import job_input_format
+from repro.mapreduce.tasks import (
+    AttemptState,
+    MapTask,
+    ReduceTask,
+    TaskAttempt,
+    TaskState,
+    TaskType,
+)
+from repro.mapreduce.tasktracker import TaskTracker
+from repro.sim.engine import Simulation
+from repro.util.errors import JobSubmissionError, OutputExistsError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One unit of work handed to a TaskTracker in a heartbeat response."""
+
+    job_id: str
+    task_type: TaskType
+    task_index: int  # map index or reduce partition
+    attempt_id: str
+    speculative: bool = False
+
+
+@dataclass
+class TrackerInfo:
+    tracker: TaskTracker
+    last_heartbeat: float
+    alive: bool = True
+
+
+#: Failures by one tracker on one job before it is blacklisted for it.
+BLACKLIST_THRESHOLD = 3
+#: A running attempt this many times slower than the average completed
+#: map is a straggler eligible for speculation.
+STRAGGLER_FACTOR = 2.0
+
+
+class JobTracker:
+    """The MapReduce master."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        topology: ClusterTopology,
+        namenode: NameNode,
+        fetcher: BlockFetcher,
+        mr_config: MapReduceConfig,
+        output_client_factory: Callable[[str | None], object],
+        rng: RngStream | None = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.namenode = namenode
+        self.fetcher = fetcher
+        self.mr_config = mr_config
+        self.output_client_factory = output_client_factory
+        self.rng = rng or RngStream(seed=0).child("jobtracker")
+        self.trackers: dict[str, TrackerInfo] = {}
+        self.jobs: dict[str, RunningJob] = {}
+        self._job_order: list[str] = []
+        self._seq = 0
+        self.sim.every(self.mr_config.tasktracker_heartbeat, self._check_trackers)
+
+    # ------------------------------------------------------------------
+    # registration & liveness
+    def register_tracker(self, tracker: TaskTracker) -> None:
+        self.trackers[tracker.name] = TrackerInfo(
+            tracker=tracker, last_heartbeat=self.sim.now
+        )
+
+    def _check_trackers(self) -> None:
+        timeout = self.mr_config.tracker_timeout
+        for name, info in self.trackers.items():
+            if info.alive and self.sim.now - info.last_heartbeat > timeout:
+                info.alive = False
+                self._tracker_lost(name)
+
+    def _tracker_lost(self, name: str) -> None:
+        self.sim.bus.publish("mr.jobtracker.tracker_lost", self.sim.now, tracker=name)
+        for job in self._active_jobs():
+            # Kill (without penalty) attempts running on the lost node.
+            for task in [*job.map_tasks, *job.reduce_tasks]:
+                for attempt in task.running_attempts:
+                    if attempt.tracker == name:
+                        attempt.state = AttemptState.KILLED
+                        attempt.finish_time = self.sim.now
+                        attempt.failure = "Lost TaskTracker"
+                        self._requeue(job, task)
+            # Completed map output on that node is gone; re-run those maps
+            # unless every reduce has already pulled its data.
+            if not job.reduces_done:
+                for task in job.map_tasks:
+                    if (
+                        task.state == TaskState.SUCCEEDED
+                        and task.completed_on == name
+                    ):
+                        task.state = TaskState.PENDING
+                        task.output = None
+                        task.completed_on = None
+                        job.pending_maps.append(task.index)
+                        job.log(
+                            self.sim.now,
+                            f"{task.task_id} output lost with tracker {name}; "
+                            f"re-queued",
+                        )
+
+    def _requeue(self, job: RunningJob, task) -> None:
+        if task.state == TaskState.FAILED:
+            return
+        task.state = TaskState.PENDING
+        if isinstance(task, MapTask):
+            if task.index not in job.pending_maps:
+                job.pending_maps.append(task.index)
+        else:
+            if task.partition not in job.pending_reduces:
+                job.pending_reduces.append(task.partition)
+
+    # ------------------------------------------------------------------
+    # submission
+    def submit_job(
+        self, job: Job, input_paths: list[str] | str, output_path: str
+    ) -> RunningJob:
+        if isinstance(input_paths, str):
+            input_paths = [input_paths]
+        if self.namenode.exists(output_path):
+            raise OutputExistsError(
+                f"Output directory {output_path} already exists"
+            )
+        files = self._expand_inputs(input_paths)
+        if not files:
+            raise JobSubmissionError(
+                f"no input files under {input_paths}"
+            )
+        splits = []
+        input_format = job_input_format(job)
+        for path in files:
+            lengths, locations = self.fetcher.block_layout(path)
+            splits.extend(input_format.splits_for_file(path, lengths, locations))
+        self._seq += 1
+        job_id = f"job_{self._seq:04d}"
+        running = RunningJob(
+            job=job,
+            job_id=job_id,
+            input_paths=input_paths,
+            output_path=output_path,
+            splits=splits,
+            submit_time=self.sim.now,
+        )
+        self.jobs[job_id] = running
+        self._job_order.append(job_id)
+        client = self.output_client_factory(None)
+        client.mkdirs(output_path)
+        running.log(self.sim.now, f"submitted with {len(splits)} splits")
+        self.sim.bus.publish(
+            "mr.jobtracker.submitted",
+            self.sim.now,
+            job_id=job_id,
+            name=job.name,
+            maps=len(splits),
+            reduces=job.conf.num_reduces,
+        )
+        return running
+
+    def _expand_inputs(self, paths: list[str]) -> list[str]:
+        files: list[str] = []
+        for path in paths:
+            status = self.namenode.status(path)  # raises if missing
+            if not status.is_dir:
+                files.append(status.path)
+                continue
+            for child in self.namenode.list_status(path):
+                name = child.path.rsplit("/", 1)[-1]
+                if child.is_dir or name.startswith(("_", ".")):
+                    continue
+                files.append(child.path)
+        return files
+
+    def running_job(self, job_id: str) -> RunningJob:
+        return self.jobs[job_id]
+
+    def _active_jobs(self) -> list[RunningJob]:
+        return [
+            self.jobs[jid]
+            for jid in self._job_order
+            if self.jobs[jid].state == JobState.RUNNING
+        ]
+
+    # ------------------------------------------------------------------
+    # scheduling (heartbeat-driven)
+    def heartbeat(self, tracker: TaskTracker) -> list[Assignment]:
+        info = self.trackers.get(tracker.name)
+        if info is None:
+            self.register_tracker(tracker)
+            info = self.trackers[tracker.name]
+        info.last_heartbeat = self.sim.now
+        info.alive = True
+        assignments: list[Assignment] = []
+        for _ in range(tracker.free_map_slots):
+            assignment = self._assign_map(tracker)
+            if assignment is None:
+                break
+            assignments.append(assignment)
+        for _ in range(tracker.free_reduce_slots):
+            assignment = self._assign_reduce(tracker)
+            if assignment is None:
+                break
+            assignments.append(assignment)
+        return assignments
+
+    def _assign_map(self, tracker: TaskTracker) -> Assignment | None:
+        for job in self._active_jobs():
+            if tracker.name in job.blacklist:
+                continue
+            picked = self._pick_pending_map(job, tracker.name)
+            if picked is not None:
+                index, locality = picked
+                return self._launch_map(job, index, tracker, locality)
+            speculated = self._pick_straggler(job, tracker)
+            if speculated is not None:
+                return self._launch_map(
+                    job, speculated, tracker,
+                    self._map_locality(job.map_tasks[speculated], tracker.name),
+                    speculative=True,
+                )
+        return None
+
+    def _map_locality(self, task: MapTask, node: str) -> str:
+        return self.topology.locality_of(node, list(task.split.locations))
+
+    def _pick_pending_map(
+        self, job: RunningJob, node: str
+    ) -> tuple[int, str] | None:
+        """Best-locality pending map for this node, Hadoop-1 style."""
+        if not job.pending_maps:
+            return None
+        best_index: int | None = None
+        best_rank = 3
+        for index in job.pending_maps:
+            locality = self._map_locality(job.map_tasks[index], node)
+            rank = {"node_local": 0, "rack_local": 1, "off_rack": 2}[locality]
+            if rank < best_rank:
+                best_index, best_rank = index, rank
+                if rank == 0:
+                    break
+        if best_index is None:
+            best_index = job.pending_maps[0]
+            best_rank = 2
+        job.pending_maps.remove(best_index)
+        locality = ["node_local", "rack_local", "off_rack"][best_rank]
+        return best_index, locality
+
+    def _pick_straggler(self, job: RunningJob, tracker: TaskTracker) -> int | None:
+        if not job.conf.speculative_execution or job.pending_maps:
+            return None
+        completed = [
+            t.duration for t in job.map_tasks if t.duration is not None
+        ]
+        if not completed:
+            return None
+        mean = sum(completed) / len(completed)
+        for task in job.map_tasks:
+            if task.state != TaskState.RUNNING:
+                continue
+            running = task.running_attempts
+            if len(running) != 1:
+                continue
+            attempt = running[0]
+            if attempt.tracker == tracker.name:
+                continue
+            if self.sim.now - attempt.start_time > STRAGGLER_FACTOR * mean:
+                return task.index
+        return None
+
+    def _launch_map(
+        self,
+        job: RunningJob,
+        index: int,
+        tracker: TaskTracker,
+        locality: str,
+        speculative: bool = False,
+    ) -> Assignment:
+        task = job.map_tasks[index]
+        attempt = TaskAttempt(
+            attempt_id=task.next_attempt_id(),
+            task_id=task.task_id,
+            task_type=TaskType.MAP,
+            tracker=tracker.name,
+            start_time=self.sim.now,
+            locality=locality,
+            speculative=speculative,
+        )
+        task.attempts.append(attempt)
+        task.state = TaskState.RUNNING
+        job.counters.increment(C.TOTAL_LAUNCHED_MAPS)
+        counter = {
+            "node_local": C.DATA_LOCAL_MAPS,
+            "rack_local": C.RACK_LOCAL_MAPS,
+            "off_rack": C.OFF_RACK_MAPS,
+        }[locality]
+        job.counters.increment(counter)
+        if speculative:
+            job.log(self.sim.now, f"speculative attempt of {task.task_id}")
+        return Assignment(
+            job_id=job.job_id,
+            task_type=TaskType.MAP,
+            task_index=index,
+            attempt_id=attempt.attempt_id,
+            speculative=speculative,
+        )
+
+    def _assign_reduce(self, tracker: TaskTracker) -> Assignment | None:
+        for job in self._active_jobs():
+            if tracker.name in job.blacklist:
+                continue
+            if not job.maps_done or not job.pending_reduces:
+                continue
+            partition = job.pending_reduces.popleft()
+            task = job.reduce_tasks[partition]
+            attempt = TaskAttempt(
+                attempt_id=task.next_attempt_id(),
+                task_id=task.task_id,
+                task_type=TaskType.REDUCE,
+                tracker=tracker.name,
+                start_time=self.sim.now,
+            )
+            task.attempts.append(attempt)
+            task.state = TaskState.RUNNING
+            job.counters.increment(C.TOTAL_LAUNCHED_REDUCES)
+            return Assignment(
+                job_id=job.job_id,
+                task_type=TaskType.REDUCE,
+                task_index=partition,
+                attempt_id=attempt.attempt_id,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # completion & failure
+    def task_completed(
+        self, tracker: TaskTracker, assignment: Assignment, execution, duration: float
+    ) -> None:
+        job = self.jobs[assignment.job_id]
+        if job.finished:
+            return
+        task = self._task_of(job, assignment)
+        attempt = self._attempt_of(task, assignment.attempt_id)
+        if task.state == TaskState.SUCCEEDED:
+            # A speculative twin already won.
+            if attempt is not None:
+                attempt.state = AttemptState.KILLED
+                attempt.finish_time = self.sim.now
+            job.counters.increment(C.KILLED_SPECULATIVE)
+            return
+        if attempt is not None:
+            attempt.state = AttemptState.SUCCEEDED
+            attempt.finish_time = self.sim.now
+        task.state = TaskState.SUCCEEDED
+        task.duration = duration
+        job.counters.merge(execution.counters)
+        if assignment.task_type == TaskType.MAP:
+            task.output = execution.output
+            task.completed_on = tracker.name
+            self._kill_twins(job, task, assignment.attempt_id)
+            if job.maps_done:
+                job.log(self.sim.now, "all maps complete; reduces eligible")
+        else:
+            task.output_records = len(execution.pairs)
+        if job.maps_done and job.reduces_done:
+            self._finish_job(job)
+
+    def _kill_twins(self, job: RunningJob, task, winner_attempt_id: str) -> None:
+        for attempt in task.running_attempts:
+            if attempt.attempt_id == winner_attempt_id:
+                continue
+            attempt.state = AttemptState.KILLED
+            attempt.finish_time = self.sim.now
+            info = self.trackers.get(attempt.tracker)
+            if info is not None:
+                info.tracker.kill_attempt(attempt.attempt_id)
+            job.counters.increment(C.KILLED_SPECULATIVE)
+
+    def tracker_is_serving(self, name: str) -> bool:
+        info = self.trackers.get(name)
+        return info is not None and info.alive and info.tracker.is_serving
+
+    def map_output_lost(
+        self, job_id: str, task_index: int, node: str
+    ) -> None:
+        """A reduce failed to fetch this map's output: re-run the map."""
+        job = self.jobs[job_id]
+        if job.finished:
+            return
+        task = job.map_tasks[task_index]
+        if task.state != TaskState.SUCCEEDED or task.completed_on != node:
+            return
+        task.state = TaskState.PENDING
+        task.output = None
+        task.completed_on = None
+        if task.index not in job.pending_maps:
+            job.pending_maps.append(task.index)
+        job.log(
+            self.sim.now,
+            f"{task.task_id} output unfetchable from {node}; re-queued",
+        )
+
+    def task_failed(
+        self,
+        tracker: TaskTracker,
+        assignment: Assignment,
+        reason: str,
+        counts_against: bool = True,
+    ) -> None:
+        job = self.jobs[assignment.job_id]
+        if job.finished:
+            return
+        task = self._task_of(job, assignment)
+        attempt = self._attempt_of(task, assignment.attempt_id)
+        if attempt is not None:
+            attempt.state = (
+                AttemptState.FAILED if counts_against else AttemptState.KILLED
+            )
+            attempt.finish_time = self.sim.now
+            attempt.failure = reason
+        if not counts_against:
+            job.log(
+                self.sim.now,
+                f"{task.task_id} attempt killed on {tracker.name}: {reason}",
+            )
+            if task.state != TaskState.SUCCEEDED:
+                self._requeue(job, task)
+            return
+        task.failures += 1
+        counter = (
+            C.FAILED_MAPS
+            if assignment.task_type == TaskType.MAP
+            else C.FAILED_REDUCES
+        )
+        job.counters.increment(counter)
+        job.log(
+            self.sim.now,
+            f"{task.task_id} attempt failed on {tracker.name}: {reason}",
+        )
+        # Blacklist chronic failers for this job — but never more than a
+        # quarter of the live cluster (Hadoop's cap), or a run of bad
+        # luck could leave a job with no tracker willing to run it.
+        job.tracker_failures[tracker.name] = (
+            job.tracker_failures.get(tracker.name, 0) + 1
+        )
+        if job.tracker_failures[tracker.name] >= BLACKLIST_THRESHOLD:
+            live = sum(
+                1
+                for info in self.trackers.values()
+                if info.alive and info.tracker.is_serving
+            )
+            if len(job.blacklist) < max(1, live // 4):
+                job.blacklist.add(tracker.name)
+        if task.failures >= job.conf.max_attempts:
+            self._fail_job(
+                job,
+                f"{task.task_id} failed {task.failures} times; last: {reason}",
+            )
+            return
+        if task.state != TaskState.SUCCEEDED:
+            self._requeue(job, task)
+
+    def _task_of(self, job: RunningJob, assignment: Assignment):
+        if assignment.task_type == TaskType.MAP:
+            return job.map_tasks[assignment.task_index]
+        return job.reduce_tasks[assignment.task_index]
+
+    @staticmethod
+    def _attempt_of(task, attempt_id: str) -> TaskAttempt | None:
+        for attempt in task.attempts:
+            if attempt.attempt_id == attempt_id:
+                return attempt
+        return None
+
+    # ------------------------------------------------------------------
+    def _finish_job(self, job: RunningJob) -> None:
+        job.state = JobState.SUCCEEDED
+        job.finish_time = self.sim.now
+        client = self.output_client_factory(None)
+        client.put_bytes(f"{job.output_path}/_SUCCESS", b"", overwrite=True)
+        job.log(self.sim.now, "job succeeded")
+        self.sim.bus.publish(
+            "mr.jobtracker.succeeded", self.sim.now, job_id=job.job_id
+        )
+
+    def _fail_job(self, job: RunningJob, reason: str) -> None:
+        job.state = JobState.FAILED
+        job.finish_time = self.sim.now
+        job.failure_reason = reason
+        for info in self.trackers.values():
+            for attempt_id, running in list(info.tracker.running.items()):
+                if running.assignment.job_id == job.job_id:
+                    info.tracker.kill_attempt(attempt_id)
+        for task in [*job.map_tasks, *job.reduce_tasks]:
+            for attempt in task.running_attempts:
+                attempt.state = AttemptState.KILLED
+                attempt.finish_time = self.sim.now
+        job.log(self.sim.now, f"job failed: {reason}")
+        self.sim.bus.publish(
+            "mr.jobtracker.failed",
+            self.sim.now,
+            job_id=job.job_id,
+            reason=reason,
+        )

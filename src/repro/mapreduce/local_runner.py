@@ -1,0 +1,185 @@
+"""The serial, no-HDFS job runner — assignment 1's execution mode.
+
+"The corresponding assignment only required the students to use
+Hadoop/MapReduce API libraries to develop and test MapReduce code on the
+standard Linux command line interface without using a supporting
+HDFS/MapReduce infrastructure."  This runner is that mode: the same
+:class:`~repro.mapreduce.api.Job` objects, run serially over a
+:class:`~repro.hdfs.localfs.LinuxFileSystem`, producing the same answers
+and counters plus a *serial* simulated runtime — which is how the course
+(and our Claim-C1 benchmark) shows efficient vs. inefficient
+implementations differing by an order of magnitude even before HDFS
+enters the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.mapreduce.api import Job
+from repro.mapreduce.config import CostModel, MapReduceConfig
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.inputformat import InputSplit
+from repro.mapreduce.outputformat import TextOutputFormat, part_file_name
+from repro.mapreduce.runtime import (
+    execute_map,
+    execute_reduce,
+    job_input_format,
+    job_partitioner,
+)
+from repro.mapreduce.shuffle import merge_for_reduce
+from repro.util.errors import FileNotFoundInHdfs, JobSubmissionError, OutputExistsError
+
+
+@dataclass
+class LocalJobResult:
+    """Outcome of a serial run."""
+
+    job_name: str
+    counters: Counters
+    output_path: str
+    localfs: LinuxFileSystem
+    #: Simulated wall-clock of the *serial* execution (sum of all task
+    #: durations — nothing overlaps on one workstation).
+    simulated_seconds: float
+    num_splits: int
+    pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    def output_dict(self) -> dict[str, str]:
+        return dict(self.pairs)
+
+
+class LocalJobRunner:
+    """Run jobs serially against a local (Linux) file system."""
+
+    #: Pseudo-block size used to exercise split logic even locally.
+    DEFAULT_SPLIT_SIZE = 16 * 1024 * 1024
+
+    def __init__(
+        self,
+        localfs: LinuxFileSystem | None = None,
+        cost: CostModel | None = None,
+        split_size: int | None = None,
+        local_disk_bw: float = 100 * 1024 * 1024,
+    ):
+        self.localfs = localfs or LinuxFileSystem()
+        self.cost = cost or CostModel()
+        self.split_size = split_size or self.DEFAULT_SPLIT_SIZE
+        self.local_disk_bw = local_disk_bw
+        self.mr_config = MapReduceConfig(cost=self.cost)
+
+    # ------------------------------------------------------------------
+    def _splits_for(self, job: Job, paths: list[str]) -> list[InputSplit]:
+        input_format = job_input_format(job)
+        splits: list[InputSplit] = []
+        for path in paths:
+            length = self.localfs.size(path)
+            sizes = []
+            offset = 0
+            while offset < length:
+                sizes.append(min(self.split_size, length - offset))
+                offset += sizes[-1]
+            if not sizes:
+                sizes = [0]
+            splits.extend(
+                input_format.splits_for_file(
+                    path, sizes, [("local",)] * len(sizes)
+                )
+            )
+        return splits
+
+    def _fetch(self, path: str, block_index: int, max_bytes: int | None):
+        data = self.localfs.read_file(path)
+        start = block_index * self.split_size
+        if start >= len(data) and block_index > 0:
+            raise IndexError(block_index)
+        chunk = data[start : start + self.split_size]
+        if max_bytes is not None:
+            chunk = chunk[:max_bytes]
+        return chunk, len(chunk) / self.local_disk_bw
+
+    def _side_reader(self, path: str):
+        data = self.localfs.read_file(path)
+        elapsed = (
+            self.cost.side_open_overhead
+            + len(data) / self.local_disk_bw
+            + len(data) * self.cost.side_read_per_byte
+        )
+        return data.decode("utf-8"), elapsed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: Job,
+        input_paths: list[str] | str,
+        output_path: str,
+    ) -> LocalJobResult:
+        """Run one job to completion, serially."""
+        if isinstance(input_paths, str):
+            input_paths = [input_paths]
+        files: list[str] = []
+        for path in input_paths:
+            if self.localfs.is_dir(path):
+                files.extend(self.localfs.walk(path))
+            elif self.localfs.exists(path):
+                files.append(path)
+            else:
+                raise FileNotFoundInHdfs(f"input not found: {path}")
+        if not files:
+            raise JobSubmissionError(f"no input files under {input_paths}")
+        if self.localfs.exists(output_path):
+            raise OutputExistsError(f"output {output_path} already exists")
+
+        splits = self._splits_for(job, files)
+        counters = Counters()
+        node_cache: dict = {}  # one workstation == one shared "JVM"
+        elapsed = 0.0
+
+        map_outputs = []
+        for index, split in enumerate(splits):
+            execution = execute_map(
+                job=job,
+                split=split,
+                fetch=self._fetch,
+                cost=self.cost,
+                mr_config=self.mr_config,
+                side_reader=self._side_reader,
+                node_cache=node_cache,
+                task_node="local",
+                disk_write_bw=self.local_disk_bw,
+            )
+            execution.output.task_index = index
+            counters.merge(execution.counters)
+            elapsed += execution.duration
+            map_outputs.append(execution.output)
+
+        all_pairs: list[tuple[str, str]] = []
+        for partition in range(job.conf.num_reduces):
+            merged = merge_for_reduce(map_outputs, partition)
+            execution = execute_reduce(
+                job=job,
+                merged_pairs=merged,
+                cost=self.cost,
+                side_reader=self._side_reader,
+                node_cache=node_cache,
+                task_node="local",
+            )
+            counters.merge(execution.counters)
+            elapsed += execution.duration
+            text = TextOutputFormat.render(execution.pairs)
+            part_path = f"{output_path}/{part_file_name(partition)}"
+            self.localfs.write_file(part_path, text)
+            elapsed += len(text) / self.local_disk_bw
+            all_pairs.extend(TextOutputFormat.parse(text))
+
+        self.localfs.write_file(f"{output_path}/_SUCCESS", b"")
+        return LocalJobResult(
+            job_name=job.name,
+            counters=counters,
+            output_path=output_path,
+            localfs=self.localfs,
+            simulated_seconds=elapsed,
+            num_splits=len(splits),
+            pairs=all_pairs,
+        )

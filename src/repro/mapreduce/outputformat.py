@@ -1,0 +1,42 @@
+"""Output formats: rendering reduce output into ``part-NNNNN`` files."""
+
+from __future__ import annotations
+
+from repro.mapreduce.types import NullWritable, Text, Writable
+
+
+class TextOutputFormat:
+    """``key<TAB>value`` lines, Hadoop's default."""
+
+    SEPARATOR = "\t"
+
+    @classmethod
+    def format_pair(cls, key: Writable, value: Writable) -> str:
+        if isinstance(key, NullWritable):
+            return value.encode()
+        if isinstance(value, NullWritable):
+            return key.encode()
+        return f"{key.encode()}{cls.SEPARATOR}{value.encode()}"
+
+    @classmethod
+    def render(cls, pairs: list[tuple[Writable, Writable]]) -> str:
+        if not pairs:
+            return ""
+        return "\n".join(cls.format_pair(k, v) for k, v in pairs) + "\n"
+
+    @classmethod
+    def parse_line(cls, line: str) -> tuple[str, str]:
+        """Split an output line back into (key, value) strings."""
+        tab = line.find(cls.SEPARATOR)
+        if tab == -1:
+            return line, ""
+        return line[:tab], line[tab + 1 :]
+
+    @classmethod
+    def parse(cls, text: str) -> list[tuple[str, str]]:
+        return [cls.parse_line(line) for line in text.splitlines() if line]
+
+
+def part_file_name(partition: int) -> str:
+    """Hadoop's reduce-output naming: ``part-00000``, ``part-00001``…"""
+    return f"part-{partition:05d}"

@@ -1,0 +1,49 @@
+"""Partitioners: which reduce task sees which key.
+
+The default hash partitioner uses CRC32 rather than Python's ``hash``
+so partition assignment is stable across processes and runs — the same
+reason Hadoop uses ``key.hashCode()`` deterministically.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.mapreduce.types import Writable
+
+
+class Partitioner:
+    """Base contract: map a key to a partition in ``[0, num_reduces)``."""
+
+    def partition(self, key: Writable, num_reduces: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """CRC32(key bytes) mod reduces — Hadoop's default, stabilized."""
+
+    def partition(self, key: Writable, num_reduces: int) -> int:
+        if num_reduces <= 1:
+            return 0
+        digest = zlib.crc32(key.encode().encode("utf-8")) & 0x7FFFFFFF
+        return digest % num_reduces
+
+
+class KeyFieldPartitioner(Partitioner):
+    """Partition on a prefix field of the key (split at ``separator``).
+
+    Useful when composite keys like ``"airline|month"`` must keep all of
+    one airline's records in one reduce.
+    """
+
+    def __init__(self, separator: str = "|", field_index: int = 0):
+        self.separator = separator
+        self.field_index = field_index
+        self._hash = HashPartitioner()
+
+    def partition(self, key: Writable, num_reduces: int) -> int:
+        from repro.mapreduce.types import Text
+
+        fields = key.encode().split(self.separator)
+        index = min(self.field_index, len(fields) - 1)
+        return self._hash.partition(Text(fields[index]), num_reduces)

@@ -1,0 +1,235 @@
+"""Task execution: run user map/reduce code and price the work.
+
+Used identically by the serial :class:`~repro.mapreduce.local_runner.LocalJobRunner`
+(assignment-1 mode) and by cluster TaskTrackers, so a job computes the
+same answer in both — the equivalence the course demonstrates by
+rerunning assignment-1 jars on HDFS, and which this repository's
+integration tests assert.
+
+Real user code runs eagerly over real records; the returned
+``duration`` prices that work on the simulated hardware via the
+:class:`~repro.mapreduce.config.CostModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mapreduce.api import Context, Job
+from repro.mapreduce.config import CostModel, JobConf, MapReduceConfig
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.inputformat import FetchStats, InputSplit, TextInputFormat
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+from repro.mapreduce.shuffle import (
+    MapOutput,
+    Pair,
+    group_by_key,
+    partition_pairs,
+    run_combiner,
+    serialized_bytes,
+    sort_pairs,
+)
+from repro.mapreduce.types import Writable
+from repro.util.errors import TaskFailedError
+
+SideReader = Callable[[str], tuple[str, float]]
+
+
+def job_partitioner(job: Job) -> Partitioner:
+    return job.partitioner if job.partitioner is not None else HashPartitioner()
+
+
+def job_input_format(job: Job):
+    return job.input_format if job.input_format is not None else TextInputFormat
+
+
+@dataclass
+class MapExecution:
+    """Everything a finished map task hands back to the framework."""
+
+    output: MapOutput
+    counters: Counters
+    duration: float
+    input_records: int = 0
+    input_bytes: int = 0
+    spills: int = 0
+
+
+@dataclass
+class ReduceExecution:
+    """A finished reduce task's output pairs plus accounting."""
+
+    pairs: list[Pair]
+    counters: Counters
+    duration: float  # merge + user code; shuffle/write priced by caller
+    input_records: int = 0
+
+
+def _wrap_user_error(phase: str, exc: Exception) -> TaskFailedError:
+    if isinstance(exc, TaskFailedError):
+        return exc
+    return TaskFailedError(f"{phase} raised {type(exc).__name__}: {exc}")
+
+
+def execute_map(
+    job: Job,
+    split: InputSplit,
+    fetch,
+    cost: CostModel,
+    mr_config: MapReduceConfig,
+    side_reader: SideReader | None = None,
+    node_cache: dict[str, Any] | None = None,
+    task_node: str | None = None,
+    disk_write_bw: float = 100 * 1024 * 1024,
+) -> MapExecution:
+    """Run one map task over one split."""
+    counters = Counters()
+    conf: JobConf = job.conf
+    context = Context(
+        conf=conf,
+        counters=counters,
+        side_reader=side_reader,
+        node_cache=node_cache,
+        task_node=task_node,
+    )
+    stats = FetchStats()
+    input_format = job_input_format(job)
+
+    mapper = job.mapper()  # type: ignore[misc]
+    records_in = 0
+    input_bytes_seen = 0
+    try:
+        mapper.setup(context)
+        for key, value in input_format.read_records(split, fetch, stats):
+            records_in += 1
+            mapper.map(key, value, context)
+        mapper.cleanup(context)
+    except Exception as exc:  # noqa: BLE001 - user code boundary
+        raise _wrap_user_error("map", exc) from exc
+    input_bytes_seen = stats.bytes_read
+
+    pairs = context.drain()
+    output_bytes = serialized_bytes(pairs)
+    counters.increment(C.MAP_INPUT_RECORDS, records_in)
+    counters.increment(C.MAP_OUTPUT_RECORDS, len(pairs))
+    counters.increment(C.MAP_OUTPUT_BYTES, output_bytes)
+    counters.increment(C.HDFS_BYTES_READ, stats.bytes_read)
+
+    partitioner = job_partitioner(job)
+    partitions = partition_pairs(pairs, partitioner, conf.num_reduces)
+
+    combine_time = 0.0
+    if job.combiner is not None:
+        combined: dict[int, list[Pair]] = {}
+        combine_records = 0
+        for partition, ppairs in partitions.items():
+            try:
+                combined[partition] = run_combiner(
+                    job.combiner, ppairs, context, counters
+                )
+            except Exception as exc:  # noqa: BLE001 - user code boundary
+                raise _wrap_user_error("combine", exc) from exc
+            combine_records += len(ppairs)
+        partitions = combined
+        combine_time = cost.sort_time(combine_records) + cost.cpu_time(
+            combine_records, 0
+        )
+
+    final_bytes = sum(serialized_bytes(p) for p in partitions.values())
+    counters.increment(C.FILE_BYTES_WRITTEN, final_bytes)
+
+    # Spill accounting: every sort-buffer overflow is an extra disk pass.
+    spills = max(1, math.ceil(output_bytes / mr_config.sort_buffer_bytes))
+    counters.increment(
+        C.SPILLED_RECORDS, len(pairs) if spills == 1 else len(pairs) * spills
+    )
+    spill_time = (spills - 1) * (output_bytes / disk_write_bw)
+
+    duration = (
+        cost.task_startup
+        + stats.elapsed
+        + cost.cpu_time(records_in, input_bytes_seen)
+        + context.extra_time
+        + cost.sort_time(len(pairs))
+        + combine_time
+        + spill_time
+        + final_bytes / disk_write_bw  # write map output to local disk
+    )
+    output = MapOutput(
+        task_index=split.block_index, node=task_node or "", partitions=partitions
+    )
+    return MapExecution(
+        output=output,
+        counters=counters,
+        duration=duration,
+        input_records=records_in,
+        input_bytes=input_bytes_seen,
+        spills=spills,
+    )
+
+
+class IdentityReducer:
+    """Pass-through reduce used when a job declares no reducer."""
+
+    def setup(self, context: Context) -> None:
+        pass
+
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        for value in values:
+            context.write(key, value)
+
+    def cleanup(self, context: Context) -> None:
+        pass
+
+
+def execute_reduce(
+    job: Job,
+    merged_pairs: list[Pair],
+    cost: CostModel,
+    side_reader: SideReader | None = None,
+    node_cache: dict[str, Any] | None = None,
+    task_node: str | None = None,
+    already_sorted: bool = True,
+) -> ReduceExecution:
+    """Run one reduce task over its merged, key-sorted partition."""
+    counters = Counters()
+    context = Context(
+        conf=job.conf,
+        counters=counters,
+        side_reader=side_reader,
+        node_cache=node_cache,
+        task_node=task_node,
+    )
+    pairs = merged_pairs if already_sorted else sort_pairs(merged_pairs)
+    reducer_cls = job.reducer if job.reducer is not None else IdentityReducer
+    reducer = reducer_cls()
+    groups = 0
+    try:
+        reducer.setup(context)
+        for key, values in group_by_key(pairs):
+            groups += 1
+            reducer.reduce(key, values, context)
+        reducer.cleanup(context)
+    except Exception as exc:  # noqa: BLE001 - user code boundary
+        raise _wrap_user_error("reduce", exc) from exc
+
+    out_pairs = context.drain()
+    in_bytes = serialized_bytes(pairs)
+    counters.increment(C.REDUCE_INPUT_RECORDS, len(pairs))
+    counters.increment(C.REDUCE_INPUT_GROUPS, groups)
+    counters.increment(C.REDUCE_OUTPUT_RECORDS, len(out_pairs))
+
+    duration = (
+        cost.task_startup
+        + cost.sort_time(len(pairs))  # the merge
+        + cost.cpu_time(len(pairs), in_bytes)
+        + context.extra_time
+    )
+    return ReduceExecution(
+        pairs=out_pairs,
+        counters=counters,
+        duration=duration,
+        input_records=len(pairs),
+    )

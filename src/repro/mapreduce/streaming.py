@@ -1,0 +1,80 @@
+"""A Hadoop-streaming-style functional front end.
+
+The REU boot camp (Version 3) taught everything "on the command line
+terminal" with minimal ceremony; this is the minimal-ceremony API:
+plain functions instead of Mapper/Reducer classes.
+
+>>> job = streaming_job(
+...     name="wc",
+...     map_fn=lambda k, v: ((w, 1) for w in v.split()),
+...     reduce_fn=lambda k, vs: [(k, sum(vs))],
+... )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.mapreduce.api import Context, Job, Mapper, Reducer
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.types import Writable
+
+MapFn = Callable[[str, str], Iterable[tuple[object, object]]]
+ReduceFn = Callable[[str, list], Iterable[tuple[object, object]]]
+
+
+def _decode_key(key: Writable):
+    """Streaming hands user functions plain strings/numbers.
+
+    Scalar writables (Text/IntWritable/FloatWritable) unwrap to their
+    plain value; composite record writables pass through unchanged so a
+    streaming combiner can work with custom value classes.
+    """
+    if hasattr(key, "value"):
+        return key.value
+    if isinstance(key, Writable) and type(key).__name__ == "NullWritable":
+        return None
+    return key
+
+
+def streaming_job(
+    name: str,
+    map_fn: MapFn,
+    reduce_fn: ReduceFn | None = None,
+    combine_fn: ReduceFn | None = None,
+    num_reduces: int = 1,
+    conf: JobConf | None = None,
+    **params,
+) -> Job:
+    """Build a :class:`~repro.mapreduce.api.Job` from plain functions.
+
+    ``map_fn(key, value)`` receives the record key (byte offset for text
+    input) and the line; it returns/yields ``(key, value)`` pairs.
+    ``reduce_fn(key, values)`` receives a key string and the list of
+    plain values; it returns/yields output pairs.  ``combine_fn`` runs as
+    the combiner and must be a monoid over ``reduce_fn``'s input.
+    """
+
+    class _StreamMapper(Mapper):
+        def map(self, key: Writable, value: Writable, context: Context) -> None:
+            for out_key, out_value in map_fn(_decode_key(key), _decode_key(value)):
+                context.write(out_key, out_value)
+
+    def _make_reducer(fn: ReduceFn) -> type[Reducer]:
+        class _StreamReducer(Reducer):
+            def reduce(self, key, values, context: Context) -> None:
+                plain = [_decode_key(v) for v in values]
+                for out_key, out_value in fn(_decode_key(key), plain):
+                    context.write(out_key, out_value)
+
+        return _StreamReducer
+
+    class _StreamJob(Job):
+        mapper = _StreamMapper
+        reducer = _make_reducer(reduce_fn) if reduce_fn is not None else None
+        combiner = _make_reducer(combine_fn) if combine_fn is not None else None
+
+    job_conf = conf or JobConf(name=name, num_reduces=num_reduces)
+    if conf is not None:
+        job_conf.name = name
+    return _StreamJob(conf=job_conf, **params)

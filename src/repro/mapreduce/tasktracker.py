@@ -1,0 +1,354 @@
+"""The TaskTracker daemon: slots, execution, and the heap-leak crash.
+
+TaskTrackers heartbeat to the JobTracker, receive assignments in the
+response, execute them (pricing the work on the simulated hardware) and
+report completion.  The failure mode the paper describes — student jobs
+with "run time errors that created memory leaks on the Java heap memory
+and consequently crashed the task tracker and data node daemons" — is a
+first-class behaviour here: a heap-leak attempt fails *and* takes the
+daemon (and, configurably, the co-located DataNode) down with it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cluster.hardware import Node
+from repro.mapreduce.blockio import BlockFetcher
+from repro.mapreduce.config import MapReduceConfig
+from repro.mapreduce.counters import C
+from repro.mapreduce.inputformat import FetchStats
+from repro.mapreduce.outputformat import TextOutputFormat, part_file_name
+from repro.mapreduce.runtime import execute_map, execute_reduce
+from repro.mapreduce.shuffle import merge_for_reduce, serialized_bytes
+from repro.mapreduce.tasks import TaskType
+from repro.sim.engine import ScheduledEvent, Simulation
+from repro.util.errors import FetchFailedError, HeapExhaustedError, ReproError
+from repro.util.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdfs.client import DFSClient
+    from repro.hdfs.datanode import DataNode
+    from repro.mapreduce.jobtracker import Assignment, JobTracker
+
+
+class TrackerState(enum.Enum):
+    STOPPED = "stopped"
+    UP = "up"
+    CRASHED = "crashed"
+
+
+@dataclass
+class _RunningAttempt:
+    assignment: "Assignment"
+    completion: ScheduledEvent
+
+
+#: The fraction of a heap-leaking task's normal runtime it burns before
+#: the JVM dies (students watched tasks run a while, then OOM).
+HEAP_LEAK_BURN_FRACTION = 0.6
+
+
+class TaskTracker:
+    """One TaskTracker daemon on one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        sim: Simulation,
+        mr_config: MapReduceConfig,
+        fetcher: BlockFetcher,
+        output_client_factory: Callable[[str | None], "DFSClient"],
+        rng: RngStream,
+        co_datanode: "DataNode | None" = None,
+    ):
+        self.node = node
+        self.sim = sim
+        self.mr_config = mr_config
+        self.fetcher = fetcher
+        self.output_client_factory = output_client_factory
+        self.rng = rng
+        self.co_datanode = co_datanode
+        self.jobtracker: "JobTracker | None" = None
+        self.state = TrackerState.STOPPED
+        self.running: dict[str, _RunningAttempt] = {}
+        #: Per-node shared memory surviving across tasks — the "global
+        #: memory on each node" of the third airline-delay variant, and
+        #: the cache behind ``Context.cached_side_file``.
+        self.node_cache: dict[str, Any] = {}
+        self._cancel_heartbeat: Callable[[], None] | None = None
+        self.tasks_run = 0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_serving(self) -> bool:
+        return self.state == TrackerState.UP and self.node.is_up
+
+    def running_of_type(self, task_type: TaskType) -> int:
+        return sum(
+            1
+            for r in self.running.values()
+            if r.assignment.task_type == task_type
+        )
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.mr_config.map_slots_per_tracker - self.running_of_type(
+            TaskType.MAP
+        )
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.mr_config.reduce_slots_per_tracker - self.running_of_type(
+            TaskType.REDUCE
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, jobtracker: "JobTracker") -> None:
+        self.jobtracker = jobtracker
+        self.state = TrackerState.UP
+        jobtracker.register_tracker(self)
+        self._cancel_heartbeat = self.sim.every(
+            self.mr_config.tasktracker_heartbeat, self._heartbeat
+        )
+        self.sim.bus.publish("mr.tasktracker.up", self.sim.now, tracker=self.name)
+
+    def stop(self) -> None:
+        self._halt(TrackerState.STOPPED, "mr.tasktracker.stopped")
+
+    def crash(self) -> None:
+        """Abrupt daemon death: running work is silently lost."""
+        self.crashes += 1
+        self.node_cache.clear()  # the JVM and its memory are gone
+        self._halt(TrackerState.CRASHED, "mr.tasktracker.crashed")
+
+    def _halt(self, state: TrackerState, topic: str) -> None:
+        if self._cancel_heartbeat is not None:
+            self._cancel_heartbeat()
+            self._cancel_heartbeat = None
+        for running in self.running.values():
+            running.completion.cancel()
+        self.running.clear()
+        self.state = state
+        self.sim.bus.publish(topic, self.sim.now, tracker=self.name)
+
+    # -- heartbeat ---------------------------------------------------------
+    def _heartbeat(self) -> None:
+        if not self.is_serving or self.jobtracker is None:
+            return
+        assignments = self.jobtracker.heartbeat(self)
+        for assignment in assignments:
+            self._launch(assignment)
+
+    # -- execution -----------------------------------------------------------
+    def _launch(self, assignment: "Assignment") -> None:
+        self.tasks_run += 1
+        job = self.jobtracker.running_job(assignment.job_id)
+        try:
+            if assignment.task_type == TaskType.MAP:
+                result, duration = self._run_map(job, assignment)
+            else:
+                result, duration = self._run_reduce(job, assignment)
+        except FetchFailedError as exc:
+            # Fetch failures are the *map's* fault: the attempt is
+            # killed without burning this reduce's failure budget.
+            self._schedule_failure(assignment, exc, counts_against=False)
+            return
+        except ReproError as exc:
+            # User-code bugs (TaskFailedError) and infrastructure trouble
+            # (e.g. an unreadable block) both surface as attempt failures,
+            # as they do in Hadoop.
+            self._schedule_failure(assignment, exc)
+            return
+        heap_leak = self.rng.bernoulli(job.conf.heap_leak_probability)
+        if heap_leak:
+            self._schedule_heap_leak(assignment, duration, job)
+            return
+        completion = self.sim.schedule(
+            duration, self._complete, assignment, result, duration
+        )
+        self.running[assignment.attempt_id] = _RunningAttempt(
+            assignment=assignment, completion=completion
+        )
+
+    def _run_map(self, job, assignment):
+        task = job.map_tasks[assignment.task_index]
+        tally: dict[str, int] = {}
+        fetch = self.fetcher.make_fetch(self.name, tally)
+        execution = execute_map(
+            job=job.job,
+            split=task.split,
+            fetch=fetch,
+            cost=self.mr_config.cost,
+            mr_config=self.mr_config,
+            side_reader=self._side_reader,
+            node_cache=self.node_cache,
+            task_node=self.name,
+            disk_write_bw=self.node.spec.disk_write_bw,
+        )
+        execution.output.node = self.name
+        execution.output.task_index = assignment.task_index
+        return execution, execution.duration
+
+    def _run_reduce(self, job, assignment):
+        partition = assignment.task_index
+        outputs = job.completed_map_outputs()
+        # Shuffle fetch: map output lives on the node that ran the map.
+        # If that node is gone, the fetch fails and the map must re-run
+        # (Hadoop's fetch-failure -> map re-execution path).
+        dead_sources = [
+            output
+            for output in outputs
+            if output.node
+            and self.jobtracker is not None
+            and not self.jobtracker.tracker_is_serving(output.node)
+        ]
+        if dead_sources:
+            for output in dead_sources:
+                self.jobtracker.map_output_lost(
+                    job.job_id, output.task_index, output.node
+                )
+            nodes = sorted({o.node for o in dead_sources})
+            raise FetchFailedError(
+                f"could not fetch map output from dead node(s) {nodes}"
+            )
+        merged = merge_for_reduce(outputs, partition)
+        shuffle_time, shuffle_bytes = self._price_shuffle(outputs, partition)
+        execution = execute_reduce(
+            job=job.job,
+            merged_pairs=merged,
+            cost=self.mr_config.cost,
+            side_reader=self._side_reader,
+            node_cache=self.node_cache,
+            task_node=self.name,
+        )
+        execution.counters.increment(C.REDUCE_SHUFFLE_BYTES, shuffle_bytes)
+        # Write this partition's output file to HDFS from this node.
+        client = self.output_client_factory(self.name)
+        text = TextOutputFormat.render(execution.pairs)
+        out_path = f"{job.output_path}/{part_file_name(partition)}"
+        write = client.put_bytes(out_path, text.encode("utf-8"), overwrite=True)
+        execution.counters.increment(C.HDFS_BYTES_WRITTEN, write.length)
+        duration = execution.duration + shuffle_time + write.elapsed
+        execution.duration = duration
+        return execution, duration
+
+    #: Parallel copier threads per reduce (mapred.reduce.parallel.copies).
+    PARALLEL_COPIES = 5
+
+    def _price_shuffle(self, outputs, partition: int) -> tuple[float, int]:
+        """Network time + bytes to pull one partition from all maps."""
+        per_source: list[float] = []
+        total_bytes = 0
+        for output in outputs:
+            nbytes = output.partition_bytes(partition)
+            if nbytes == 0:
+                continue
+            total_bytes += nbytes
+            per_source.append(
+                self.fetcher.network.transfer_time(output.node, self.name, nbytes)
+            )
+        if not per_source:
+            return 0.0, 0
+        elapsed = max(max(per_source), sum(per_source) / self.PARALLEL_COPIES)
+        return elapsed, total_bytes
+
+    def _side_reader(self, path: str) -> tuple[str, float]:
+        """Read an auxiliary HDFS file from this node, returning cost.
+
+        The cost model's per-byte streaming charge represents the open/
+        deserialize overhead students pay per redundant read.
+        """
+        text, io_elapsed = self.fetcher.read_whole_file(path, self.name)
+        cost = self.mr_config.cost
+        elapsed = (
+            io_elapsed
+            + cost.side_open_overhead
+            + len(text) * cost.side_read_per_byte
+        )
+        return text, elapsed
+
+    # -- completion & failure ---------------------------------------------
+    def _complete(self, assignment: "Assignment", result, duration: float) -> None:
+        self.running.pop(assignment.attempt_id, None)
+        if not self.is_serving or self.jobtracker is None:
+            return
+        self.jobtracker.task_completed(self, assignment, result, duration)
+
+    def _schedule_failure(
+        self,
+        assignment: "Assignment",
+        exc: Exception,
+        counts_against: bool = True,
+    ) -> None:
+        """User-code error: the attempt burns startup time, then fails."""
+        duration = self.mr_config.cost.task_startup + 2.0
+        completion = self.sim.schedule(
+            duration, self._fail, assignment, str(exc), counts_against
+        )
+        self.running[assignment.attempt_id] = _RunningAttempt(
+            assignment=assignment, completion=completion
+        )
+
+    def _schedule_heap_leak(self, assignment, duration: float, job) -> None:
+        burn = duration * HEAP_LEAK_BURN_FRACTION
+        completion = self.sim.schedule(
+            burn,
+            self._heap_leak_fires,
+            assignment,
+            job.conf.crash_daemons_on_heap_leak,
+        )
+        self.running[assignment.attempt_id] = _RunningAttempt(
+            assignment=assignment, completion=completion
+        )
+
+    def _heap_leak_fires(self, assignment, crash_daemons: bool) -> None:
+        self.running.pop(assignment.attempt_id, None)
+        error = HeapExhaustedError(
+            "java.lang.OutOfMemoryError: Java heap space"
+        )
+        if self.jobtracker is not None:
+            self.jobtracker.task_failed(self, assignment, str(error))
+        self.sim.bus.publish(
+            "mr.task.heap_leak",
+            self.sim.now,
+            tracker=self.name,
+            attempt=assignment.attempt_id,
+        )
+        if crash_daemons:
+            # The leak kills the shared JVM heap: TaskTracker and the
+            # co-located DataNode daemon both die (the paper's cascade).
+            self.crash()
+            if self.co_datanode is not None and self.co_datanode.is_serving:
+                self.co_datanode.crash()
+
+    def _fail(
+        self, assignment: "Assignment", reason: str, counts_against: bool = True
+    ) -> None:
+        self.running.pop(assignment.attempt_id, None)
+        if not self.is_serving or self.jobtracker is None:
+            return
+        self.jobtracker.task_failed(
+            self, assignment, reason, counts_against=counts_against
+        )
+
+    def kill_attempt(self, attempt_id: str) -> bool:
+        """Cancel a running attempt (losing speculative twin)."""
+        running = self.running.pop(attempt_id, None)
+        if running is None:
+            return False
+        running.completion.cancel()
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskTracker({self.name}, {self.state.value}, "
+            f"running={len(self.running)})"
+        )

@@ -1,0 +1,40 @@
+"""myHadoop-on-PBS: dynamic per-student Hadoop clusters.
+
+The paper's eventual platform: "the myHadoop scripts ... allowed
+students to have their own Hadoop clusters running on the supercomputer
+without any additional administrative support."  This package models
+that workflow and its sharp edges:
+
+- :mod:`~repro.myhadoop.pbs` — a PBS-like batch scheduler with
+  reservations, priority preemption (research jobs bump students) and
+  the 15-minute node cleanup sweep;
+- :mod:`~repro.myhadoop.provision` — the myHadoop provisioner: config
+  validation (the wrong-path student errors), daemon port binding, ghost
+  daemons from un-stopped clusters, and the no-file-locking constraint
+  that rules out persistent HDFS;
+- :mod:`~repro.myhadoop.submission` — the batch submission script:
+  stage in, run, export, stop.
+"""
+
+from repro.myhadoop.pbs import PbsScheduler, Reservation, ReservationState
+from repro.myhadoop.provision import (
+    MyHadoopConfig,
+    MyHadoopProvisioner,
+    DynamicHadoopCluster,
+    PortRegistry,
+    DAEMON_PORTS,
+)
+from repro.myhadoop.submission import BatchSubmission, SubmissionResult
+
+__all__ = [
+    "PbsScheduler",
+    "Reservation",
+    "ReservationState",
+    "MyHadoopConfig",
+    "MyHadoopProvisioner",
+    "DynamicHadoopCluster",
+    "PortRegistry",
+    "DAEMON_PORTS",
+    "BatchSubmission",
+    "SubmissionResult",
+]

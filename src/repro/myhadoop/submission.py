@@ -1,0 +1,255 @@
+"""The batch submission script, as a workflow object.
+
+Section III.D: "The submission script also includes Hadoop commands to
+automatically create HDFS directories, load data from the Linux file
+system, check HDFS' health status, execute an example MapReduce job,
+and export output data back to students' home directories ... the
+scheduler will record all outputs from these commands, so that the
+students can review and analyze the performance of their Hadoop
+platforms."
+
+:class:`BatchSubmission` is that script; :class:`SubmissionResult` is
+the recorded output.  An optional ``sleep`` turns the batch allocation
+into an interactive one, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.fsck import fsck
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.mapreduce.api import Job
+from repro.mapreduce.job import JobReport
+from repro.myhadoop.pbs import PbsScheduler, Reservation
+from repro.myhadoop.provision import (
+    DynamicHadoopCluster,
+    MyHadoopConfig,
+    MyHadoopProvisioner,
+)
+from repro.util.errors import ProvisionError, ReproError
+
+
+@dataclass
+class StepRecord:
+    """One command's recorded outcome in the PBS output file."""
+
+    name: str
+    started: float
+    finished: float
+    ok: bool
+    detail: str = ""
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class SubmissionResult:
+    """Everything the scheduler's output file would contain."""
+
+    user: str
+    steps: list[StepRecord] = field(default_factory=list)
+    job_reports: list[JobReport] = field(default_factory=list)
+    succeeded: bool = False
+    failure: str | None = None
+
+    def render_log(self) -> str:
+        lines = [f"=== PBS output for {self.user} ==="]
+        for step in self.steps:
+            status = "OK" if step.ok else "FAILED"
+            lines.append(
+                f"[{step.started:9.1f}s +{step.elapsed:7.1f}s] "
+                f"{step.name}: {status}"
+                + (f" ({step.detail})" if step.detail else "")
+            )
+        lines.append(
+            f"=== submission {'succeeded' if self.succeeded else 'FAILED'} ==="
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class JobSpec:
+    """One MapReduce job the submission runs."""
+
+    job: Job
+    input_hdfs: str
+    output_hdfs: str
+    export_local: str | None = None  # -copyToLocal destination
+
+
+class BatchSubmission:
+    """The modified-myHadoop submission script."""
+
+    def __init__(
+        self,
+        scheduler: PbsScheduler,
+        provisioner: MyHadoopProvisioner,
+        config: MyHadoopConfig,
+        home: LinuxFileSystem,
+        walltime: float = 2 * 3600.0,
+    ):
+        self.scheduler = scheduler
+        self.provisioner = provisioner
+        self.config = config
+        self.home = home
+        self.walltime = walltime
+        #: (local path in home dir, HDFS destination) staging pairs.
+        self.stage_in: list[tuple[str, str]] = []
+        self.jobs: list[JobSpec] = []
+        #: Seconds of interactive "sleep" after the jobs (Section III.D).
+        self.sleep_seconds: float = 0.0
+        #: Whether the script runs stop-all.sh at the end (forgetting it
+        #: is how ghost daemons are born).
+        self.stop_cluster_at_end: bool = True
+
+    def add_stage_in(self, local_path: str, hdfs_path: str) -> None:
+        self.stage_in.append((local_path, hdfs_path))
+
+    def add_job(
+        self,
+        job: Job,
+        input_hdfs: str,
+        output_hdfs: str,
+        export_local: str | None = None,
+    ) -> None:
+        self.jobs.append(JobSpec(job, input_hdfs, output_hdfs, export_local))
+
+    # ------------------------------------------------------------------
+    def run(self, reservation: Reservation | None = None) -> SubmissionResult:
+        """Execute the whole script under a (new or given) reservation."""
+        sim = self.provisioner.sim
+        result = SubmissionResult(user=self.config.user)
+
+        def record(name: str, started: float, ok: bool, detail: str = "") -> None:
+            result.steps.append(
+                StepRecord(
+                    name=name,
+                    started=started,
+                    finished=sim.now,
+                    ok=ok,
+                    detail=detail,
+                )
+            )
+
+        if reservation is None:
+            reservation = self.scheduler.qsub(
+                user=self.config.user,
+                num_nodes=self.config.num_nodes,
+                walltime=self.walltime,
+            )
+        cluster: DynamicHadoopCluster | None = None
+        try:
+            started = sim.now
+            cluster = self.provisioner.start_cluster(reservation, self.config)
+            record(
+                "myhadoop-configure + start-all.sh",
+                started,
+                True,
+                f"nodes={','.join(cluster.node_names)}",
+            )
+
+            client = cluster.mr.client()
+            for local_path, hdfs_path in self.stage_in:
+                started = sim.now
+                write = client.copy_from_local(self.home, local_path, hdfs_path)
+                record(
+                    f"hadoop fs -put {local_path} {hdfs_path}",
+                    started,
+                    True,
+                    f"{write.length} bytes, {write.blocks} blocks",
+                )
+
+            started = sim.now
+            health = fsck(cluster.hdfs.namenode)
+            record("hadoop fsck /", started, health.healthy, health.status)
+
+            for spec in self.jobs:
+                started = sim.now
+                # A batch job can only wait out the reservation: when the
+                # walltime expires PBS takes the nodes back, finished or
+                # not (a wedged cluster fails the submission, it does not
+                # hang the student forever).
+                reservation_end = (reservation.start_time or sim.now) + min(
+                    self.walltime, reservation.walltime
+                )
+                remaining = max(0.0, reservation_end - sim.now)
+                running = cluster.mr.submit(
+                    spec.job, spec.input_hdfs, spec.output_hdfs
+                )
+                slice_len = 60.0
+                while not running.finished and sim.now < reservation_end:
+                    cluster.mr.wait_for_job(
+                        running,
+                        timeout=min(slice_len, reservation_end - sim.now),
+                    )
+                    if running.finished:
+                        break
+                    if not any(
+                        t.is_serving
+                        for t in cluster.mr.tasktrackers.values()
+                    ):
+                        # Every daemon in this cluster is dead (the heap
+                        # leak took them all): the job can never finish.
+                        break
+                if not running.finished:
+                    reason = (
+                        "all cluster daemons died"
+                        if not any(
+                            t.is_serving
+                            for t in cluster.mr.tasktrackers.values()
+                        )
+                        else "walltime expired before the job finished"
+                    )
+                    record(
+                        f"hadoop jar {spec.job.name}.jar", started, False, reason
+                    )
+                    result.failure = reason
+                    return result
+                report = running.report()
+                result.job_reports.append(report)
+                record(
+                    f"hadoop jar {spec.job.name}.jar",
+                    started,
+                    report.succeeded,
+                    f"maps={report.num_maps} reduces={report.num_reduces}",
+                )
+                if not report.succeeded:
+                    result.failure = report.failure_reason
+                    return result
+                if spec.export_local is not None:
+                    started = sim.now
+                    pairs = cluster.mr.read_output(spec.output_hdfs)
+                    text = "\n".join(f"{k}\t{v}" for k, v in pairs) + "\n"
+                    self.home.write_file(spec.export_local, text)
+                    record(
+                        f"hadoop fs -copyToLocal {spec.output_hdfs} "
+                        f"{spec.export_local}",
+                        started,
+                        True,
+                        f"{len(pairs)} records",
+                    )
+
+            if self.sleep_seconds > 0:
+                started = sim.now
+                sim.run_for(self.sleep_seconds)
+                record("sleep (interactive window)", started, True)
+
+            result.succeeded = True
+            return result
+        except ReproError as exc:
+            record(type(exc).__name__, sim.now, False, str(exc))
+            result.failure = str(exc)
+            return result
+        finally:
+            if cluster is not None:
+                if self.stop_cluster_at_end:
+                    started = sim.now
+                    self.provisioner.stop_cluster(cluster)
+                    record("stop-all.sh + scratch cleanup", started, True)
+                else:
+                    self.provisioner.abandon_cluster(cluster)
+            if reservation.active:
+                self.scheduler.release(reservation)

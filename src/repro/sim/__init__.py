@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+The whole stack runs on one :class:`~repro.sim.engine.Simulation`: daemons
+schedule heartbeats, tasks schedule completions, the batch scheduler
+schedules cleanup sweeps.  Determinism comes from strict
+``(time, sequence)`` ordering of events.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation, ScheduledEvent
+
+__all__ = ["SimClock", "Simulation", "ScheduledEvent"]

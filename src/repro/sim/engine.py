@@ -1,0 +1,163 @@
+"""Event-queue simulation engine.
+
+Callback style: components schedule ``fn(*args)`` to run at a simulated
+time.  Events at equal times fire in scheduling order (a monotonically
+increasing sequence number breaks ties), which keeps multi-daemon
+simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.sim.clock import SimClock
+from repro.util.events import EventBus
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulation:
+    """A discrete-event simulation with a shared clock and event bus.
+
+    >>> sim = Simulation()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.clock = SimClock(start)
+        self.bus = EventBus()
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        event = ScheduledEvent(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_delay: float | None = None,
+    ) -> Callable[[], None]:
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        Returns a cancel callable.  The callback may itself cancel the
+        timer; re-arming happens after the call so cancellation from
+        inside the callback is honoured.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state = {"stopped": False, "handle": None}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            fn(*args)
+            if not state["stopped"]:
+                state["handle"] = self.schedule(interval, tick)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            handle = state["handle"]
+            if handle is not None:
+                handle.cancel()
+
+        first_delay = interval if start_delay is None else start_delay
+        state["handle"] = self.schedule(first_delay, tick)
+        return cancel
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.time)
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(
+            f"simulation exceeded {max_events} events; likely a timer leak"
+        )
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Run all events with timestamp <= ``time``, then set now=time."""
+        for _ in range(max_events):
+            # Peek at the next live event.
+            while self._queue and self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue or self._queue[0].time > time:
+                self.clock._advance_to(max(self.now, time))
+                return
+            self.step()
+        raise RuntimeError(
+            f"simulation exceeded {max_events} events before t={time}"
+        )
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.run_until(self.now + duration, max_events=max_events)

@@ -1,0 +1,21 @@
+"""Spark-lite: in-memory distributed computing over the same cluster.
+
+The paper's conclusion lists "in-memory distributed computing [Apache
+Spark]" among the ecosystem components future course versions should
+teach.  This package is a teaching-scale Spark: resilient distributed
+datasets with lazy transformations, hash-partitioned shuffles, explicit
+caching on executors — and the property that gives RDDs their name:
+when an executor dies and takes its cached partitions with it, the
+*lineage* recomputes exactly the lost partitions.
+
+>>> from repro.sparklite import SparkLiteContext
+>>> sc = SparkLiteContext.local(num_executors=2)
+>>> rdd = sc.parallelize(range(10), num_partitions=4)
+>>> rdd.map(lambda x: x * x).filter(lambda x: x % 2 == 0).sum()
+120
+"""
+
+from repro.sparklite.context import SparkLiteContext
+from repro.sparklite.rdd import RDD
+
+__all__ = ["SparkLiteContext", "RDD"]

@@ -1,0 +1,123 @@
+"""The driver context: executors, caches, and lineage recovery.
+
+Cached partitions live in per-executor memory, assigned round-robin by
+partition index.  ``crash_executor`` wipes one executor's cache — and
+the next action transparently recomputes exactly the lost partitions
+through the lineage, which the ``recomputations`` counter makes
+observable (the number Spark's resilience story is about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hdfs.cluster import HdfsCluster
+from repro.mapreduce.blockio import BlockFetcher
+from repro.sparklite.rdd import HdfsTextRDD, ParallelizedRDD, RDD
+from repro.util.errors import ReproError
+
+
+@dataclass
+class Executor:
+    """One worker process: a name and a partition cache."""
+
+    name: str
+    alive: bool = True
+    cache: dict[tuple[int, int], list] = field(default_factory=dict)
+
+    @property
+    def cached_partitions(self) -> int:
+        return len(self.cache)
+
+
+class SparkLiteContext:
+    """The driver: builds RDDs, owns executors, runs actions."""
+
+    def __init__(
+        self,
+        executor_names: list[str],
+        hdfs: HdfsCluster | None = None,
+    ):
+        if not executor_names:
+            raise ReproError("need at least one executor")
+        self.executors = {name: Executor(name) for name in executor_names}
+        self.hdfs = hdfs
+        self.fetcher = (
+            BlockFetcher(
+                namenode=hdfs.namenode,
+                dn_lookup=hdfs.datanode,
+                network=hdfs.network,
+            )
+            if hdfs is not None
+            else None
+        )
+        #: Partitions recomputed because their cache was lost/absent of a
+        #: cached RDD (the resilience observable).
+        self.recomputations = 0
+        #: Partitions served straight from executor memory.
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(cls, num_executors: int = 2) -> "SparkLiteContext":
+        """A context with in-process executors and no HDFS."""
+        return cls([f"executor{i}" for i in range(num_executors)])
+
+    @classmethod
+    def on_cluster(cls, hdfs: HdfsCluster) -> "SparkLiteContext":
+        """Executors co-located with the HDFS DataNodes."""
+        names = [node.name for node in hdfs.topology.nodes()]
+        return cls(names, hdfs=hdfs)
+
+    # ------------------------------------------------------------------
+    # RDD construction
+    def parallelize(self, data: Iterable, num_partitions: int = 2) -> RDD:
+        return ParallelizedRDD(self, data, num_partitions)
+
+    def text_file(self, path: str) -> RDD:
+        return HdfsTextRDD(self, path)
+
+    # ------------------------------------------------------------------
+    # executor management
+    def _executor_for(self, rdd: RDD, index: int) -> Executor:
+        live = [e for e in self.executors.values() if e.alive]
+        if not live:
+            raise ReproError("no live executors")
+        return live[index % len(live)]
+
+    def crash_executor(self, name: str) -> int:
+        """Kill one executor; returns how many cached partitions died."""
+        executor = self.executors[name]
+        lost = executor.cached_partitions
+        executor.cache.clear()
+        executor.alive = False
+        return lost
+
+    def restart_executor(self, name: str) -> None:
+        self.executors[name].alive = True
+
+    def total_cached(self) -> int:
+        return sum(e.cached_partitions for e in self.executors.values())
+
+    # ------------------------------------------------------------------
+    # materialization with cache + lineage recovery
+    def _materialize(self, rdd: RDD, index: int) -> list:
+        if not rdd.cached:
+            return rdd._compute_partition(index)
+        executor = self._executor_for(rdd, index)
+        key = (rdd.rdd_id, index)
+        if key in executor.cache:
+            self.cache_hits += 1
+            return executor.cache[key]
+        # Cache miss: either first touch or the executor that held it
+        # died.  Either way the lineage rebuilds it.
+        self.recomputations += 1
+        data = rdd._compute_partition(index)
+        executor.cache[key] = data
+        return data
+
+    def _evict(self, rdd: RDD) -> None:
+        for executor in self.executors.values():
+            for key in [k for k in executor.cache if k[0] == rdd.rdd_id]:
+                del executor.cache[key]

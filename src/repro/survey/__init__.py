@@ -1,0 +1,51 @@
+"""Course-evaluation survey analytics (the paper's Tables I-IV) and the
+ACM/IEEE curriculum mapping (Table V).
+
+The paper reports summary statistics over 29 returned surveys (of 39
+enrolled).  :mod:`~repro.survey.dataset` encodes those reported numbers
+as ground truth and synthesizes per-student integer response vectors
+whose summaries reproduce them; :mod:`~repro.survey.tables` renders the
+tables; :mod:`~repro.survey.curriculum` encodes and validates Table V.
+"""
+
+from repro.survey.likert import (
+    PROFICIENCY_SCALE,
+    TIME_SCALE,
+    USEFULNESS_SCALE,
+    YEAR_LEVELS,
+    Scale,
+)
+from repro.survey.models import SurveyResponse
+from repro.survey.dataset import (
+    REPORTED,
+    ReportedStat,
+    synthesize_responses,
+)
+from repro.survey.stats import mean_std_of, summarize_responses
+from repro.survey.tables import (
+    table1_proficiency,
+    table2_time,
+    table3_helpfulness,
+    table4_level,
+)
+from repro.survey.curriculum import TABLE5_OUTCOMES, curriculum_table
+
+__all__ = [
+    "Scale",
+    "PROFICIENCY_SCALE",
+    "TIME_SCALE",
+    "USEFULNESS_SCALE",
+    "YEAR_LEVELS",
+    "SurveyResponse",
+    "REPORTED",
+    "ReportedStat",
+    "synthesize_responses",
+    "mean_std_of",
+    "summarize_responses",
+    "table1_proficiency",
+    "table2_time",
+    "table3_helpfulness",
+    "table4_level",
+    "TABLE5_OUTCOMES",
+    "curriculum_table",
+]

@@ -1,0 +1,187 @@
+"""The reported survey numbers, and a synthesizer that reproduces them.
+
+``REPORTED`` transcribes the paper's Tables I-IV verbatim.  The paper
+only publishes summaries (mean ± std over the 29 returned forms, and
+Table IV's raw counts), so :func:`synthesize_responses` reconstructs a
+plausible per-student response set: integer-valued, on the right scales,
+whose summary statistics match the published numbers to rounding
+precision.  The fit is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.survey.likert import Scale, PROFICIENCY_SCALE, TIME_SCALE, USEFULNESS_SCALE
+from repro.survey.models import (
+    MATERIALS,
+    PROFICIENCY_TOPICS,
+    TIME_ACTIVITIES,
+    SurveyResponse,
+)
+from repro.util.rng import RngStream
+
+#: Students enrolled in Fall 2013 (Section II.D).
+ENROLLED = 39
+#: Returned survey forms.
+RESPONSES = 29
+
+
+@dataclass(frozen=True)
+class ReportedStat:
+    """One published mean ± std cell."""
+
+    mean: float
+    std: float
+
+
+REPORTED = {
+    # Table I: proficiency 0-10, before / after the module.
+    "proficiency_before": {
+        "Java": ReportedStat(6.6, 1.2),
+        "Linux": ReportedStat(5.86, 1.7),
+        "Networking": ReportedStat(4.38, 1.6),
+        "Hadoop MapReduce": ReportedStat(0.03, 0.2),
+    },
+    "proficiency_after": {
+        "Java": ReportedStat(7.3, 1.1),
+        "Linux": ReportedStat(7.1, 1.7),
+        "Networking": ReportedStat(6.29, 1.5),
+        "Hadoop MapReduce": ReportedStat(4.53, 1.16),
+    },
+    # Table II: time to complete, 1-4 scale.
+    "time_taken": {
+        "First Assignment": ReportedStat(3.5, 0.7),
+        "Second Assignment": ReportedStat(3.1, 0.9),
+        "Set up Hadoop cluster": ReportedStat(2.5, 1.1),
+    },
+    # Table III: helpfulness, 1-4 scale.
+    "usefulness": {
+        "Lecture": ReportedStat(3.0, 0.9),
+        "In-class lab": ReportedStat(3.6, 0.7),
+        "Hadoop cluster tutorial": ReportedStat(2.9, 0.82),
+    },
+    # Table IV: lowest CS level at which to introduce Hadoop MapReduce.
+    "year_level_counts": {
+        "Senior": 7,
+        "Junior": 14,
+        "Sophomore": 6,
+        "Freshman": 2,
+    },
+}
+
+
+def fit_integer_sample(
+    n: int,
+    target_mean: float,
+    target_std: float,
+    scale: Scale,
+    rng: RngStream,
+    tolerance: float = 0.02,
+    max_iters: int = 4000,
+) -> list[int]:
+    """Find ``n`` integers on ``scale`` whose sample mean/std (ddof=1)
+    match the targets as closely as integer-valued data allows.
+
+    Starts from clipped-normal draws, then greedily nudges single
+    responses by ±1 to shrink the summary error.  Deterministic.
+    """
+    gen = rng.rng
+    values = np.clip(
+        np.round(gen.normal(target_mean, max(target_std, 1e-6), size=n)),
+        scale.low,
+        scale.high,
+    ).astype(np.int64)
+
+    def error(vals: np.ndarray) -> float:
+        mean = vals.mean()
+        std = vals.std(ddof=1) if n > 1 else 0.0
+        return (mean - target_mean) ** 2 + 0.5 * (std - target_std) ** 2
+
+    current = error(values)
+    for _ in range(max_iters):
+        if current < tolerance**2:
+            break
+        best_move: tuple[int, int] | None = None
+        best_error = current
+        for i in range(n):
+            for delta in (-1, 1):
+                candidate = values[i] + delta
+                if not (scale.low <= candidate <= scale.high):
+                    continue
+                values[i] += delta
+                trial = error(values)
+                values[i] -= delta
+                if trial < best_error:
+                    best_error = trial
+                    best_move = (i, delta)
+        if best_move is None:
+            break
+        values[best_move[0]] += best_move[1]
+        current = best_error
+    return [int(v) for v in values]
+
+
+def synthesize_responses(seed: int = 2013, n: int = RESPONSES) -> list[SurveyResponse]:
+    """Build ``n`` survey responses matching every reported summary.
+
+    Before/after proficiency values are rank-paired so individual
+    students improve (or hold steady) on every topic wherever the
+    marginals allow, mirroring the paper's "obvious improvements".
+    """
+    rng = RngStream(seed=seed).child("survey")
+    responses = [SurveyResponse(student_id=i + 1) for i in range(n)]
+
+    for topic in PROFICIENCY_TOPICS:
+        before = fit_integer_sample(
+            n,
+            REPORTED["proficiency_before"][topic].mean,
+            REPORTED["proficiency_before"][topic].std,
+            PROFICIENCY_SCALE,
+            rng.child("before", topic),
+        )
+        after = fit_integer_sample(
+            n,
+            REPORTED["proficiency_after"][topic].mean,
+            REPORTED["proficiency_after"][topic].std,
+            PROFICIENCY_SCALE,
+            rng.child("after", topic),
+        )
+        # Rank-pair: i-th smallest before with i-th smallest after.
+        order_before = np.argsort(np.array(before), kind="stable")
+        after_sorted = sorted(after)
+        for rank, student_index in enumerate(order_before):
+            responses[student_index].proficiency_before[topic] = before[
+                student_index
+            ]
+            responses[student_index].proficiency_after[topic] = after_sorted[rank]
+
+    for activity in TIME_ACTIVITIES:
+        stat = REPORTED["time_taken"][activity]
+        values = fit_integer_sample(
+            n, stat.mean, stat.std, TIME_SCALE, rng.child("time", activity)
+        )
+        for response, value in zip(responses, values):
+            response.time_taken[activity] = value
+
+    for material in MATERIALS:
+        stat = REPORTED["usefulness"][material]
+        values = fit_integer_sample(
+            n, stat.mean, stat.std, USEFULNESS_SCALE, rng.child("useful", material)
+        )
+        for response, value in zip(responses, values):
+            response.usefulness[material] = value
+
+    levels: list[str] = []
+    for level, count in REPORTED["year_level_counts"].items():
+        levels.extend([level] * count)
+    assert len(levels) == n, "Table IV counts must sum to the response count"
+    rng.child("levels").shuffle(levels)
+    for response, level in zip(responses, levels):
+        response.year_level = level
+
+    for response in responses:
+        response.validate()
+    return responses

@@ -1,0 +1,44 @@
+"""One student's survey response."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.survey.likert import (
+    PROFICIENCY_SCALE,
+    TIME_SCALE,
+    USEFULNESS_SCALE,
+    YEAR_LEVELS,
+)
+
+#: The Table I topics, in the paper's row order.
+PROFICIENCY_TOPICS = ("Java", "Linux", "Networking", "Hadoop MapReduce")
+#: The Table II activities.
+TIME_ACTIVITIES = ("First Assignment", "Second Assignment", "Set up Hadoop cluster")
+#: The Table III materials.
+MATERIALS = ("Lecture", "In-class lab", "Hadoop cluster tutorial")
+
+
+@dataclass
+class SurveyResponse:
+    """All answers from one returned survey form."""
+
+    student_id: int
+    proficiency_before: dict[str, int] = field(default_factory=dict)
+    proficiency_after: dict[str, int] = field(default_factory=dict)
+    time_taken: dict[str, int] = field(default_factory=dict)
+    usefulness: dict[str, int] = field(default_factory=dict)
+    year_level: str = "Junior"
+    comments: str = ""
+
+    def validate(self) -> "SurveyResponse":
+        for topic in PROFICIENCY_TOPICS:
+            PROFICIENCY_SCALE.validate(self.proficiency_before[topic])
+            PROFICIENCY_SCALE.validate(self.proficiency_after[topic])
+        for activity in TIME_ACTIVITIES:
+            TIME_SCALE.validate(self.time_taken[activity])
+        for material in MATERIALS:
+            USEFULNESS_SCALE.validate(self.usefulness[material])
+        if self.year_level not in YEAR_LEVELS:
+            raise ValueError(f"unknown year level {self.year_level!r}")
+        return self

@@ -1,0 +1,65 @@
+"""Summary statistics over survey responses."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.survey.models import (
+    MATERIALS,
+    PROFICIENCY_TOPICS,
+    TIME_ACTIVITIES,
+    SurveyResponse,
+)
+
+
+def mean_std_of(values: list[int | float]) -> tuple[float, float]:
+    """Sample mean and standard deviation (ddof=1), the survey norm."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return float(arr.mean()), std
+
+
+def summarize_responses(responses: list[SurveyResponse]) -> dict:
+    """Every table's numbers, computed from raw responses."""
+    summary: dict = {
+        "n": len(responses),
+        "proficiency_before": {},
+        "proficiency_after": {},
+        "time_taken": {},
+        "usefulness": {},
+        "year_level_counts": {},
+    }
+    for topic in PROFICIENCY_TOPICS:
+        summary["proficiency_before"][topic] = mean_std_of(
+            [r.proficiency_before[topic] for r in responses]
+        )
+        summary["proficiency_after"][topic] = mean_std_of(
+            [r.proficiency_after[topic] for r in responses]
+        )
+    for activity in TIME_ACTIVITIES:
+        summary["time_taken"][activity] = mean_std_of(
+            [r.time_taken[activity] for r in responses]
+        )
+    for material in MATERIALS:
+        summary["usefulness"][material] = mean_std_of(
+            [r.usefulness[material] for r in responses]
+        )
+    counts = Counter(r.year_level for r in responses)
+    summary["year_level_counts"] = dict(counts)
+    return summary
+
+
+def improvement_per_topic(responses: list[SurveyResponse]) -> dict[str, float]:
+    """Mean per-student (after - before) gain per topic."""
+    gains: dict[str, float] = {}
+    for topic in PROFICIENCY_TOPICS:
+        deltas = [
+            r.proficiency_after[topic] - r.proficiency_before[topic]
+            for r in responses
+        ]
+        gains[topic] = float(np.mean(deltas)) if deltas else 0.0
+    return gains

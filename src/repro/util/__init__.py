@@ -1,0 +1,46 @@
+"""Shared utilities: errors, units, RNG plumbing, text tables, events."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigError,
+    HdfsError,
+    MapReduceError,
+    SchedulerError,
+    ProvisionError,
+)
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    parse_size,
+    format_size,
+    format_duration,
+    SECOND,
+    MINUTE,
+    HOUR,
+)
+from repro.util.rng import RngStream, derive_seed
+from repro.util.textable import TextTable
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "HdfsError",
+    "MapReduceError",
+    "SchedulerError",
+    "ProvisionError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "parse_size",
+    "format_size",
+    "format_duration",
+    "RngStream",
+    "derive_seed",
+    "TextTable",
+]

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The benchmarks regenerate the paper's tables as text; this renderer keeps
+their formatting consistent and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """A simple monospace table.
+
+    >>> t = TextTable(["Topic", "Before", "After"], title="Table I")
+    >>> t.add_row(["Java", "6.6±1.2", "7.3±1.1"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Table I
+    Topic | Before  | After
+    ------+---------+--------
+    Java  | 6.6±1.2 | 7.3±1.1
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def column_widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self.column_widths()
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def mean_std(mean: float, std: float, decimals: int = 2) -> str:
+    """Format ``mean ± std`` the way the paper's tables print it.
+
+    Trailing zeros are trimmed to match the paper (``6.6±1.2``, ``3±0.9``).
+    """
+
+    def trim(x: float) -> str:
+        s = f"{x:.{decimals}f}".rstrip("0").rstrip(".")
+        return s if s else "0"
+
+    return f"{trim(mean)}±{trim(std)}"

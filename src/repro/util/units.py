@@ -1,0 +1,128 @@
+"""Byte-size and time-unit helpers.
+
+All sizes in the stack are plain ``int`` bytes; all simulated times are
+``float`` seconds.  These helpers exist so configuration can be written
+the way Hadoop admins write it (``"64MB"``, ``"15min"``) and so reports
+can render values the way the paper quotes them (``"171GB"``,
+``"15 minutes"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigError
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "m": MB,
+    "mb": MB,
+    "g": GB,
+    "gb": GB,
+    "t": TB,
+    "tb": TB,
+}
+
+_TIME_SUFFIXES = {
+    "": SECOND,
+    "s": SECOND,
+    "sec": SECOND,
+    "min": MINUTE,
+    "m": MINUTE,
+    "h": HOUR,
+    "hr": HOUR,
+    "d": DAY,
+}
+
+_NUM_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(value: int | float | str) -> int:
+    """Parse a byte size such as ``"64MB"`` or ``128`` into bytes.
+
+    >>> parse_size("64MB")
+    67108864
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ConfigError(f"size must be non-negative, got {value!r}")
+        return int(value)
+    match = _NUM_RE.match(value)
+    if not match:
+        raise ConfigError(f"cannot parse size {value!r}")
+    number, suffix = match.groups()
+    key = suffix.lower()
+    if key not in _SIZE_SUFFIXES:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {value!r}")
+    return int(float(number) * _SIZE_SUFFIXES[key])
+
+
+def parse_duration(value: int | float | str) -> float:
+    """Parse a duration such as ``"15min"`` or ``3.5`` into seconds.
+
+    >>> parse_duration("15min")
+    900.0
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ConfigError(f"duration must be non-negative, got {value!r}")
+        return float(value)
+    match = _NUM_RE.match(value)
+    if not match:
+        raise ConfigError(f"cannot parse duration {value!r}")
+    number, suffix = match.groups()
+    key = suffix.lower()
+    if key not in _TIME_SUFFIXES:
+        raise ConfigError(f"unknown time suffix {suffix!r} in {value!r}")
+    return float(number) * _TIME_SUFFIXES[key]
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Render bytes human-readably, matching the paper's style.
+
+    >>> format_size(171 * GB)
+    '171.0GB'
+    >>> format_size(1536)
+    '1.5KB'
+    """
+    num = float(num_bytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(num) >= factor:
+            return f"{num / factor:.1f}{unit}"
+    return f"{int(num)}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly: ``"1h03m"``, ``"4m30s"``, ``"12.0s"``.
+
+    >>> format_duration(900)
+    '15m00s'
+    >>> format_duration(3783)
+    '1h03m'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= HOUR:
+        hours = int(seconds // HOUR)
+        minutes = int((seconds % HOUR) // MINUTE)
+        return f"{hours}h{minutes:02d}m"
+    if seconds >= MINUTE:
+        minutes = int(seconds // MINUTE)
+        secs = int(seconds % MINUTE)
+        return f"{minutes}m{secs:02d}s"
+    return f"{seconds:.1f}s"

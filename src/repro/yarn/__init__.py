@@ -1,0 +1,36 @@
+"""YARN-lite: the "cluster resource manager" of the paper's conclusion.
+
+The paper closes by noting that the ecosystem had already "moved Hadoop
+beyond MapReduce's limitations in order to support additional
+capabilities such as cluster resource manager [Apache Hadoop 2.0:
+YARN]".  This package is that next step, teaching-scale: the
+fixed-slot TaskTrackers of Hadoop 1 are replaced by general
+``(memory, vcores)`` containers negotiated from a ResourceManager —
+which is exactly the architectural change YARN made.
+
+- :class:`~repro.yarn.nodemanager.NodeManager` — per-node resources,
+  container launch/stop, heartbeats;
+- :class:`~repro.yarn.resourcemanager.ResourceManager` — application
+  queue (FIFO or capacity-fair), container allocation with optional
+  locality preferences, liveness tracking, lost-node handling;
+- :class:`~repro.yarn.application.Application` — an ApplicationMaster
+  skeleton: request containers, run work in them, handle container
+  loss by re-requesting (the retry loop every YARN AM implements).
+"""
+
+from repro.yarn.resources import Resource
+from repro.yarn.nodemanager import Container, ContainerState, NodeManager
+from repro.yarn.resourcemanager import ResourceManager
+from repro.yarn.application import Application, TaskSpec
+from repro.yarn.cluster import YarnCluster
+
+__all__ = [
+    "Resource",
+    "Container",
+    "ContainerState",
+    "NodeManager",
+    "ResourceManager",
+    "Application",
+    "TaskSpec",
+    "YarnCluster",
+]

@@ -1,0 +1,115 @@
+"""ApplicationMasters: the per-job brains YARN moved out of the master.
+
+An :class:`Application` owns a bag of :class:`TaskSpec`\\ s, asks the
+ResourceManager for containers, and — the part every real AM must get
+right — re-requests work when a container fails or its node dies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import ReproError
+from repro.yarn.nodemanager import Container, ContainerState
+from repro.yarn.resources import DEFAULT_CONTAINER, Resource
+
+
+@dataclass
+class TaskSpec:
+    """One unit of containerized work."""
+
+    name: str
+    duration: float = 5.0
+    resource: Resource = DEFAULT_CONTAINER
+    preferred_nodes: tuple[str, ...] = ()
+    #: Attempts that fail before one succeeds (deterministic injection).
+    failures_before_success: int = 0
+    payload: Callable[[], object] | None = None
+
+
+class AppState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class Application:
+    """A simple AM: run every task to completion, retrying failures."""
+
+    def __init__(
+        self,
+        name: str,
+        tasks: list[TaskSpec],
+        max_attempts_per_task: int = 4,
+    ):
+        if not tasks:
+            raise ReproError("an application needs at least one task")
+        self.name = name
+        self.application_id = ""  # assigned at submission
+        self.tasks = list(tasks)
+        self.max_attempts_per_task = max_attempts_per_task
+        self.state = AppState.PENDING
+        self.pending: list[TaskSpec] = list(tasks)
+        self.running: dict[str, TaskSpec] = {}  # container id -> task
+        self.completed: list[str] = []
+        self.results: dict[str, object] = {}
+        self.attempts: dict[str, int] = {t.name: 0 for t in tasks}
+        self.failure_reason: str | None = None
+        self.containers_lost = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.state in (AppState.SUCCEEDED, AppState.FAILED)
+
+    @property
+    def progress(self) -> float:
+        return len(self.completed) / len(self.tasks)
+
+    def next_request(self) -> TaskSpec | None:
+        """The next container ask, or None when nothing is pending."""
+        return self.pending[0] if self.pending else None
+
+    # -- ResourceManager callbacks ------------------------------------------
+    def on_allocated(self, task: TaskSpec, container: Container) -> None:
+        self.state = AppState.RUNNING
+        self.pending.remove(task)
+        self.running[container.container_id] = task
+        self.attempts[task.name] += 1
+
+    def on_container_finished(
+        self, container: Container, result: object
+    ) -> None:
+        task = self.running.pop(container.container_id, None)
+        if task is None or self.finished:
+            return
+        if container.state == ContainerState.COMPLETED:
+            self.completed.append(task.name)
+            self.results[task.name] = result
+            if len(self.completed) == len(self.tasks):
+                self.state = AppState.SUCCEEDED
+            return
+        # FAILED or KILLED: the retry loop.
+        if container.state == ContainerState.KILLED:
+            self.containers_lost += 1
+        if self.attempts[task.name] >= self.max_attempts_per_task:
+            self.state = AppState.FAILED
+            self.failure_reason = (
+                f"task {task.name!r} failed "
+                f"{self.attempts[task.name]} times: {container.exit_message}"
+            )
+            return
+        self.pending.append(task)
+
+    # ------------------------------------------------------------------
+    def should_fail_attempt(self, task: TaskSpec) -> bool:
+        """Deterministic failure injection: the first
+        ``failures_before_success`` attempts of a task fail.
+
+        Called *before* the attempt is recorded, so ``attempts`` holds
+        the number of attempts already made.
+        """
+        return self.attempts[task.name] < task.failures_before_success

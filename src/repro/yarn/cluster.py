@@ -1,0 +1,46 @@
+"""YarnCluster: ResourceManager + NodeManagers, assembled."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulation
+from repro.yarn.application import Application
+from repro.yarn.nodemanager import NodeManager
+from repro.yarn.resourcemanager import ResourceManager
+from repro.yarn.resources import DEFAULT_NODE_RESOURCE, Resource
+
+
+class YarnCluster:
+    """A running YARN: one RM, N NMs, a shared simulation."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        policy: str = "fair",
+        node_capacity: Resource = DEFAULT_NODE_RESOURCE,
+        sim: Simulation | None = None,
+    ):
+        self.sim = sim or Simulation()
+        self.rm = ResourceManager(self.sim, policy=policy)
+        self.nodes: dict[str, NodeManager] = {}
+        for i in range(num_nodes):
+            manager = NodeManager(
+                name=f"node{i}", sim=self.sim, capacity=node_capacity
+            )
+            manager.register(self.rm)
+            self.nodes[manager.name] = manager
+
+    # ------------------------------------------------------------------
+    def submit(self, application: Application) -> str:
+        return self.rm.submit(application)
+
+    def run_until_finished(
+        self, *applications: Application, timeout: float = 24 * 3600.0
+    ) -> None:
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if all(app.finished for app in applications):
+                return
+            self.sim.run_for(min(1.0, deadline - self.sim.now))
+
+    def crash_node(self, name: str) -> None:
+        self.nodes[name].crash()

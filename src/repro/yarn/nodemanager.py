@@ -1,0 +1,169 @@
+"""NodeManagers: per-node resource accounting and container execution.
+
+A container is just "a slice of one node's resources running one piece
+of work for one application" — the generalization that freed Hadoop 2
+from fixed map/reduce slots.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.engine import ScheduledEvent, Simulation
+from repro.util.errors import ReproError
+from repro.yarn.resources import DEFAULT_NODE_RESOURCE, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.yarn.resourcemanager import ResourceManager
+
+
+class ContainerState(enum.Enum):
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    KILLED = "killed"  # node lost or preempted
+
+
+@dataclass
+class Container:
+    """One granted resource slice, possibly running work."""
+
+    container_id: str
+    node: str
+    application_id: str
+    resource: Resource
+    state: ContainerState = ContainerState.RUNNING
+    exit_message: str = ""
+    _completion: ScheduledEvent | None = field(default=None, repr=False)
+
+
+class NodeManager:
+    """One node's agent: launches containers, reports liveness."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulation,
+        capacity: Resource = DEFAULT_NODE_RESOURCE,
+        heartbeat_interval: float = 3.0,
+    ):
+        self.name = name
+        self.sim = sim
+        self.capacity = capacity
+        self.heartbeat_interval = heartbeat_interval
+        self.alive = True
+        self.containers: dict[str, Container] = {}
+        self.rm: "ResourceManager | None" = None
+        self._cancel_heartbeat: Callable[[], None] | None = None
+        self.containers_launched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> Resource:
+        total = Resource.zero()
+        for container in self.containers.values():
+            if container.state == ContainerState.RUNNING:
+                total = total + container.resource
+        return total
+
+    @property
+    def available(self) -> Resource:
+        used = self.used
+        return Resource(
+            self.capacity.memory - used.memory,
+            self.capacity.vcores - used.vcores,
+        )
+
+    def can_fit(self, resource: Resource) -> bool:
+        return self.alive and resource.fits_in(self.available)
+
+    # -- lifecycle -------------------------------------------------------
+    def register(self, rm: "ResourceManager") -> None:
+        self.rm = rm
+        rm.register_node(self)
+        self._cancel_heartbeat = self.sim.every(
+            self.heartbeat_interval, self._heartbeat
+        )
+
+    def _heartbeat(self) -> None:
+        if self.alive and self.rm is not None:
+            self.rm.node_heartbeat(self.name)
+
+    def crash(self) -> None:
+        """Node death: every running container dies with it."""
+        self.alive = False
+        if self._cancel_heartbeat is not None:
+            self._cancel_heartbeat()
+            self._cancel_heartbeat = None
+        for container in self.containers.values():
+            if container.state == ContainerState.RUNNING:
+                if container._completion is not None:
+                    container._completion.cancel()
+                self._finish(
+                    container, ContainerState.KILLED, "node lost", notify=False
+                )
+
+    # -- containers ----------------------------------------------------------
+    def launch(
+        self,
+        application_id: str,
+        resource: Resource,
+        duration: float,
+        will_fail: bool = False,
+        payload: Callable[[], object] | None = None,
+    ) -> Container:
+        """Start a container that completes (or fails) after ``duration``."""
+        if not self.alive:
+            raise ReproError(f"node manager {self.name} is down")
+        if not resource.fits_in(self.available):
+            raise ReproError(
+                f"{self.name} cannot fit {resource.describe()} "
+                f"(available {self.available.describe()})"
+            )
+        container = Container(
+            container_id=f"container_{next(self._ids):06d}",
+            node=self.name,
+            application_id=application_id,
+            resource=resource,
+        )
+        self.containers[container.container_id] = container
+        self.containers_launched += 1
+        final_state = (
+            ContainerState.FAILED if will_fail else ContainerState.COMPLETED
+        )
+        message = "simulated task failure" if will_fail else ""
+
+        def complete() -> None:
+            result = None
+            if payload is not None and not will_fail:
+                result = payload()
+            self._finish(container, final_state, message, result=result)
+
+        container._completion = self.sim.schedule(duration, complete)
+        return container
+
+    def kill_container(self, container_id: str, reason: str = "killed") -> None:
+        container = self.containers.get(container_id)
+        if container is None or container.state != ContainerState.RUNNING:
+            return
+        if container._completion is not None:
+            container._completion.cancel()
+        self._finish(container, ContainerState.KILLED, reason)
+
+    def _finish(
+        self,
+        container: Container,
+        state: ContainerState,
+        message: str,
+        notify: bool = True,
+        result: object = None,
+    ) -> None:
+        container.state = state
+        container.exit_message = message
+        if notify and self.rm is not None:
+            self.rm.container_finished(container, result)

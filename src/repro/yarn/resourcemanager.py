@@ -1,0 +1,200 @@
+"""The ResourceManager: one scheduler for every kind of application.
+
+Implements the two policies the YARN lecture would contrast:
+
+- ``fifo`` — Hadoop 1's behaviour: the oldest application takes
+  everything it can;
+- ``fair`` — round-robin across running applications, the property that
+  lets a 4-container ad-hoc query make progress next to a 400-container
+  batch job.
+
+Locality is a *preference*: a request naming preferred nodes waits
+``locality_delay`` seconds for one of them before accepting any node —
+YARN's delay scheduling, miniaturized.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Simulation
+from repro.util.errors import ConfigError, ReproError
+from repro.yarn.application import Application, AppState, TaskSpec
+from repro.yarn.nodemanager import Container, NodeManager
+
+
+@dataclass
+class _NodeRecord:
+    manager: NodeManager
+    last_heartbeat: float
+    alive: bool = True
+
+
+@dataclass
+class _PendingAsk:
+    application: Application
+    task: TaskSpec
+    first_seen: float
+
+
+class ResourceManager:
+    """Allocates containers to applications over registered nodes."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        policy: str = "fair",
+        schedule_interval: float = 1.0,
+        heartbeat_timeout: float = 30.0,
+        locality_delay: float = 5.0,
+    ):
+        if policy not in ("fifo", "fair"):
+            raise ConfigError(f"unknown scheduling policy {policy!r}")
+        self.sim = sim
+        self.policy = policy
+        self.heartbeat_timeout = heartbeat_timeout
+        self.locality_delay = locality_delay
+        self.nodes: dict[str, _NodeRecord] = {}
+        self.applications: dict[str, Application] = {}
+        self._app_order: list[str] = []
+        self._app_ids = itertools.count(1)
+        self._fair_cursor = 0
+        self.containers_allocated = 0
+        self.nodes_lost = 0
+        sim.every(schedule_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # nodes
+    def register_node(self, manager: NodeManager) -> None:
+        self.nodes[manager.name] = _NodeRecord(
+            manager=manager, last_heartbeat=self.sim.now
+        )
+
+    def node_heartbeat(self, name: str) -> None:
+        record = self.nodes.get(name)
+        if record is not None:
+            record.last_heartbeat = self.sim.now
+            record.alive = True
+
+    def live_nodes(self) -> list[NodeManager]:
+        return [r.manager for r in self.nodes.values() if r.alive]
+
+    def cluster_capacity(self):
+        from repro.yarn.resources import Resource
+
+        total = Resource.zero()
+        for manager in self.live_nodes():
+            total = total + manager.capacity
+        return total
+
+    def _check_liveness(self) -> None:
+        for name, record in self.nodes.items():
+            if (
+                record.alive
+                and self.sim.now - record.last_heartbeat > self.heartbeat_timeout
+            ):
+                record.alive = False
+                self.nodes_lost += 1
+                self._node_lost(record.manager)
+
+    def _node_lost(self, manager: NodeManager) -> None:
+        """Report every container that died with the node to its AM."""
+        for container in manager.containers.values():
+            app = self.applications.get(container.application_id)
+            if app is None:
+                continue
+            if container.container_id in app.running:
+                from repro.yarn.nodemanager import ContainerState
+
+                container.state = ContainerState.KILLED
+                container.exit_message = "node lost"
+                app.on_container_finished(container, None)
+
+    # ------------------------------------------------------------------
+    # applications
+    def submit(self, application: Application) -> str:
+        application.application_id = f"application_{next(self._app_ids):04d}"
+        self.applications[application.application_id] = application
+        self._app_order.append(application.application_id)
+        return application.application_id
+
+    def _active_apps(self) -> list[Application]:
+        return [
+            self.applications[app_id]
+            for app_id in self._app_order
+            if not self.applications[app_id].finished
+        ]
+
+    # ------------------------------------------------------------------
+    # scheduling
+    def _tick(self) -> None:
+        self._check_liveness()
+        apps = self._active_apps()
+        if not apps:
+            return
+        if self.policy == "fifo":
+            for app in apps:
+                self._serve_app_fully(app)
+        else:
+            self._fair_round(apps)
+
+    def _serve_app_fully(self, app: Application) -> None:
+        while True:
+            task = app.next_request()
+            if task is None or not self._try_place(app, task):
+                return
+
+    def _fair_round(self, apps: list[Application]) -> None:
+        """One container per app per pass, round-robin, until stuck."""
+        progress = True
+        while progress:
+            progress = False
+            for offset in range(len(apps)):
+                app = apps[(self._fair_cursor + offset) % len(apps)]
+                task = app.next_request()
+                if task is not None and self._try_place(app, task):
+                    progress = True
+            self._fair_cursor += 1
+
+    def _try_place(self, app: Application, task: TaskSpec) -> bool:
+        candidates = [
+            m for m in self.live_nodes() if m.can_fit(task.resource)
+        ]
+        if not candidates:
+            return False
+        chosen = None
+        if task.preferred_nodes:
+            preferred = [
+                m for m in candidates if m.name in task.preferred_nodes
+            ]
+            if preferred:
+                chosen = max(
+                    preferred, key=lambda m: (m.available.memory, m.name)
+                )
+            else:
+                # Delay scheduling: hold out for locality, briefly.
+                waited = self.sim.now - getattr(task, "_first_ask", self.sim.now)
+                if not hasattr(task, "_first_ask"):
+                    task._first_ask = self.sim.now
+                if waited < self.locality_delay:
+                    return False
+        if chosen is None:
+            chosen = max(candidates, key=lambda m: (m.available.memory, m.name))
+        will_fail = app.should_fail_attempt(task)
+        container = chosen.launch(
+            application_id=app.application_id,
+            resource=task.resource,
+            duration=task.duration,
+            will_fail=will_fail,
+            payload=task.payload,
+        )
+        self.containers_allocated += 1
+        app.on_allocated(task, container)
+        return True
+
+    # ------------------------------------------------------------------
+    def container_finished(self, container: Container, result: object) -> None:
+        app = self.applications.get(container.application_id)
+        if app is not None:
+            app.on_container_finished(container, result)

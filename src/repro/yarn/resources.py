@@ -1,0 +1,46 @@
+"""Resource vectors: the (memory, vcores) pair YARN schedules by."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    """An amount of memory (bytes) and virtual cores."""
+
+    memory: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory < 0 or self.vcores < 0:
+            raise ConfigError("resources must be non-negative")
+
+    def fits_in(self, other: "Resource") -> bool:
+        return self.memory <= other.memory and self.vcores <= other.vcores
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory + other.memory, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        result = Resource(
+            self.memory - other.memory, self.vcores - other.vcores
+        )
+        return result
+
+    @classmethod
+    def zero(cls) -> "Resource":
+        return cls(0, 0)
+
+    def describe(self) -> str:
+        return f"<{self.memory // MB}MB, {self.vcores}vc>"
+
+
+#: A 2012-era worker node's schedulable share (leaving headroom for the
+#: DataNode and the OS, as yarn.nodemanager.resource.* would).
+DEFAULT_NODE_RESOURCE = Resource(memory=48 * GB, vcores=14)
+#: The default container ask (a map-task-sized container).
+DEFAULT_CONTAINER = Resource(memory=2 * GB, vcores=1)

@@ -1,0 +1,79 @@
+"""Local disks and the central parallel file system."""
+
+import pytest
+
+from repro.cluster.storage import LocalDisk, ParallelFileSystem
+from repro.util.errors import ConfigError
+from repro.util.units import MB
+
+
+class TestLocalDisk:
+    def test_allocate_and_release(self):
+        disk = LocalDisk(capacity=1000, read_bw=100, write_bw=100)
+        assert disk.allocate(400)
+        assert disk.used == 400
+        assert disk.free == 600
+        disk.release(150)
+        assert disk.used == 250
+
+    def test_allocate_refuses_overflow(self):
+        disk = LocalDisk(capacity=100, read_bw=1, write_bw=1)
+        assert not disk.allocate(101)
+        assert disk.used == 0
+
+    def test_release_floors_at_zero(self):
+        disk = LocalDisk(capacity=100, read_bw=1, write_bw=1)
+        disk.allocate(10)
+        disk.release(999)
+        assert disk.used == 0
+
+    def test_negative_amounts_rejected(self):
+        disk = LocalDisk(capacity=100, read_bw=1, write_bw=1)
+        with pytest.raises(ValueError):
+            disk.allocate(-1)
+        with pytest.raises(ValueError):
+            disk.release(-1)
+
+    def test_timing_and_io_accounting(self):
+        disk = LocalDisk(capacity=10**9, read_bw=100 * MB, write_bw=50 * MB)
+        assert disk.read_time(100 * MB) == pytest.approx(1.0)
+        assert disk.write_time(100 * MB) == pytest.approx(2.0)
+        assert disk.bytes_read == 100 * MB
+        assert disk.bytes_written == 100 * MB
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            LocalDisk(capacity=0, read_bw=1, write_bw=1)
+
+
+class TestParallelFileSystem:
+    def test_single_client_limited_by_nic(self):
+        pfs = ParallelFileSystem(aggregate_bw=1000 * MB, per_client_bw=100 * MB)
+        assert pfs.effective_bw(1) == 100 * MB
+
+    def test_many_clients_share_backbone(self):
+        pfs = ParallelFileSystem(aggregate_bw=1000 * MB, per_client_bw=100 * MB)
+        assert pfs.effective_bw(20) == 50 * MB
+
+    def test_saturation_point(self):
+        pfs = ParallelFileSystem(aggregate_bw=1000 * MB, per_client_bw=100 * MB)
+        assert pfs.saturation_point() == 10
+        # Below saturation, adding clients doesn't hurt each client.
+        assert pfs.effective_bw(5) == pfs.effective_bw(10) == 100 * MB
+        # Beyond it, per-client bandwidth decays.
+        assert pfs.effective_bw(11) < 100 * MB
+
+    def test_read_time_under_contention(self):
+        pfs = ParallelFileSystem(aggregate_bw=1000 * MB, per_client_bw=100 * MB)
+        solo = pfs.read_time(100 * MB, concurrent_clients=1)
+        crowded = pfs.read_time(100 * MB, concurrent_clients=40)
+        assert crowded == pytest.approx(solo * 4)
+
+    def test_invalid_client_count(self):
+        pfs = ParallelFileSystem()
+        with pytest.raises(ValueError):
+            pfs.effective_bw(0)
+
+    def test_no_file_locking_by_default(self):
+        # The Clemson constraint that forbids myHadoop persistent mode.
+        assert not ParallelFileSystem().supports_file_locking

@@ -1,0 +1,48 @@
+"""Assignments grade their own reference solutions correctly."""
+
+import pytest
+
+from repro.core.assignments import ASSIGNMENTS, GradeResult, grade_all
+
+
+class TestAssignmentRegistry:
+    def test_four_assignments(self):
+        assert set(ASSIGNMENTS) == {
+            "v1-top-word",
+            "v1-google-trace",
+            "v2-movielens",
+            "v2-yahoo-hdfs",
+        }
+
+    def test_weeks_match_paper(self):
+        # "two-week and three-week long assignments, respectively."
+        assert ASSIGNMENTS["v2-movielens"].weeks == 2
+        assert ASSIGNMENTS["v2-yahoo-hdfs"].weeks == 3
+
+    def test_datasets_declared(self):
+        assert ASSIGNMENTS["v1-google-trace"].datasets == ("google_trace",)
+        assert "yahoo_music" in ASSIGNMENTS["v2-yahoo-hdfs"].datasets
+
+
+class TestGradeResult:
+    def test_correctness_is_equality(self):
+        ok = GradeResult("a", "check", expected=1, actual=1)
+        bad = GradeResult("a", "check", expected=1, actual=2)
+        assert ok.correct and not bad.correct
+        assert "PASS" in ok.describe()
+        assert "FAIL" in bad.describe()
+
+
+class TestReferenceSolutions:
+    @pytest.mark.parametrize("assignment_id", sorted(ASSIGNMENTS))
+    def test_reference_solution_passes(self, assignment_id):
+        results = ASSIGNMENTS[assignment_id].run_reference(seed=3)
+        assert results, "assignment produced no grade checks"
+        for result in results:
+            assert result.correct, result.describe()
+
+    def test_grade_all_covers_every_assignment(self):
+        results = grade_all(seed=5)
+        graded_ids = {r.assignment_id for r in results}
+        assert graded_ids == set(ASSIGNMENTS)
+        assert all(r.correct for r in results)

@@ -1,0 +1,61 @@
+"""Figure generators."""
+
+import pytest
+
+from repro.core.figures import figure1_scan_sweep, figure2_integration_text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figure1_scan_sweep()
+
+    def test_point_per_node_count(self, sweep):
+        assert [p.num_nodes for p in sweep] == [4, 8, 16, 32, 64, 128]
+
+    def test_hadoop_scales_linearly(self, sweep):
+        by_n = {p.num_nodes: p for p in sweep}
+        assert by_n[8].hadoop_seconds == pytest.approx(
+            by_n[4].hadoop_seconds / 2
+        )
+        assert by_n[128].hadoop_seconds == pytest.approx(
+            by_n[4].hadoop_seconds / 32
+        )
+
+    def test_hpc_flattens_past_saturation(self, sweep):
+        by_n = {p.num_nodes: p for p in sweep}
+        # 4 GB/s backbone / 125 MB/s NIC = 32-client saturation point.
+        assert by_n[64].hpc_seconds == pytest.approx(by_n[32].hpc_seconds)
+        assert by_n[128].hpc_seconds == pytest.approx(by_n[32].hpc_seconds)
+
+    def test_hadoop_wins_at_scale(self, sweep):
+        last = sweep[-1]
+        assert last.hadoop_speedup > 2.0
+
+    def test_architectures_comparable_at_small_scale(self, sweep):
+        first = sweep[0]
+        assert 0.5 < first.hadoop_speedup < 2.0
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return figure2_integration_text(seed=3)
+
+    def test_four_layers_present(self, text):
+        assert "HDFS Abstractions" in text
+        assert "block metadata lives in memory" in text
+        assert "JobTracker" in text
+        assert "Physical view at the Linux FS" in text
+
+    def test_blocks_traceable_top_to_bottom(self, text):
+        # Block names in the metadata layer reappear as blk_ files below.
+        import re
+
+        metadata_blocks = set(re.findall(r"blk_\d+", text))
+        assert metadata_blocks
+        physical_section = text.split("Physical view")[1]
+        assert any(b in physical_section for b in metadata_blocks)
+
+    def test_locality_decisions_shown(self, text):
+        assert "node_local" in text or "rack_local" in text

@@ -1,0 +1,60 @@
+"""The four module versions: internal consistency with Section II."""
+
+import pytest
+
+from repro.core.assignments import ASSIGNMENTS
+from repro.core.module import (
+    MODULE_VERSIONS,
+    module_history_table,
+    version_by_number,
+)
+
+
+class TestModuleVersions:
+    def test_four_offerings(self):
+        assert [v.version for v in MODULE_VERSIONS] == [1, 2, 3, 4]
+        assert [v.term for v in MODULE_VERSIONS] == [
+            "Fall 2012",
+            "Spring 2013",
+            "Summer 2013 (REU)",
+            "Fall 2013",
+        ]
+
+    def test_session_counts_follow_paper(self):
+        # Five lectures in v1 and v2; seven in v4.
+        assert version_by_number(1).num_sessions == 5
+        assert version_by_number(2).num_sessions == 5
+        assert version_by_number(4).num_sessions == 7
+
+    def test_v4_doubled_labs(self):
+        assert version_by_number(4).num_labs == 2 * version_by_number(2).num_labs
+
+    def test_assignment_ids_resolve(self):
+        for version in MODULE_VERSIONS:
+            for assignment_id in version.assignment_ids:
+                assert assignment_id in ASSIGNMENTS
+
+    def test_v1_platforms_were_vm_and_dedicated(self):
+        assert version_by_number(1).platform_keys == ("vm", "dedicated")
+
+    def test_v2_onward_use_myhadoop(self):
+        for number in (2, 3, 4):
+            assert "myhadoop" in version_by_number(number).platform_keys
+            assert "dedicated" not in version_by_number(number).platform_keys
+
+    def test_v1_issues_include_the_meltdown(self):
+        issues = " ".join(version_by_number(1).issues)
+        assert "crash" in issues
+        assert "15" in issues
+
+    def test_v4_includes_ecosystem_lecture(self):
+        topics = {lec.topic for lec in version_by_number(4).lectures}
+        assert "ecosystem" in topics
+
+    def test_unknown_version_raises(self):
+        with pytest.raises(KeyError):
+            version_by_number(9)
+
+    def test_history_table_renders(self):
+        text = module_history_table().render()
+        assert "Fall 2012" in text and "Fall 2013" in text

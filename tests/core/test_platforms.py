@@ -1,0 +1,83 @@
+"""The three platform generations."""
+
+import pytest
+
+from repro.core.platforms import (
+    VM_DISPLAY_BANDWIDTH,
+    build_dedicated_platform,
+    build_myhadoop_platform,
+    build_teaching_cluster,
+    build_vm_platform,
+    vm_gui_transfer_seconds,
+)
+from repro.jobs.wordcount import WordCountJob
+from repro.util.units import GB, MB
+
+
+class TestVmPlatform:
+    def test_single_node_replication_one(self):
+        platform = build_vm_platform(seed=1)
+        assert len(platform.mr.hdfs.datanodes) == 1
+        assert platform.mr.hdfs.config.replication == 1
+
+    def test_jobs_still_run(self):
+        platform = build_vm_platform(seed=1)
+        platform.put_text("/in.txt", "a b a")
+        result = platform.run_job(WordCountJob(), "/in.txt", "/out")
+        assert result.output_dict() == {"a": "2", "b": "1"}
+
+    def test_gui_over_tunnel_is_painful(self):
+        # A 30 MB GUI screen sequence takes half a minute at ~1 MB/s.
+        assert vm_gui_transfer_seconds(30 * MB) == pytest.approx(30.0)
+        assert VM_DISPLAY_BANDWIDTH == 1 * MB
+
+    def test_quirks_documented(self):
+        platform = build_vm_platform()
+        assert any("1 MB/s" in quirk for quirk in platform.quirks)
+
+
+class TestDedicatedPlatform:
+    def test_matches_paper_hardware(self):
+        platform = build_dedicated_platform(seed=1)
+        assert len(platform.mr.hdfs.datanodes) == 8
+        node = platform.mr.hdfs.topology.node("node0")
+        assert node.spec.ram_bytes == 64 * GB
+        assert node.spec.disk_bytes == 850 * GB
+
+    def test_replication_three(self):
+        platform = build_dedicated_platform(seed=1)
+        assert platform.mr.hdfs.config.replication == 3
+
+    def test_shell_available(self):
+        platform = build_dedicated_platform(seed=1)
+        platform.put_text("/f", "x")
+        assert platform.shell().run("-cat", "/f").output == "x"
+
+
+class TestTeachingCluster:
+    def test_quickstart_flow(self):
+        platform = build_teaching_cluster(num_workers=4, seed=7)
+        platform.put_text("/data/input.txt", "to be or not to be")
+        result = platform.run_job(WordCountJob(), "/data/input.txt", "/out/wc")
+        assert result.output_dict()["to"] == "2"
+        assert result.succeeded
+        assert result.report.num_maps >= 1
+
+    def test_replication_capped_by_workers(self):
+        platform = build_teaching_cluster(num_workers=2)
+        assert platform.mr.hdfs.config.replication == 2
+
+
+class TestMyHadoopPlatform:
+    def test_environment_assembled(self):
+        env = build_myhadoop_platform(seed=1, supercomputer_nodes=32)
+        assert len(env.topology) == 32
+        assert env.scheduler.free_nodes() == 32
+        assert not env.pfs.supports_file_locking
+
+    def test_home_directories_isolated(self):
+        env = build_myhadoop_platform(seed=1)
+        home_a = env.home_for("a")
+        home_b = env.home_for("b")
+        home_a.write_file("/home/a/x", "private")
+        assert not home_b.exists("/home/a/x")

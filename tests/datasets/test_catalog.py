@@ -1,0 +1,65 @@
+"""The dataset catalog and staging-time reasoning (Section III.C)."""
+
+import pytest
+
+from repro.datasets.catalog import (
+    DATASET_CATALOG,
+    staging_table,
+    staging_time,
+)
+from repro.util.units import GB, MB, MINUTE, HOUR
+
+
+class TestCatalog:
+    def test_all_five_course_datasets_present(self):
+        assert set(DATASET_CATALOG) == {
+            "shakespeare",
+            "google_trace",
+            "airline",
+            "movielens",
+            "yahoo_music",
+        }
+
+    def test_paper_quoted_sizes(self):
+        assert DATASET_CATALOG["google_trace"].real_size_bytes == 171 * GB
+        assert DATASET_CATALOG["airline"].real_size_bytes == 12 * GB
+        assert DATASET_CATALOG["movielens"].real_size_bytes == 250 * MB
+        assert DATASET_CATALOG["yahoo_music"].real_size_bytes == 10 * GB
+
+    def test_generators_resolve(self):
+        import importlib
+
+        for info in DATASET_CATALOG.values():
+            module_name, func = info.generator.rsplit(".", 1)
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, func))
+
+
+class TestStagingClaims:
+    """Claim C5's shape: >1h for the Google trace, <5min for Yahoo."""
+
+    INGEST_BW = 40 * MB  # a realistic single-client -put rate
+
+    def test_google_trace_over_an_hour(self):
+        seconds = staging_time(DATASET_CATALOG["google_trace"], self.INGEST_BW)
+        assert seconds > 1 * HOUR
+
+    def test_yahoo_under_five_minutes(self):
+        seconds = staging_time(DATASET_CATALOG["yahoo_music"], self.INGEST_BW)
+        assert seconds < 5 * MINUTE
+
+    def test_ordering_follows_size(self):
+        times = {
+            key: staging_time(info, self.INGEST_BW)
+            for key, info in DATASET_CATALOG.items()
+        }
+        assert times["google_trace"] > times["airline"] > times["movielens"]
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            staging_time(DATASET_CATALOG["airline"], 0)
+
+    def test_staging_table_rows(self):
+        rows = staging_table(self.INGEST_BW)
+        assert len(rows) == len(DATASET_CATALOG)
+        assert all(len(row) == 3 for row in rows)

@@ -1,0 +1,184 @@
+"""Airline, MovieLens, Yahoo Music, Google trace generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.airline import CARRIERS, HEADER, generate_airline
+from repro.datasets.google_trace import (
+    EVENT_SUBMIT,
+    generate_google_trace,
+)
+from repro.datasets.movielens import GENRES, generate_movielens
+from repro.datasets.yahoo_music import generate_yahoo_music
+
+
+class TestAirline:
+    def test_header_and_row_count(self):
+        data = generate_airline(seed=3, num_rows=500)
+        lines = data.csv_text.strip().split("\n")
+        assert lines[0] == HEADER
+        assert len(lines) == 501
+
+    def test_ground_truth_matches_rows(self):
+        data = generate_airline(seed=3, num_rows=500)
+        sums: dict[str, list] = {}
+        for line in data.csv_text.strip().split("\n")[1:]:
+            fields = line.split(",")
+            carrier, delay = fields[5], fields[7]
+            if delay == "NA":
+                continue
+            acc = sums.setdefault(carrier, [0.0, 0])
+            acc[0] += float(delay)
+            acc[1] += 1
+        for carrier, (total, count) in data.delay_sums.items():
+            if count:
+                assert sums[carrier][1] == count
+                assert sums[carrier][0] == pytest.approx(total)
+
+    def test_cancelled_rows_have_na(self):
+        data = generate_airline(seed=3, num_rows=2000, cancelled_rate=0.5)
+        na_rows = [
+            line
+            for line in data.csv_text.strip().split("\n")[1:]
+            if ",NA," in line
+        ]
+        assert len(na_rows) > 500  # roughly half
+
+    def test_carriers_are_known_codes(self):
+        data = generate_airline(seed=3, num_rows=200)
+        codes = {c for c, _, _ in CARRIERS}
+        for line in data.csv_text.strip().split("\n")[1:]:
+            assert line.split(",")[5] in codes
+
+    def test_best_carrier_is_min_average(self):
+        data = generate_airline(seed=3, num_rows=5000)
+        averages = data.true_average_delays()
+        assert averages[data.best_carrier()] == min(averages.values())
+
+    def test_deterministic(self):
+        assert (
+            generate_airline(seed=5, num_rows=100).csv_text
+            == generate_airline(seed=5, num_rows=100).csv_text
+        )
+
+
+class TestMovieLens:
+    def test_formats(self):
+        data = generate_movielens(seed=4, num_ratings=300, num_movies=30)
+        rating_line = data.ratings_text.strip().split("\n")[0]
+        assert len(rating_line.split("::")) == 4
+        movie_line = data.movies_text.strip().split("\n")[0]
+        movie_id, title, genres = movie_line.split("::")
+        assert movie_id == "1"
+        assert "(" in title  # release year
+        assert all(g in GENRES for g in genres.split("|"))
+
+    def test_genre_stats_match_raw_data(self):
+        data = generate_movielens(seed=4, num_ratings=500, num_movies=40)
+        movie_genres = {}
+        for line in data.movies_text.strip().split("\n"):
+            mid, _, genre_field = line.split("::")
+            movie_genres[int(mid)] = genre_field.split("|")
+        recomputed: dict[str, list] = {}
+        for line in data.ratings_text.strip().split("\n"):
+            _u, movie, rating, _t = line.split("::")
+            for genre in movie_genres[int(movie)]:
+                acc = recomputed.setdefault(genre, [0, 0.0])
+                acc[0] += 1
+                acc[1] += float(rating)
+        for genre, stats in data.genre_stats.items():
+            assert recomputed[genre][0] == stats.count
+            assert recomputed[genre][1] / recomputed[genre][0] == pytest.approx(
+                stats.mean
+            )
+
+    def test_top_rater_matches_counts(self):
+        data = generate_movielens(seed=4, num_ratings=800)
+        counts = Counter()
+        for line in data.ratings_text.strip().split("\n"):
+            counts[int(line.split("::")[0])] += 1
+        assert counts[data.top_rater()] == max(counts.values())
+
+    def test_ratings_in_valid_range(self):
+        data = generate_movielens(seed=4, num_ratings=300)
+        for line in data.ratings_text.strip().split("\n"):
+            rating = float(line.split("::")[2])
+            assert 0.5 <= rating <= 5.0
+            assert (rating * 2) == int(rating * 2)  # half-star grid
+
+
+class TestYahooMusic:
+    def test_song_album_table_complete(self):
+        data = generate_yahoo_music(seed=5, num_albums=10, songs_per_album=4)
+        lines = data.songs_text.strip().split("\n")
+        assert len(lines) == 40
+        albums = {int(line.split("\t")[1]) for line in lines}
+        assert albums == set(range(1, 11))
+
+    def test_album_sums_match_raw(self):
+        data = generate_yahoo_music(seed=5, num_ratings=400, num_albums=12)
+        song_album = {}
+        for line in data.songs_text.strip().split("\n"):
+            song, album, _ = line.split("\t")
+            song_album[int(song)] = int(album)
+        sums: dict[int, list] = {}
+        for line in data.ratings_text.strip().split("\n"):
+            _u, song, rating = line.split("\t")
+            album = song_album[int(song)]
+            acc = sums.setdefault(album, [0.0, 0])
+            acc[0] += float(rating)
+            acc[1] += 1
+        for album, (total, count) in data.album_sums.items():
+            assert sums[album] == [total, count]
+
+    def test_best_album_respects_min_ratings(self):
+        data = generate_yahoo_music(seed=5, num_ratings=300, num_albums=15)
+        best_any = data.best_album(min_ratings=1)
+        averages = data.true_album_averages(min_ratings=1)
+        assert averages[best_any] == max(averages.values())
+
+    def test_ratings_on_0_100_scale(self):
+        data = generate_yahoo_music(seed=5, num_ratings=200)
+        for line in data.ratings_text.strip().split("\n"):
+            assert 0 <= int(line.split("\t")[2]) <= 100
+
+
+class TestGoogleTrace:
+    def test_event_rows_well_formed(self):
+        data = generate_google_trace(seed=6, num_jobs=20)
+        for line in data.events_text.strip().split("\n"):
+            fields = line.split(",")
+            assert len(fields) == 5
+            assert 0 <= int(fields[4]) <= 6
+
+    def test_resubmissions_match_submit_counts(self):
+        data = generate_google_trace(seed=6, num_jobs=30)
+        submits: Counter = Counter()
+        for line in data.events_text.strip().split("\n"):
+            ts, job, task, machine, event = (int(x) for x in line.split(","))
+            if event == EVENT_SUBMIT:
+                submits[(job, task)] += 1
+        per_job: Counter = Counter()
+        for (job, _task), count in submits.items():
+            per_job[job] += count - 1
+        for job_id in range(1, 31):
+            assert data.resubmissions_per_job[job_id] == per_job.get(job_id, 0)
+
+    def test_max_job_is_argmax(self):
+        data = generate_google_trace(seed=6, num_jobs=30)
+        job_id, count = data.max_resubmission_job()
+        assert count == max(data.resubmissions_per_job.values())
+        assert data.resubmissions_per_job[job_id] == count
+
+    def test_flaky_fraction_zero_means_no_resubmissions(self):
+        data = generate_google_trace(seed=6, num_jobs=15, flaky_fraction=0.0)
+        assert data.max_resubmission_job()[1] == 0
+
+    def test_timestamps_monotonic(self):
+        data = generate_google_trace(seed=6, num_jobs=10)
+        stamps = [
+            int(line.split(",")[0])
+            for line in data.events_text.strip().split("\n")
+        ]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,86 @@
+"""Zipf text and the Shakespeare corpus."""
+
+from collections import Counter
+
+from repro.datasets.shakespeare import generate_shakespeare, tokenize
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.util.rng import RngStream
+
+
+class TestZipfText:
+    def test_deterministic(self):
+        a = ZipfTextGenerator(RngStream(1).child("z")).text(100)
+        b = ZipfTextGenerator(RngStream(1).child("z")).text(100)
+        assert a == b
+
+    def test_word_count(self):
+        text = ZipfTextGenerator(RngStream(2).child("z")).text(100)
+        assert len(text.split()) == 100
+
+    def test_zipf_skew(self):
+        gen = ZipfTextGenerator(RngStream(3).child("z"), vocab_size=500)
+        words = gen.words(20_000)
+        counts = Counter(words).most_common()
+        # Top word much more frequent than the 50th.
+        assert counts[0][1] > counts[49][1] * 5
+
+    def test_text_of_bytes_close_to_target(self):
+        gen = ZipfTextGenerator(RngStream(4).child("z"))
+        text = gen.text_of_bytes(10_000)
+        assert 10_000 <= len(text.encode()) <= 13_000
+
+    def test_lines_bounded(self):
+        gen = ZipfTextGenerator(RngStream(5).child("z"), words_per_line=5)
+        text = gen.text(47)
+        for line in text.strip().split("\n"):
+            assert 1 <= len(line.split()) <= 5
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("To be, or NOT to be!") == [
+            "to", "be", "or", "not", "to", "be",
+        ]
+
+    def test_apostrophes_kept(self):
+        assert tokenize("'tis the king's") == ["'tis", "the", "king's"]
+
+    def test_numbers_kept(self):
+        assert tokenize("act 2 scene 3") == ["act", "2", "scene", "3"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  ,,  ") == []
+
+
+class TestShakespeare:
+    def test_ground_truth_matches_text(self):
+        corpus = generate_shakespeare(seed=7, num_plays=2, words_per_play=400)
+        assert corpus.word_counts == Counter(tokenize(corpus.text))
+
+    def test_top_word_is_argmax(self):
+        corpus = generate_shakespeare(seed=7, num_plays=2, words_per_play=400)
+        word, count = corpus.top_word
+        assert corpus.word_counts[word] == count
+        assert count == max(corpus.word_counts.values())
+
+    def test_top_word_tie_break_alphabetical(self):
+        corpus = generate_shakespeare(seed=7, num_plays=1, words_per_play=100)
+        word, count = corpus.top_word
+        ties = [w for w, c in corpus.word_counts.items() if c == count]
+        assert word == min(ties)
+
+    def test_structure_markers_present(self):
+        corpus = generate_shakespeare(seed=1, num_plays=2, words_per_play=200)
+        assert "ACT 1" in corpus.text
+        assert corpus.num_plays == 2
+
+    def test_deterministic(self):
+        a = generate_shakespeare(seed=11, num_plays=1, words_per_play=100)
+        b = generate_shakespeare(seed=11, num_plays=1, words_per_play=100)
+        assert a.text == b.text
+
+    def test_different_seeds_differ(self):
+        a = generate_shakespeare(seed=1, num_plays=1, words_per_play=100)
+        b = generate_shakespeare(seed=2, num_plays=1, words_per_play=100)
+        assert a.text != b.text

@@ -1,0 +1,69 @@
+"""The balancer: skew correction without breaking replication."""
+
+import pytest
+
+from repro.hdfs.balancer import Balancer
+from tests.conftest import make_hdfs
+
+
+def skewed_cluster():
+    """All first replicas on node0 (writer-local placement)."""
+    cluster = make_hdfs(num_datanodes=4, block_size=1024, replication=1)
+    client = cluster.client(node="node0")
+    for i in range(12):
+        client.put_bytes(f"/data/f{i}", bytes([i]) * 1024)
+    return cluster
+
+
+class TestBalancer:
+    def test_detects_imbalance(self):
+        cluster = skewed_cluster()
+        balancer = Balancer(cluster, threshold=1e-9)
+        util = balancer.utilization()
+        assert util["node0"] > 0
+        assert not balancer.is_balanced()
+
+    def test_run_reduces_spread(self):
+        cluster = skewed_cluster()
+        balancer = Balancer(cluster, threshold=1e-9)
+        before = balancer.utilization()
+        report = balancer.run()
+        assert report.blocks_moved > 0
+        before_spread = max(before.values()) - min(before.values())
+        assert report.spread_after() < before_spread
+
+    def test_replication_invariant_preserved(self):
+        cluster = make_hdfs(num_datanodes=4, block_size=1024, replication=2)
+        client = cluster.client(node="node0")
+        for i in range(8):
+            client.put_bytes(f"/d/f{i}", bytes([i]) * 1500)
+        Balancer(cluster, threshold=0.01).run()
+        for meta in cluster.namenode.block_map.values():
+            assert len(meta.locations) == 2
+            assert len(set(meta.locations)) == 2
+
+    def test_data_still_readable_after_balancing(self):
+        cluster = skewed_cluster()
+        Balancer(cluster, threshold=0.01).run()
+        client = cluster.client()
+        for i in range(12):
+            assert client.read_bytes(f"/data/f{i}").data == bytes([i]) * 1024
+
+    def test_balanced_cluster_is_noop(self):
+        cluster = make_hdfs(num_datanodes=4)
+        report = Balancer(cluster, threshold=0.1).run()
+        assert report.converged
+        assert report.blocks_moved == 0
+
+    def test_invalid_threshold(self):
+        cluster = make_hdfs(num_datanodes=2)
+        with pytest.raises(ValueError):
+            Balancer(cluster, threshold=0.0)
+
+    def test_moves_charged_to_network(self):
+        cluster = skewed_cluster()
+        before = cluster.network.counters.total_bytes
+        report = Balancer(cluster, threshold=0.01).run()
+        assert cluster.network.counters.total_bytes >= (
+            before + report.blocks_moved * 1024
+        )

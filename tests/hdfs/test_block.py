@@ -1,0 +1,54 @@
+"""Blocks, checksums, corruption detection."""
+
+import pytest
+
+from repro.hdfs.block import Block, BlockIdGenerator, StoredBlock, checksum
+from repro.util.errors import CorruptBlockError
+
+
+class TestBlock:
+    def test_physical_name(self):
+        assert Block(1001, 1, 64).name == "blk_1001"
+
+    def test_id_generator_monotonic(self):
+        gen = BlockIdGenerator()
+        first = gen.next_id()
+        assert gen.next_id() == first + 1
+
+
+class TestStoredBlock:
+    def test_length_must_match(self):
+        with pytest.raises(ValueError):
+            StoredBlock(Block(1, 1, 10), b"short")
+
+    def test_verify_fresh(self):
+        stored = StoredBlock(Block(1, 1, 4), b"data")
+        assert stored.verify()
+        assert stored.read() == b"data"
+
+    def test_corruption_detected(self):
+        stored = StoredBlock(Block(1, 1, 4), b"data")
+        stored.corrupt()
+        assert not stored.verify()
+        with pytest.raises(CorruptBlockError):
+            stored.read()
+
+    def test_corrupt_at_offset(self):
+        stored = StoredBlock(Block(1, 1, 8), b"abcdefgh")
+        stored.corrupt(offset=3)
+        assert stored.data[:3] == b"abc"
+        assert stored.data[3] != ord("d")
+
+    def test_corrupt_offset_wraps(self):
+        stored = StoredBlock(Block(1, 1, 4), b"abcd")
+        stored.corrupt(offset=6)  # 6 % 4 == 2
+        assert stored.data[2] != ord("c")
+
+    def test_corrupting_empty_block_is_noop(self):
+        stored = StoredBlock(Block(1, 1, 0), b"")
+        stored.corrupt()
+        assert stored.verify()
+
+    def test_checksum_is_stable(self):
+        assert checksum(b"abc") == checksum(b"abc")
+        assert checksum(b"abc") != checksum(b"abd")

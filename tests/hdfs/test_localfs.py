@@ -1,0 +1,79 @@
+"""The Linux-FS stand-in."""
+
+import pytest
+
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.util.errors import FileNotFoundInHdfs, IsADirectory
+
+
+class TestLinuxFileSystem:
+    def test_write_read_roundtrip(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/home/u/f.txt", "hello")
+        assert fs.read_text("/home/u/f.txt") == "hello"
+        assert fs.read_file("/home/u/f.txt") == b"hello"
+
+    def test_bytes_and_str_accepted(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/a", b"\x00\x01")
+        assert fs.read_file("/a") == b"\x00\x01"
+
+    def test_append(self):
+        fs = LinuxFileSystem()
+        fs.append_file("/log", "a")
+        fs.append_file("/log", "b")
+        assert fs.read_text("/log") == "ab"
+
+    def test_missing_file_raises(self):
+        fs = LinuxFileSystem()
+        with pytest.raises(FileNotFoundInHdfs):
+            fs.read_file("/nope")
+
+    def test_read_directory_raises(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/d/f", "x")
+        with pytest.raises(IsADirectory):
+            fs.read_file("/d")
+
+    def test_exists_and_is_dir(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/d/sub/f", "x")
+        assert fs.exists("/d/sub/f")
+        assert fs.exists("/d/sub")
+        assert fs.is_dir("/d")
+        assert not fs.is_dir("/d/sub/f")
+        assert fs.is_dir("/")
+
+    def test_listdir(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/d/a", "1")
+        fs.write_file("/d/b/c", "2")
+        assert fs.listdir("/d") == ["a", "b"]
+        assert fs.listdir("/") == ["d"]
+
+    def test_walk_and_total_bytes(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/d/a", "12")
+        fs.write_file("/d/b", "345")
+        assert fs.walk("/d") == ["/d/a", "/d/b"]
+        assert fs.total_bytes("/d") == 5
+
+    def test_delete_file_and_tree(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/d/a", "1")
+        fs.write_file("/d/b", "2")
+        assert fs.delete("/d/a")
+        assert not fs.exists("/d/a")
+        assert fs.delete("/d")
+        assert not fs.exists("/d")
+        assert not fs.delete("/ghost")
+
+    def test_size(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/f", "abcd")
+        assert fs.size("/f") == 4
+
+    def test_normalizes_paths(self):
+        fs = LinuxFileSystem()
+        fs.write_file("a/b.txt", "x")  # no leading slash
+        assert fs.read_text("/a/b.txt") == "x"

@@ -1,0 +1,85 @@
+"""Rack-aware replica placement policy."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.placement import ReplicaPlacementPolicy
+from repro.util.rng import RngStream
+
+
+def make_policy(num_nodes=9, nodes_per_rack=3, seed=1):
+    topo = ClusterTopology.regular(
+        num_nodes=num_nodes, nodes_per_rack=nodes_per_rack
+    )
+    return topo, ReplicaPlacementPolicy(topo, RngStream(seed).child("p"))
+
+
+class TestPlacementPolicy:
+    def test_writer_gets_first_replica(self):
+        topo, policy = make_policy()
+        candidates = [n.name for n in topo.nodes()]
+        targets = policy.choose_targets(3, candidates, writer="node4")
+        assert targets[0] == "node4"
+
+    def test_second_replica_off_rack(self):
+        topo, policy = make_policy()
+        candidates = [n.name for n in topo.nodes()]
+        for _ in range(20):
+            targets = policy.choose_targets(3, candidates, writer="node0")
+            assert topo.rack_of(targets[1]) != topo.rack_of(targets[0])
+
+    def test_third_replica_same_rack_as_second(self):
+        topo, policy = make_policy()
+        candidates = [n.name for n in topo.nodes()]
+        for _ in range(20):
+            targets = policy.choose_targets(3, candidates, writer="node0")
+            assert topo.rack_of(targets[2]) == topo.rack_of(targets[1])
+            assert targets[2] != targets[1]
+
+    def test_targets_are_distinct(self):
+        topo, policy = make_policy()
+        candidates = [n.name for n in topo.nodes()]
+        for rep in range(1, 6):
+            targets = policy.choose_targets(rep, candidates, writer="node0")
+            assert len(targets) == len(set(targets)) == rep
+
+    def test_single_rack_degrades_gracefully(self):
+        topo, policy = make_policy(num_nodes=4, nodes_per_rack=8)
+        candidates = [n.name for n in topo.nodes()]
+        targets = policy.choose_targets(3, candidates, writer="node1")
+        assert len(targets) == 3
+        assert len(set(targets)) == 3
+
+    def test_fewer_candidates_than_replicas(self):
+        topo, policy = make_policy(num_nodes=2, nodes_per_rack=2)
+        candidates = [n.name for n in topo.nodes()]
+        targets = policy.choose_targets(3, candidates)
+        assert len(targets) == 2  # under-replicated, not an error
+
+    def test_exclusions_respected(self):
+        topo, policy = make_policy()
+        candidates = [n.name for n in topo.nodes()]
+        exclude = {"node0", "node1", "node2"}
+        for _ in range(10):
+            targets = policy.choose_targets(
+                3, candidates, writer="node0", exclude=exclude
+            )
+            assert not exclude & set(targets)
+
+    def test_writer_not_a_candidate_falls_back(self):
+        topo, policy = make_policy()
+        candidates = ["node1", "node2"]
+        targets = policy.choose_targets(2, candidates, writer="node8")
+        assert set(targets) <= {"node1", "node2"}
+
+    def test_no_candidates_returns_empty(self):
+        _topo, policy = make_policy()
+        assert policy.choose_targets(3, []) == []
+
+    def test_deterministic_given_seed(self):
+        topo1, p1 = make_policy(seed=42)
+        topo2, p2 = make_policy(seed=42)
+        candidates = [n.name for n in topo1.nodes()]
+        seq1 = [p1.choose_targets(3, candidates, writer="node0") for _ in range(5)]
+        seq2 = [p2.choose_targets(3, candidates, writer="node0") for _ in range(5)]
+        assert seq1 == seq2

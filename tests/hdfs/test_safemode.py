@@ -1,0 +1,66 @@
+"""Safe mode state machine."""
+
+import pytest
+
+from repro.hdfs.safemode import SafeMode
+from repro.util.errors import SafeModeException
+
+
+class TestSafeMode:
+    def test_starts_active(self):
+        sm = SafeMode(threshold=0.999, extension=5.0)
+        assert sm.active
+        with pytest.raises(SafeModeException):
+            sm.check("create")
+
+    def test_empty_namespace_meets_threshold(self):
+        sm = SafeMode(threshold=0.999, extension=5.0)
+        sm.set_block_totals(0, 0)
+        assert sm.ratio == 1.0
+        assert sm.threshold_met()
+
+    def test_exit_requires_extension_to_elapse(self):
+        sm = SafeMode(threshold=0.9, extension=5.0)
+        sm.set_block_totals(10, 10)
+        exit_time = sm.maybe_schedule_exit(now=100.0)
+        assert exit_time == 105.0
+        assert not sm.try_exit(now=102.0)  # too early: exit aborted
+        # The abort cleared the deadline; schedule again.
+        exit_time = sm.maybe_schedule_exit(now=102.0)
+        assert exit_time == 107.0
+        assert sm.try_exit(now=107.0)
+        assert not sm.active
+
+    def test_exit_not_scheduled_twice(self):
+        sm = SafeMode(threshold=0.9, extension=5.0)
+        sm.set_block_totals(10, 10)
+        assert sm.maybe_schedule_exit(now=0.0) == 5.0
+        assert sm.maybe_schedule_exit(now=1.0) is None
+
+    def test_threshold_regression_aborts_exit(self):
+        sm = SafeMode(threshold=0.9, extension=5.0)
+        sm.set_block_totals(10, 10)
+        sm.maybe_schedule_exit(now=0.0)
+        sm.set_block_totals(10, 5)  # a node died during the extension
+        assert not sm.try_exit(now=5.0)
+        assert sm.active
+
+    def test_manual_enter_blocks_auto_exit(self):
+        sm = SafeMode(threshold=0.5, extension=0.0)
+        sm.set_block_totals(2, 2)
+        sm.enter_manual()
+        assert sm.maybe_schedule_exit(now=0.0) is None
+        assert not sm.try_exit(now=100.0)
+        sm.leave_manual()
+        assert not sm.active
+
+    def test_check_passes_when_off(self):
+        sm = SafeMode(threshold=0.5, extension=0.0)
+        sm.leave_manual()
+        sm.check("create")  # must not raise
+
+    def test_describe_mentions_state(self):
+        sm = SafeMode(threshold=0.999, extension=1.0)
+        sm.set_block_totals(4, 3)
+        text = sm.describe()
+        assert "ON" in text and "3 of 4" in text

@@ -1,0 +1,111 @@
+"""The micro-SQL parser."""
+
+import pytest
+
+from repro.hive.parser import Query, SqlError, parse_query
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert query.table == "t"
+        assert query.items[0].column == "*"
+        assert not query.is_aggregation
+
+    def test_select_columns(self):
+        query = parse_query("SELECT a, b FROM t")
+        assert [i.column for i in query.items] == ["a", "b"]
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select a from t where a > 1 group by a")
+        assert query.table == "t"
+        assert query.group_by == ("a",)
+
+
+class TestAggregates:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        item = query.items[0]
+        assert item.aggregate == "COUNT" and item.column == "*"
+        assert query.is_aggregation
+
+    @pytest.mark.parametrize("agg", ["SUM", "AVG", "MIN", "MAX", "COUNT"])
+    def test_each_aggregate(self, agg):
+        query = parse_query(f"SELECT {agg}(x) FROM t")
+        assert query.items[0].aggregate == agg
+        assert query.items[0].column == "x"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("SELECT SUM(*) FROM t")
+
+    def test_mixed_group_and_aggs(self):
+        query = parse_query("SELECT k, AVG(v), COUNT(*) FROM t GROUP BY k")
+        assert query.group_by == ("k",)
+        assert len(query.aggregates) == 2
+
+    def test_label(self):
+        query = parse_query("SELECT AVG(delay) FROM t")
+        assert query.items[0].label == "avg(delay)"
+
+
+class TestWhere:
+    def test_numeric_conditions(self):
+        query = parse_query("SELECT a FROM t WHERE a > 5 AND b <= 2.5")
+        assert query.where[0].op == ">" and query.where[0].literal == 5
+        assert query.where[1].op == "<=" and query.where[1].literal == 2.5
+
+    def test_string_literal(self):
+        query = parse_query("SELECT a FROM t WHERE name = 'Film-Noir'")
+        assert query.where[0].literal == "Film-Noir"
+
+    def test_negative_number(self):
+        query = parse_query("SELECT a FROM t WHERE delay < -10")
+        assert query.where[0].literal == -10
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_all_operators(self, op):
+        query = parse_query(f"SELECT a FROM t WHERE a {op} 1")
+        assert query.where[0].op == op
+
+
+class TestOrderLimit:
+    def test_order_by_column(self):
+        query = parse_query("SELECT a FROM t ORDER BY a")
+        assert query.order_by == "a" and not query.order_desc
+
+    def test_order_by_desc(self):
+        query = parse_query("SELECT a FROM t ORDER BY a DESC")
+        assert query.order_desc
+
+    def test_order_by_aggregate_label(self):
+        query = parse_query(
+            "SELECT k, AVG(v) FROM t GROUP BY k ORDER BY AVG(v) DESC"
+        )
+        assert query.order_by == "avg(v)"
+
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_group_by_multiple(self):
+        query = parse_query("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert query.group_by == ("a", "b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT many",
+            "SELECT a FROM t GROUP",
+            "INSERT INTO t VALUES (1)",
+            "SELECT a FROM t WHERE a ~ 1",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse_query(bad)

@@ -1,0 +1,112 @@
+"""The three airline-delay variants (Lin's monoidify lesson)."""
+
+import pytest
+
+from repro.datasets.airline import generate_airline
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.airline_delay import (
+    AirlineDelayCombinerJob,
+    AirlineDelayInMapperJob,
+    AirlineDelayNaiveJob,
+    SumCountWritable,
+    parse_flight,
+)
+from repro.mapreduce.counters import C
+from repro.mapreduce.local_runner import LocalJobRunner
+from tests.conftest import make_mr
+
+ALL_VARIANTS = (
+    AirlineDelayNaiveJob,
+    AirlineDelayCombinerJob,
+    AirlineDelayInMapperJob,
+)
+
+
+@pytest.fixture(scope="module")
+def airline():
+    return generate_airline(seed=8, num_rows=2500)
+
+
+def run_local(job, csv_text):
+    fs = LinuxFileSystem()
+    fs.write_file("/air.csv", csv_text)
+    return LocalJobRunner(localfs=fs, split_size=8192).run(
+        job, "/air.csv", "/out"
+    )
+
+
+class TestParseFlight:
+    def test_header_skipped(self):
+        assert parse_flight("Year,Month,...") is None
+
+    def test_na_skipped(self):
+        line = "2008,1,2,3,900,AA,100,NA,NA,ATL,ORD,500,1"
+        assert parse_flight(line) is None
+
+    def test_valid_row(self):
+        line = "2008,1,2,3,900,AA,100,12,8,ATL,ORD,500,0"
+        assert parse_flight(line) == ("AA", 12.0)
+
+    def test_short_row_rejected(self):
+        assert parse_flight("a,b,c") is None
+        assert parse_flight("") is None
+
+    def test_garbage_delay_rejected(self):
+        line = "2008,1,2,3,900,AA,100,oops,8,ATL,ORD,500,0"
+        assert parse_flight(line) is None
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("job_cls", ALL_VARIANTS)
+    def test_matches_ground_truth(self, airline, job_cls):
+        result = run_local(job_cls(), airline.csv_text)
+        computed = {k: float(v) for k, v in result.pairs}
+        for carrier, expected in airline.true_average_delays().items():
+            assert computed[carrier] == pytest.approx(expected)
+
+    def test_variants_agree_on_cluster(self, airline):
+        mr = make_mr(num_workers=4, block_size=8192)
+        mr.client().put_text("/air.csv", airline.csv_text)
+        outputs = []
+        for i, job_cls in enumerate(ALL_VARIANTS):
+            mr.run_job(job_cls(), "/air.csv", f"/out{i}", require_success=True)
+            outputs.append(
+                {k: round(float(v), 9) for k, v in mr.read_output(f"/out{i}")}
+            )
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestTradeoffs:
+    """The lesson itself: shuffle bytes shrink as combining gets earlier."""
+
+    def test_shuffle_byte_ordering(self, airline):
+        mr = make_mr(num_workers=4, block_size=8192)
+        mr.client().put_text("/air.csv", airline.csv_text)
+        naive = mr.run_job(
+            AirlineDelayNaiveJob(), "/air.csv", "/n", require_success=True
+        )
+        combiner = mr.run_job(
+            AirlineDelayCombinerJob(), "/air.csv", "/c", require_success=True
+        )
+        in_mapper = mr.run_job(
+            AirlineDelayInMapperJob(), "/air.csv", "/m", require_success=True
+        )
+        assert combiner.shuffle_bytes < naive.shuffle_bytes / 5
+        assert in_mapper.shuffle_bytes <= combiner.shuffle_bytes
+
+    def test_naive_emits_one_pair_per_flight(self, airline):
+        result = run_local(AirlineDelayNaiveJob(), airline.csv_text)
+        flights = sum(c for _, c in airline.delay_sums.values())
+        assert result.counters.get(C.MAP_OUTPUT_RECORDS) == flights
+
+
+class TestSumCountWritable:
+    def test_round_trip(self):
+        sc = SumCountWritable(total=12.5, count=4)
+        assert SumCountWritable.decode(sc.encode()) == sc
+
+    def test_monoid_merge_manually(self):
+        a = SumCountWritable(total=10.0, count=2)
+        b = SumCountWritable(total=5.0, count=1)
+        merged = SumCountWritable(total=a.total + b.total, count=a.count + b.count)
+        assert merged.total / merged.count == pytest.approx(5.0)

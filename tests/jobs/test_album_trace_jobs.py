@@ -1,0 +1,119 @@
+"""The Yahoo album job and the Google-trace resubmission chain."""
+
+import pytest
+
+from repro.datasets.google_trace import generate_google_trace
+from repro.datasets.yahoo_music import generate_yahoo_music
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.album_rating import (
+    AlbumAverageWritable,
+    AlbumRatingJob,
+    best_album_from_output,
+    parse_songs_file,
+)
+from repro.jobs.trace_resubmissions import (
+    MaxResubmissionsJob,
+    TraceResubmissionsJob,
+    find_max_resubmission_job,
+    parse_event,
+)
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.local_runner import LocalJobRunner
+from tests.conftest import make_mr
+
+
+class TestAlbumRating:
+    @pytest.fixture(scope="class")
+    def music(self):
+        return generate_yahoo_music(seed=13, num_ratings=1200, num_albums=25)
+
+    def test_parse_songs_file(self):
+        assert parse_songs_file("1\t10\t5\n2\t10\t5\n3\t11\t6\n") == {
+            1: 10,
+            2: 10,
+            3: 11,
+        }
+
+    def test_local_run_matches_truth(self, music):
+        fs = LinuxFileSystem()
+        fs.write_file("/ratings.txt", music.ratings_text)
+        fs.write_file("/songs.txt", music.songs_text)
+        result = LocalJobRunner(localfs=fs, split_size=8192).run(
+            AlbumRatingJob(songs_path="/songs.txt"), "/ratings.txt", "/out"
+        )
+        computed = {
+            int(k): AlbumAverageWritable.decode(v) for k, v in result.pairs
+        }
+        for album, expected in music.true_album_averages().items():
+            assert computed[album].average == pytest.approx(expected)
+            assert computed[album].count == music.album_sums[album][1]
+
+    def test_best_album_selection(self, music):
+        fs = LinuxFileSystem()
+        fs.write_file("/ratings.txt", music.ratings_text)
+        fs.write_file("/songs.txt", music.songs_text)
+        result = LocalJobRunner(localfs=fs).run(
+            AlbumRatingJob(songs_path="/songs.txt"), "/ratings.txt", "/out"
+        )
+        album, avg = best_album_from_output(result.pairs, min_ratings=1)
+        assert album == music.best_album(min_ratings=1)
+
+    def test_min_ratings_threshold_filters(self):
+        pairs = [
+            ("1", AlbumAverageWritable(average=99.0, count=1).encode()),
+            ("2", AlbumAverageWritable(average=80.0, count=50).encode()),
+        ]
+        album, avg = best_album_from_output(pairs, min_ratings=10)
+        assert (album, avg) == (2, 80.0)
+
+    def test_no_qualifying_album_raises(self):
+        pairs = [("1", AlbumAverageWritable(average=99.0, count=1).encode())]
+        with pytest.raises(ValueError):
+            best_album_from_output(pairs, min_ratings=5)
+
+
+class TestTraceResubmissions:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_google_trace(seed=14, num_jobs=25)
+
+    def test_parse_event(self):
+        assert parse_event("10,2,3,400,0") == (10, 2, 3, 400, 0)
+        assert parse_event("junk") is None
+        assert parse_event("1,2,3,4,x") is None
+
+    def test_per_job_counts_local(self, trace):
+        fs = LinuxFileSystem()
+        fs.write_file("/trace.csv", trace.events_text)
+        result = LocalJobRunner(localfs=fs, split_size=16 * 1024).run(
+            TraceResubmissionsJob(
+                conf=JobConf(name="resub", num_reduces=3)
+            ),
+            "/trace.csv",
+            "/out",
+        )
+        computed = {int(k): int(v) for k, v in result.pairs}
+        for job_id, expected in trace.resubmissions_per_job.items():
+            assert computed[job_id] == expected
+
+    def test_full_chain_on_cluster(self, trace):
+        mr = make_mr(num_workers=4, block_size=16 * 1024)
+        mr.client().put_text("/trace.csv", trace.events_text)
+        job_id, count = find_max_resubmission_job(mr, "/trace.csv", "/work")
+        assert (job_id, count) == trace.max_resubmission_job()
+
+    def test_max_job_forces_single_reduce(self):
+        assert MaxResubmissionsJob().conf.num_reduces == 1
+
+    def test_partitioner_keeps_job_together(self):
+        # The ResubmissionReducer accumulates per job in reducer state:
+        # the KeyField partitioner must route all of a job's tasks to
+        # the same partition.
+        job = TraceResubmissionsJob()
+        from repro.mapreduce.types import Text
+
+        partitions = {
+            job.partitioner.partition(Text(f"77|{task}"), 6)
+            for task in range(100)
+        }
+        assert len(partitions) == 1

@@ -1,0 +1,121 @@
+"""Movie-genre statistics (side-file strategies) and the top rater."""
+
+import pytest
+
+from repro.datasets.movielens import generate_movielens
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.movie_genres import (
+    GenreStatsJob,
+    STRATEGIES,
+    parse_movies_file,
+    parse_rating,
+    parse_stats_value,
+)
+from repro.jobs.top_rater import RaterProfileWritable, TopRaterJob
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_movielens(seed=12, num_ratings=1500, num_movies=60, num_users=80)
+
+
+def runner_for(data):
+    fs = LinuxFileSystem()
+    fs.write_file("/ratings.dat", data.ratings_text)
+    fs.write_file("/movies.dat", data.movies_text)
+    return LocalJobRunner(localfs=fs, split_size=16 * 1024)
+
+
+class TestParsers:
+    def test_parse_movies_file(self):
+        table = parse_movies_file("1::T (1990)::Drama|War\n2::U (2001)::Comedy\n")
+        assert table == {1: ["Drama", "War"], 2: ["Comedy"]}
+
+    def test_parse_rating(self):
+        assert parse_rating("5::10::3.5::12345") == (5, 10, 3.5)
+        assert parse_rating("bad line") is None
+        assert parse_rating("") is None
+
+    def test_parse_stats_value(self):
+        parsed = parse_stats_value("count=3,mean=2.5,min=1,max=4")
+        assert parsed == {"count": 3.0, "mean": 2.5, "min": 1.0, "max": 4.0}
+
+
+class TestGenreStats:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_correct(self, data, strategy):
+        runner = runner_for(data)
+        result = runner.run(
+            GenreStatsJob(movies_path="/movies.dat", strategy=strategy),
+            "/ratings.dat",
+            "/out",
+        )
+        computed = {k: parse_stats_value(v) for k, v in result.pairs}
+        for genre, stats in data.genre_stats.items():
+            got = computed[genre]
+            assert int(got["count"]) == stats.count
+            assert got["mean"] == pytest.approx(stats.mean, abs=1e-4)
+            assert got["min"] == stats.minimum
+            assert got["max"] == stats.maximum
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            GenreStatsJob(movies_path="/m", strategy="telepathy")
+
+    def test_missing_side_file_param_fails_job(self, data):
+        from repro.util.errors import TaskFailedError
+
+        runner = runner_for(data)
+        with pytest.raises(TaskFailedError):
+            runner.run(GenreStatsJob(), "/ratings.dat", "/out")
+
+    def test_naive_is_much_slower(self, data):
+        """Claim C1 in miniature: naive side-file access costs ~10x."""
+        naive = runner_for(data).run(
+            GenreStatsJob(movies_path="/movies.dat", strategy="naive"),
+            "/ratings.dat",
+            "/out",
+        )
+        cached = runner_for(data).run(
+            GenreStatsJob(movies_path="/movies.dat", strategy="cached"),
+            "/ratings.dat",
+            "/out",
+        )
+        assert naive.simulated_seconds > cached.simulated_seconds * 5
+        assert sorted(naive.pairs) == sorted(cached.pairs)
+
+    def test_per_task_between_extremes(self, data):
+        times = {}
+        for strategy in STRATEGIES:
+            result = runner_for(data).run(
+                GenreStatsJob(movies_path="/movies.dat", strategy=strategy),
+                "/ratings.dat",
+                "/out",
+            )
+            times[strategy] = result.simulated_seconds
+        assert times["cached"] <= times["per_task"] <= times["naive"]
+
+
+class TestTopRater:
+    def test_single_winner_emitted(self, data):
+        runner = runner_for(data)
+        result = runner.run(
+            TopRaterJob(movies_path="/movies.dat"), "/ratings.dat", "/out"
+        )
+        assert len(result.pairs) == 1
+        user_text, profile_text = result.pairs[0]
+        profile = RaterProfileWritable.decode(profile_text)
+        expected = data.top_rater()
+        assert int(user_text) == expected
+        assert profile.num_ratings == data.ratings_per_user[expected]
+        assert profile.favorite_genre == data.favorite_genre_of(expected)
+
+    def test_forces_single_reduce(self):
+        job = TopRaterJob(movies_path="/m")
+        assert job.conf.num_reduces == 1
+
+    def test_profile_round_trip(self):
+        profile = RaterProfileWritable(num_ratings=42, favorite_genre="Drama")
+        assert RaterProfileWritable.decode(profile.encode()) == profile

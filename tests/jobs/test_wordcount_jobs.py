@@ -1,0 +1,74 @@
+"""WordCount variants and the top-word assignment."""
+
+import pytest
+
+from repro.datasets.shakespeare import generate_shakespeare
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.top_word import TopWordJob, find_top_word
+from repro.jobs.wordcount import (
+    WordCountInMapperJob,
+    WordCountJob,
+    WordCountWithCombinerJob,
+)
+from repro.mapreduce.counters import C
+from repro.mapreduce.local_runner import LocalJobRunner
+from tests.conftest import make_mr
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_shakespeare(seed=9, num_plays=2, words_per_play=600)
+
+
+def run_local(job, text, split_size=4096):
+    fs = LinuxFileSystem()
+    fs.write_file("/in.txt", text)
+    return LocalJobRunner(localfs=fs, split_size=split_size).run(
+        job, "/in.txt", "/out"
+    )
+
+
+class TestWordCountVariants:
+    def test_plain_matches_ground_truth(self, corpus):
+        result = run_local(WordCountJob(), corpus.text)
+        counted = {k: int(v) for k, v in result.pairs}
+        assert counted == dict(corpus.word_counts)
+
+    def test_all_variants_agree(self, corpus):
+        results = [
+            run_local(job_cls(), corpus.text)
+            for job_cls in (
+                WordCountJob,
+                WordCountWithCombinerJob,
+                WordCountInMapperJob,
+            )
+        ]
+        baseline = sorted(results[0].pairs)
+        for result in results[1:]:
+            assert sorted(result.pairs) == baseline
+
+    def test_combiner_reduces_intermediate_records(self, corpus):
+        plain = run_local(WordCountJob(), corpus.text)
+        combined = run_local(WordCountWithCombinerJob(), corpus.text)
+        assert combined.counters.get(C.COMBINE_OUTPUT_RECORDS) < (
+            plain.counters.get(C.MAP_OUTPUT_RECORDS)
+        )
+
+    def test_in_mapper_emits_fewest_map_records(self, corpus):
+        plain = run_local(WordCountJob(), corpus.text)
+        in_mapper = run_local(WordCountInMapperJob(), corpus.text)
+        assert in_mapper.counters.get(C.MAP_OUTPUT_RECORDS) < (
+            plain.counters.get(C.MAP_OUTPUT_RECORDS)
+        )
+
+
+class TestTopWord:
+    def test_single_reducer_enforced(self):
+        job = TopWordJob()
+        assert job.conf.num_reduces == 1
+
+    def test_two_job_chain_on_cluster(self, corpus):
+        mr = make_mr(num_workers=4, block_size=4096)
+        mr.client().put_text("/shake.txt", corpus.text)
+        word, count = find_top_word(mr, "/shake.txt", "/work")
+        assert (word, count) == corpus.top_word

@@ -1,0 +1,55 @@
+"""Counter accounting and rendering."""
+
+from repro.mapreduce.counters import C, Counters
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        counters = Counters()
+        counters.increment(C.MAP_INPUT_RECORDS, 5)
+        counters.increment(C.MAP_INPUT_RECORDS)
+        assert counters.get(C.MAP_INPUT_RECORDS) == 6
+
+    def test_get_missing_is_zero(self):
+        assert Counters().get(C.SPILLED_RECORDS) == 0
+
+    def test_set_overrides(self):
+        counters = Counters()
+        counters.increment(C.HDFS_BYTES_READ, 10)
+        counters.set(C.HDFS_BYTES_READ, 3)
+        assert counters.get(C.HDFS_BYTES_READ) == 3
+
+    def test_merge_adds(self):
+        a, b = Counters(), Counters()
+        a.increment(C.MAP_OUTPUT_RECORDS, 1)
+        b.increment(C.MAP_OUTPUT_RECORDS, 2)
+        b.increment(C.REDUCE_INPUT_GROUPS, 7)
+        a.merge(b)
+        assert a.get(C.MAP_OUTPUT_RECORDS) == 3
+        assert a.get(C.REDUCE_INPUT_GROUPS) == 7
+
+    def test_groups_sorted(self):
+        counters = Counters()
+        counters.increment(C.MAP_INPUT_RECORDS)
+        counters.increment(C.HDFS_BYTES_READ)
+        counters.increment(C.DATA_LOCAL_MAPS)
+        assert counters.groups() == [
+            "FileSystemCounters",
+            "Job Counters",
+            "Map-Reduce Framework",
+        ]
+
+    def test_render_hadoop_style(self):
+        counters = Counters()
+        counters.increment(C.MAP_INPUT_RECORDS, 42)
+        text = counters.render()
+        assert "Counters:" in text
+        assert "Map-Reduce Framework" in text
+        assert "Map input records=42" in text
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.increment(C.DATA_LOCAL_MAPS, 2)
+        assert counters.as_dict() == {
+            "Job Counters": {"Data-local map tasks": 2}
+        }

@@ -1,0 +1,142 @@
+"""Input splits and record readers, especially block-boundary lines."""
+
+import pytest
+
+from repro.mapreduce.inputformat import (
+    FetchStats,
+    KeyValueTextInputFormat,
+    TextInputFormat,
+)
+
+
+def chunked_fetch(data: bytes, block_size: int):
+    """A fetch over an in-memory file chopped into pseudo-blocks."""
+
+    def fetch(path: str, block_index: int, max_bytes):
+        start = block_index * block_size
+        if start >= len(data) and block_index > 0:
+            raise IndexError(block_index)
+        chunk = data[start : start + block_size]
+        if max_bytes is not None:
+            chunk = chunk[:max_bytes]
+        return chunk, 0.001
+    return fetch
+
+
+def splits_for(data: bytes, block_size: int, path: str = "/f"):
+    lengths = []
+    offset = 0
+    while offset < len(data):
+        lengths.append(min(block_size, len(data) - offset))
+        offset += lengths[-1]
+    if not lengths:
+        lengths = [0]
+    return TextInputFormat.splits_for_file(
+        path, lengths, [("n",)] * len(lengths)
+    )
+
+
+def read_all(data: bytes, block_size: int):
+    fetch = chunked_fetch(data, block_size)
+    records = []
+    for split in splits_for(data, block_size):
+        records.extend(TextInputFormat.read_records(split, fetch))
+    return records
+
+
+class TestSplitConstruction:
+    def test_offsets_accumulate(self):
+        splits = TextInputFormat.splits_for_file(
+            "/f", [10, 10, 5], [("a",), ("b",), ("c",)]
+        )
+        assert [s.start_offset for s in splits] == [0, 10, 20]
+        assert splits[0].is_first and not splits[0].is_last
+        assert splits[2].is_last and not splits[2].is_first
+
+    def test_mismatched_metadata_rejected(self):
+        with pytest.raises(Exception):
+            TextInputFormat.splits_for_file("/f", [10], [])
+
+
+class TestLineReassembly:
+    def test_no_boundary_case(self):
+        data = b"aa\nbb\ncc\n"
+        records = read_all(data, block_size=100)
+        assert [v.value for _, v in records] == ["aa", "bb", "cc"]
+
+    def test_line_straddles_boundary(self):
+        data = b"first line\nsecond line\nthird\n"
+        # Block size cuts mid-"second".
+        for block_size in range(3, len(data)):
+            records = read_all(data, block_size)
+            values = [v.value for _, v in records]
+            assert values == ["first line", "second line", "third"], block_size
+
+    def test_offsets_are_file_positions(self):
+        data = b"ab\ncdef\ng\n"
+        records = read_all(data, block_size=4)
+        offsets = [k.value for k, _ in records]
+        assert offsets == [0, 3, 8]
+
+    def test_each_line_read_exactly_once(self):
+        lines = [f"line-{i:03d}" for i in range(50)]
+        data = ("\n".join(lines) + "\n").encode()
+        for block_size in (7, 16, 64, 1000):
+            records = read_all(data, block_size)
+            assert [v.value for _, v in records] == lines
+
+    def test_no_trailing_newline(self):
+        data = b"one\ntwo"
+        records = read_all(data, block_size=5)
+        assert [v.value for _, v in records] == ["one", "two"]
+
+    def test_line_longer_than_block(self):
+        long_line = "x" * 50
+        data = f"{long_line}\nshort\n".encode()
+        records = read_all(data, block_size=8)
+        assert [v.value for _, v in records] == [long_line, "short"]
+
+    def test_empty_lines_preserved(self):
+        data = b"a\n\nb\n"
+        records = read_all(data, block_size=100)
+        assert [v.value for _, v in records] == ["a", "", "b"]
+
+    def test_empty_file(self):
+        assert read_all(b"", block_size=10) == []
+
+    def test_fetch_stats_accumulate(self):
+        data = b"abc\ndef\n"
+        fetch = chunked_fetch(data, 4)
+        stats = FetchStats()
+        for split in splits_for(data, 4):
+            list(TextInputFormat.read_records(split, fetch, stats))
+        assert stats.bytes_read >= len(data)
+        assert stats.elapsed > 0
+
+
+class TestKeyValueFormat:
+    def test_tab_split(self):
+        data = b"k1\tv1\nk2\tv2 with tabs? no\n"
+        fetch = chunked_fetch(data, 100)
+        splits = splits_for(data, 100)
+        records = list(KeyValueTextInputFormat.read_records(splits[0], fetch))
+        assert [(k.value, v.value) for k, v in records] == [
+            ("k1", "v1"),
+            ("k2", "v2 with tabs? no"),
+        ]
+
+    def test_line_without_tab(self):
+        data = b"justkey\n"
+        fetch = chunked_fetch(data, 100)
+        records = list(
+            KeyValueTextInputFormat.read_records(splits_for(data, 100)[0], fetch)
+        )
+        assert [(k.value, v.value) for k, v in records] == [("justkey", "")]
+
+    def test_value_keeps_later_tabs(self):
+        data = b"k\tv1\tv2\n"
+        fetch = chunked_fetch(data, 100)
+        records = list(
+            KeyValueTextInputFormat.read_records(splits_for(data, 100)[0], fetch)
+        )
+        assert records[0][1].value == "v1\tv2"

@@ -1,0 +1,117 @@
+"""The serial no-HDFS runner (assignment-1 mode)."""
+
+import pytest
+
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.mapreduce.counters import C
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.mapreduce.streaming import streaming_job
+from repro.util.errors import (
+    FileNotFoundInHdfs,
+    JobSubmissionError,
+    OutputExistsError,
+)
+
+
+def wc_job(name="wc", combine=False, num_reduces=1):
+    return streaming_job(
+        name=name,
+        map_fn=lambda k, v: ((w, 1) for w in v.split()),
+        reduce_fn=lambda k, vs: [(k, sum(vs))],
+        combine_fn=(lambda k, vs: [(k, sum(vs))]) if combine else None,
+        num_reduces=num_reduces,
+    )
+
+
+@pytest.fixture
+def runner():
+    fs = LinuxFileSystem()
+    fs.write_file("/in/a.txt", "x y x\nz x y\n")
+    return LocalJobRunner(localfs=fs, split_size=8)
+
+
+class TestLocalRunner:
+    def test_answers(self, runner):
+        result = runner.run(wc_job(), "/in/a.txt", "/out")
+        assert result.output_dict() == {"x": "3", "y": "2", "z": "1"}
+
+    def test_writes_part_files_and_success_marker(self, runner):
+        runner.run(wc_job(num_reduces=2), "/in/a.txt", "/out")
+        fs = runner.localfs
+        assert fs.exists("/out/part-00000")
+        assert fs.exists("/out/part-00001")
+        assert fs.exists("/out/_SUCCESS")
+
+    def test_directory_input(self, runner):
+        runner.localfs.write_file("/in/b.txt", "x q\n")
+        result = runner.run(wc_job(), "/in", "/out")
+        assert result.output_dict()["x"] == "4"
+        assert result.output_dict()["q"] == "1"
+
+    def test_output_exists_refused(self, runner):
+        runner.run(wc_job(), "/in/a.txt", "/out")
+        with pytest.raises(OutputExistsError):
+            runner.run(wc_job(), "/in/a.txt", "/out")
+
+    def test_missing_input(self, runner):
+        with pytest.raises(FileNotFoundInHdfs):
+            runner.run(wc_job(), "/nope", "/out2")
+
+    def test_empty_input_dir(self):
+        runner = LocalJobRunner(localfs=LinuxFileSystem())
+        runner.localfs.write_file("/other/x", "1")
+        with pytest.raises(FileNotFoundInHdfs):
+            runner.run(wc_job(), "/in", "/out")
+
+    def test_counters_populated(self, runner):
+        result = runner.run(wc_job(), "/in/a.txt", "/out")
+        assert result.counters.get(C.MAP_INPUT_RECORDS) == 2
+        assert result.counters.get(C.MAP_OUTPUT_RECORDS) == 6
+        assert result.counters.get(C.REDUCE_OUTPUT_RECORDS) == 3
+
+    def test_splits_respect_split_size(self, runner):
+        result = runner.run(wc_job(), "/in/a.txt", "/out")
+        assert result.num_splits == 2  # 12 bytes / 8-byte splits
+
+    def test_simulated_time_positive_and_serial(self, runner):
+        result = runner.run(wc_job(), "/in/a.txt", "/out")
+        # At least one startup per task (2 maps + 1 reduce).
+        assert result.simulated_seconds >= 3.0
+
+    def test_combiner_equivalence(self):
+        fs = LinuxFileSystem()
+        fs.write_file("/in.txt", "a b a b c a\n" * 10)
+        plain = LocalJobRunner(localfs=fs, split_size=16).run(
+            wc_job("plain"), "/in.txt", "/out-plain"
+        )
+        combined = LocalJobRunner(localfs=fs, split_size=16).run(
+            wc_job("comb", combine=True), "/in.txt", "/out-comb"
+        )
+        assert plain.output_dict() == combined.output_dict()
+
+    def test_node_cache_shared_across_tasks(self):
+        """One workstation = one JVM: the side-file cache is read once."""
+        fs = LinuxFileSystem()
+        fs.write_file("/in.txt", "l1\nl2\nl3\nl4\n")
+        fs.write_file("/side.txt", "lookup")
+        reads = []
+
+        from repro.mapreduce.api import Context, Job, Mapper
+
+        class SideMapper(Mapper):
+            def setup(self, ctx: Context):
+                before = ctx.extra_time
+                ctx.cached_side_file("/side.txt")
+                if ctx.extra_time > before:
+                    reads.append(1)
+
+            def map(self, key, value, ctx):
+                ctx.write(value, 1)
+
+        class SideJob(Job):
+            mapper = SideMapper
+
+        runner = LocalJobRunner(localfs=fs, split_size=6)
+        result = runner.run(SideJob(), "/in.txt", "/out")
+        assert result.num_splits >= 2
+        assert sum(reads) == 1  # only the first task paid for the read

@@ -1,0 +1,48 @@
+"""Partitioner determinism and coverage."""
+
+from repro.mapreduce.partitioner import HashPartitioner, KeyFieldPartitioner
+from repro.mapreduce.types import Text
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        p = HashPartitioner()
+        for i in range(200):
+            assert 0 <= p.partition(Text(f"key{i}"), 7) < 7
+
+    def test_deterministic(self):
+        p = HashPartitioner()
+        assert p.partition(Text("abc"), 5) == p.partition(Text("abc"), 5)
+
+    def test_single_reduce_always_zero(self):
+        p = HashPartitioner()
+        assert p.partition(Text("anything"), 1) == 0
+
+    def test_spreads_keys(self):
+        p = HashPartitioner()
+        buckets = {p.partition(Text(f"k{i}"), 4) for i in range(100)}
+        assert buckets == {0, 1, 2, 3}
+
+    def test_stable_across_processes(self):
+        # CRC-based, not Python hash(): a fixed expectation is safe.
+        p = HashPartitioner()
+        assert p.partition(Text("hadoop"), 10) == p.partition(Text("hadoop"), 10)
+
+
+class TestKeyFieldPartitioner:
+    def test_same_prefix_same_partition(self):
+        p = KeyFieldPartitioner(separator="|", field_index=0)
+        parts = {
+            p.partition(Text(f"job7|{task}"), 8) for task in range(50)
+        }
+        assert len(parts) == 1
+
+    def test_different_prefixes_spread(self):
+        p = KeyFieldPartitioner(separator="|", field_index=0)
+        parts = {p.partition(Text(f"job{j}|0"), 8) for j in range(64)}
+        assert len(parts) > 1
+
+    def test_field_index_clamped(self):
+        p = KeyFieldPartitioner(separator="|", field_index=5)
+        # No 6th field: falls back to the last one without crashing.
+        assert 0 <= p.partition(Text("a|b"), 4) < 4

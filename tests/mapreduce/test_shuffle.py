@@ -1,0 +1,110 @@
+"""Sort/partition/group/combine plumbing."""
+
+from repro.mapreduce.api import Context
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.partitioner import HashPartitioner
+from repro.mapreduce.shuffle import (
+    MapOutput,
+    group_by_key,
+    merge_for_reduce,
+    partition_pairs,
+    run_combiner,
+    serialized_bytes,
+    sort_pairs,
+)
+from repro.mapreduce.types import IntWritable, Text
+
+
+def pairs_of(*items):
+    return [(Text(k), IntWritable(v)) for k, v in items]
+
+
+class TestSortAndGroup:
+    def test_sort_by_key(self):
+        pairs = pairs_of(("b", 1), ("a", 2), ("c", 3), ("a", 1))
+        keys = [k.value for k, _ in sort_pairs(pairs)]
+        assert keys == ["a", "a", "b", "c"]
+
+    def test_sort_stable_for_equal_keys(self):
+        pairs = pairs_of(("a", 1), ("a", 2), ("a", 3))
+        values = [v.value for _, v in sort_pairs(pairs)]
+        assert values == [1, 2, 3]
+
+    def test_group_by_key(self):
+        pairs = sort_pairs(pairs_of(("a", 1), ("b", 5), ("a", 2)))
+        groups = {
+            k.value: [v.value for v in vs] for k, vs in group_by_key(pairs)
+        }
+        assert groups == {"a": [1, 2], "b": [5]}
+
+    def test_group_empty(self):
+        assert list(group_by_key([])) == []
+
+
+class TestPartitioning:
+    def test_all_partitions_present(self):
+        pairs = pairs_of(*[(f"k{i}", i) for i in range(40)])
+        buckets = partition_pairs(pairs, HashPartitioner(), 4)
+        assert set(buckets) == {0, 1, 2, 3}
+        assert sum(len(b) for b in buckets.values()) == 40
+
+    def test_same_key_same_bucket(self):
+        pairs = pairs_of(("dup", 1), ("dup", 2), ("dup", 3))
+        buckets = partition_pairs(pairs, HashPartitioner(), 8)
+        nonempty = [p for p, b in buckets.items() if b]
+        assert len(nonempty) == 1
+
+
+class TestSerializedBytes:
+    def test_counts_keys_and_values(self):
+        pairs = pairs_of(("ab", 1))  # Text 2 bytes + IntWritable 4 bytes
+        assert serialized_bytes(pairs) == 6
+
+    def test_empty(self):
+        assert serialized_bytes([]) == 0
+
+
+class TestCombiner:
+    class SumCombiner:
+        def setup(self, ctx):
+            pass
+
+        def reduce(self, key, values, ctx):
+            ctx.write(key, IntWritable(sum(v.value for v in values)))
+
+        def cleanup(self, ctx):
+            pass
+
+    def test_combiner_reduces_records(self):
+        counters = Counters()
+        context = Context(conf=JobConf(), counters=counters)
+        pairs = pairs_of(("a", 1), ("a", 1), ("b", 1))
+        combined = run_combiner(self.SumCombiner, pairs, context, counters)
+        as_dict = {k.value: v.value for k, v in combined}
+        assert as_dict == {"a": 2, "b": 1}
+        assert counters.get(C.COMBINE_INPUT_RECORDS) == 3
+        assert counters.get(C.COMBINE_OUTPUT_RECORDS) == 2
+
+
+class TestMergeForReduce:
+    def test_merges_across_map_outputs(self):
+        out1 = MapOutput(task_index=0, node="n0", partitions={0: pairs_of(("b", 1))})
+        out2 = MapOutput(task_index=1, node="n1", partitions={0: pairs_of(("a", 2))})
+        merged = merge_for_reduce([out1, out2], 0)
+        assert [k.value for k, _ in merged] == ["a", "b"]
+
+    def test_partition_isolation(self):
+        out = MapOutput(
+            task_index=0,
+            node="n0",
+            partitions={0: pairs_of(("a", 1)), 1: pairs_of(("b", 1))},
+        )
+        assert [k.value for k, _ in merge_for_reduce([out], 1)] == ["b"]
+
+    def test_byte_accounting(self):
+        out = MapOutput(task_index=0, node="n0", partitions={0: pairs_of(("ab", 1))})
+        assert out.partition_bytes(0) == 6
+        assert out.partition_bytes(1) == 0
+        assert out.total_bytes() == 6
+        assert out.total_records() == 1

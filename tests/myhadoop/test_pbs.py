@@ -1,0 +1,136 @@
+"""The PBS-like scheduler: reservations, preemption, cleanup sweeps."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.myhadoop.pbs import PbsScheduler, ReservationState
+from repro.sim.engine import Simulation
+from repro.util.errors import ReservationError
+from repro.util.units import MINUTE
+
+
+@pytest.fixture
+def pbs():
+    sim = Simulation()
+    topo = ClusterTopology.regular(num_nodes=16, nodes_per_rack=8)
+    return sim, PbsScheduler(sim, topo)
+
+
+class TestReservations:
+    def test_immediate_start_when_free(self, pbs):
+        sim, scheduler = pbs
+        reservation = scheduler.qsub("alice", 4, 3600)
+        assert reservation.state == ReservationState.RUNNING
+        assert len(reservation.nodes) == 4
+        assert scheduler.free_nodes() == 12
+
+    def test_queueing_when_full(self, pbs):
+        sim, scheduler = pbs
+        first = scheduler.qsub("alice", 12, 3600)
+        second = scheduler.qsub("bob", 8, 3600)
+        assert second.state == ReservationState.QUEUED
+        scheduler.release(first)
+        assert second.state == ReservationState.RUNNING
+
+    def test_walltime_expiry(self, pbs):
+        sim, scheduler = pbs
+        reservation = scheduler.qsub("alice", 2, walltime=100.0)
+        sim.run_until(150.0)
+        assert reservation.state == ReservationState.EXPIRED
+        assert scheduler.free_nodes() == 16
+
+    def test_early_release_marks_completed(self, pbs):
+        sim, scheduler = pbs
+        reservation = scheduler.qsub("alice", 2, walltime=1000.0)
+        scheduler.release(reservation)
+        assert reservation.state == ReservationState.COMPLETED
+        sim.run_until(2000.0)  # expiry event must not resurrect it
+        assert reservation.state == ReservationState.COMPLETED
+
+    def test_qdel_queued_and_running(self, pbs):
+        sim, scheduler = pbs
+        running = scheduler.qsub("a", 10, 3600)
+        queued = scheduler.qsub("b", 10, 3600)
+        assert scheduler.qdel(queued.job_id)
+        assert queued.state == ReservationState.CANCELLED
+        assert scheduler.qdel(running.job_id)
+        assert running.state == ReservationState.CANCELLED
+        assert not scheduler.qdel("pbs.999")
+
+    def test_qstat_lists_everything(self, pbs):
+        sim, scheduler = pbs
+        scheduler.qsub("a", 10, 3600)
+        scheduler.qsub("b", 10, 3600)
+        states = {r.state for r in scheduler.qstat()}
+        assert states == {ReservationState.RUNNING, ReservationState.QUEUED}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0, "walltime": 10},
+            {"num_nodes": 99, "walltime": 10},
+            {"num_nodes": 1, "walltime": 0},
+        ],
+    )
+    def test_invalid_requests_rejected(self, pbs, kwargs):
+        _, scheduler = pbs
+        with pytest.raises(ReservationError):
+            scheduler.qsub("x", **kwargs)
+
+    def test_lifo_node_reuse(self, pbs):
+        """Freed nodes are handed out first — the ghost-daemon vector."""
+        sim, scheduler = pbs
+        first = scheduler.qsub("alice", 4, 3600)
+        nodes = set(first.node_names())
+        scheduler.release(first)
+        second = scheduler.qsub("bob", 4, 3600)
+        assert set(second.node_names()) == nodes
+
+
+class TestPreemption:
+    def test_research_job_preempts_students(self, pbs):
+        sim, scheduler = pbs
+        student = scheduler.qsub("student", 12, 7200, priority=0)
+        research = scheduler.qsub("research", 10, 7200, priority=10)
+        assert student.state == ReservationState.PREEMPTED
+        assert research.state == ReservationState.RUNNING
+
+    def test_no_needless_preemption(self, pbs):
+        sim, scheduler = pbs
+        student = scheduler.qsub("student", 4, 7200, priority=0)
+        research = scheduler.qsub("research", 8, 7200, priority=10)
+        assert student.state == ReservationState.RUNNING
+        assert research.state == ReservationState.RUNNING
+
+    def test_equal_priority_does_not_preempt(self, pbs):
+        sim, scheduler = pbs
+        first = scheduler.qsub("a", 12, 7200)
+        second = scheduler.qsub("b", 12, 7200)
+        assert first.state == ReservationState.RUNNING
+        assert second.state == ReservationState.QUEUED
+
+    def test_release_callback_reports_reason(self, pbs):
+        sim, scheduler = pbs
+        reasons = []
+        scheduler.qsub(
+            "student",
+            12,
+            7200,
+            on_release=lambda r, why: reasons.append(why),
+        )
+        scheduler.qsub("research", 10, 7200, priority=5)
+        assert reasons == ["preempted"]
+
+
+class TestCleanupSweep:
+    def test_sweep_runs_every_15_minutes(self, pbs):
+        sim, scheduler = pbs
+        sim.run_until(46 * MINUTE)
+        assert scheduler.cleanups_performed == 3
+
+    def test_hooks_called_per_node(self, pbs):
+        sim, scheduler = pbs
+        visited = []
+        scheduler.cleanup_hooks.append(visited.append)
+        sim.run_until(15 * MINUTE)
+        assert len(visited) == 16

@@ -1,0 +1,191 @@
+"""myHadoop provisioning: config checks, ports, ghosts, teardown."""
+
+import pytest
+
+from repro.cluster.storage import ParallelFileSystem
+from repro.cluster.topology import ClusterTopology
+from repro.myhadoop.pbs import PbsScheduler
+from repro.myhadoop.provision import (
+    DAEMON_PORTS,
+    MyHadoopConfig,
+    MyHadoopProvisioner,
+    PortRegistry,
+)
+from repro.sim.engine import Simulation
+from repro.util.errors import BadPathError, ConfigError, PortInUseError
+from repro.util.units import MINUTE
+
+
+@pytest.fixture
+def env():
+    sim = Simulation()
+    topo = ClusterTopology.regular(num_nodes=16, nodes_per_rack=8)
+    scheduler = PbsScheduler(sim, topo)
+    provisioner = MyHadoopProvisioner(
+        sim, scheduler, pfs=ParallelFileSystem()
+    )
+    return sim, scheduler, provisioner
+
+
+def config_for(user, nodes=4):
+    from repro.hdfs.config import HdfsConfig
+
+    return MyHadoopConfig(
+        user=user,
+        num_nodes=nodes,
+        hdfs=HdfsConfig(block_size=1024, replication=2),
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        MyHadoopConfig(user="alice").validate()
+
+    def test_wrong_hadoop_home(self):
+        config = MyHadoopConfig(user="alice", hadoop_home="/opt/hadoop")
+        with pytest.raises(BadPathError):
+            config.validate()
+
+    def test_data_dir_must_be_scratch(self):
+        # "All Hadoop data storage must reside on the local hard drive."
+        config = MyHadoopConfig(user="alice", data_dir="/home/alice/hdfs")
+        with pytest.raises(BadPathError):
+            config.validate()
+
+    def test_data_dir_must_belong_to_user(self):
+        config = MyHadoopConfig(user="alice", data_dir="/scratch/bob/hdfs-data")
+        with pytest.raises(BadPathError):
+            config.validate()
+
+    def test_persistent_mode_needs_file_locking(self):
+        config = MyHadoopConfig(user="alice", persistent=True)
+        with pytest.raises(ConfigError):
+            config.validate(ParallelFileSystem(supports_file_locking=False))
+        # With locking support it would be allowed.
+        config.validate(ParallelFileSystem(supports_file_locking=True))
+
+
+class TestPortRegistry:
+    def test_bind_conflict(self):
+        ports = PortRegistry()
+        ports.bind("n1", 9000, "alice")
+        with pytest.raises(PortInUseError):
+            ports.bind("n1", 9000, "bob")
+        ports.bind("n2", 9000, "bob")  # other node is fine
+
+    def test_release_only_by_owner(self):
+        ports = PortRegistry()
+        ports.bind("n1", 9000, "alice")
+        assert not ports.release("n1", 9000, "bob")
+        assert ports.release("n1", 9000, "alice")
+        assert ports.owner_of("n1", 9000) is None
+
+    def test_release_all_scoped_by_owner(self):
+        ports = PortRegistry()
+        ports.bind("n1", 9000, "alice")
+        ports.bind("n1", 50030, "bob")
+        assert ports.release_all("n1", "alice") == 1
+        assert ports.bound_on("n1") == {50030: "bob"}
+
+
+class TestClusterLifecycle:
+    def test_start_and_run(self, env):
+        sim, scheduler, provisioner = env
+        reservation = scheduler.qsub("alice", 4, 3600)
+        cluster = provisioner.start_cluster(reservation, config_for("alice"))
+        client = cluster.mr.client()
+        client.put_text("/u/f.txt", "hello world")
+        assert client.read_text("/u/f.txt") == "hello world"
+        provisioner.stop_cluster(cluster)
+
+    def test_ports_bound_while_running(self, env):
+        sim, scheduler, provisioner = env
+        reservation = scheduler.qsub("alice", 4, 3600)
+        cluster = provisioner.start_cluster(reservation, config_for("alice"))
+        for node in cluster.node_names:
+            assert set(provisioner.ports.bound_on(node)) == set(DAEMON_PORTS)
+        provisioner.stop_cluster(cluster)
+        for node in cluster.node_names:
+            assert provisioner.ports.bound_on(node) == {}
+
+    def test_stop_releases_scratch_space(self, env):
+        sim, scheduler, provisioner = env
+        reservation = scheduler.qsub("alice", 4, 3600)
+        cluster = provisioner.start_cluster(reservation, config_for("alice"))
+        cluster.mr.client().put_text("/u/f.txt", "x" * 10_000)
+        nodes = [cluster.hdfs.datanodes[n].node for n in cluster.node_names]
+        assert sum(n.disk.used for n in nodes) > 0
+        provisioner.stop_cluster(cluster)
+        assert sum(n.disk.used for n in nodes) == 0
+
+    def test_config_user_must_match_reservation(self, env):
+        sim, scheduler, provisioner = env
+        reservation = scheduler.qsub("alice", 4, 3600)
+        with pytest.raises(ConfigError):
+            provisioner.start_cluster(reservation, config_for("bob"))
+
+    def test_queued_reservation_rejected(self, env):
+        sim, scheduler, provisioner = env
+        scheduler.qsub("hog", 16, 3600)
+        queued = scheduler.qsub("alice", 4, 3600)
+        with pytest.raises(ConfigError):
+            provisioner.start_cluster(queued, config_for("alice"))
+
+
+class TestGhostDaemons:
+    def test_abandoned_cluster_blocks_next_user(self, env):
+        sim, scheduler, provisioner = env
+        r1 = scheduler.qsub("bob", 4, 3600)
+        cluster = provisioner.start_cluster(r1, config_for("bob"))
+        provisioner.abandon_cluster(cluster)
+        scheduler.release(r1)
+        r2 = scheduler.qsub("carol", 4, 3600)
+        assert set(r2.node_names()) == set(cluster.node_names)  # LIFO reuse
+        with pytest.raises(PortInUseError):
+            provisioner.start_cluster(r2, config_for("carol"))
+        assert provisioner.ghost_daemon_conflicts == 1
+
+    def test_cleanup_sweep_scrubs_ghosts(self, env):
+        sim, scheduler, provisioner = env
+        r1 = scheduler.qsub("bob", 4, 3600)
+        cluster = provisioner.start_cluster(r1, config_for("bob"))
+        provisioner.abandon_cluster(cluster)
+        scheduler.release(r1)
+        r2 = scheduler.qsub("carol", 4, 3600)
+        sim.run_for(16 * MINUTE)  # the paper's worst-case wait
+        started = provisioner.start_cluster(r2, config_for("carol"))
+        assert started.node_names == r2.node_names()[: 4]
+
+    def test_same_user_can_kill_own_ghosts(self, env):
+        sim, scheduler, provisioner = env
+        r1 = scheduler.qsub("bob", 4, 3600)
+        cluster = provisioner.start_cluster(r1, config_for("bob"))
+        provisioner.abandon_cluster(cluster)
+        scheduler.release(r1)
+        r2 = scheduler.qsub("bob", 4, 3600)
+        with pytest.raises(PortInUseError):
+            provisioner.start_cluster(r2, config_for("bob"))
+        assert provisioner.kill_user_daemons("bob", r2.node_names()) > 0
+        restarted = provisioner.start_cluster(r2, config_for("bob"))
+        assert not restarted.stopped
+
+    def test_failed_start_leaves_no_partial_binds(self, env):
+        sim, scheduler, provisioner = env
+        r1 = scheduler.qsub("bob", 2, 3600)
+        cluster = provisioner.start_cluster(r1, config_for("bob", nodes=2))
+        provisioner.abandon_cluster(cluster)
+        scheduler.release(r1)
+        r2 = scheduler.qsub("carol", 4, 3600)
+        with pytest.raises(PortInUseError):
+            provisioner.start_cluster(r2, config_for("carol"))
+        # Carol holds no ports anywhere after the failure.
+        for node_name in r2.node_names():
+            assert "carol" not in provisioner.ports.bound_on(node_name).values()
+
+    def test_active_cluster_not_scrubbed_by_sweep(self, env):
+        sim, scheduler, provisioner = env
+        reservation = scheduler.qsub("alice", 4, 7200)
+        cluster = provisioner.start_cluster(reservation, config_for("alice"))
+        cluster.mr.client().put_text("/f", "keep me")
+        sim.run_for(31 * MINUTE)  # two sweeps
+        assert cluster.mr.client().read_text("/f") == "keep me"

@@ -1,0 +1,129 @@
+"""Property-based tests on HDFS invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hdfs.namespace import Namespace, normalize
+from tests.conftest import make_hdfs
+
+# Cluster construction is cheap but not free: keep example counts sane.
+CLUSTER_SETTINGS = settings(max_examples=20, deadline=None)
+FAST_SETTINGS = settings(max_examples=100, deadline=None)
+
+
+class TestWriteReadRoundTrip:
+    @CLUSTER_SETTINGS
+    @given(
+        payload=st.binary(min_size=0, max_size=8000),
+        block_size=st.integers(min_value=64, max_value=2048),
+        replication=st.integers(min_value=1, max_value=3),
+    )
+    def test_round_trip_exact(self, payload, block_size, replication):
+        cluster = make_hdfs(
+            num_datanodes=3, block_size=block_size, replication=replication
+        )
+        client = cluster.client()
+        client.put_bytes("/f", payload)
+        assert client.read_bytes("/f").data == payload
+
+    @CLUSTER_SETTINGS
+    @given(
+        payload=st.binary(min_size=1, max_size=8000),
+        block_size=st.integers(min_value=64, max_value=2048),
+    )
+    def test_block_count_is_ceiling(self, payload, block_size):
+        cluster = make_hdfs(num_datanodes=3, block_size=block_size)
+        client = cluster.client()
+        result = client.put_bytes("/f", payload)
+        assert result.blocks == math.ceil(len(payload) / block_size)
+        inode = cluster.namenode.namespace.get_file("/f")
+        assert sum(b.length for b in inode.blocks) == len(payload)
+        assert all(b.length <= block_size for b in inode.blocks)
+
+    @CLUSTER_SETTINGS
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=2000), min_size=1, max_size=5
+        )
+    )
+    def test_du_equals_total_payload(self, payloads):
+        cluster = make_hdfs(num_datanodes=3)
+        client = cluster.client()
+        for i, payload in enumerate(payloads):
+            client.put_bytes(f"/d/f{i}", payload)
+        assert client.du("/d") == sum(len(p) for p in payloads)
+
+    @CLUSTER_SETTINGS
+    @given(
+        payload=st.binary(min_size=1, max_size=4000),
+        replication=st.integers(min_value=1, max_value=3),
+    )
+    def test_replica_counts_match_factor(self, payload, replication):
+        cluster = make_hdfs(num_datanodes=4, replication=replication)
+        client = cluster.client()
+        client.put_bytes("/f", payload)
+        for meta in cluster.namenode.block_map.values():
+            assert len(meta.locations) == replication
+            # Replicas on distinct nodes.
+            assert len(set(meta.locations)) == replication
+
+    @CLUSTER_SETTINGS
+    @given(payload=st.binary(min_size=1, max_size=4000))
+    def test_stored_bytes_equals_length_times_replication(self, payload):
+        cluster = make_hdfs(num_datanodes=4, replication=2)
+        cluster.client().put_bytes("/f", payload)
+        assert cluster.total_stored_bytes() == 2 * len(payload)
+
+
+PATH_SEGMENT = st.text(alphabet="abcdefgh123", min_size=1, max_size=6)
+
+
+class TestNamespaceProperties:
+    @FAST_SETTINGS
+    @given(segments=st.lists(PATH_SEGMENT, min_size=1, max_size=5))
+    def test_mkdirs_then_exists(self, segments):
+        ns = Namespace()
+        path = "/" + "/".join(segments)
+        ns.mkdirs(path)
+        assert ns.exists(path)
+        assert ns.is_dir(path)
+        # Every prefix exists too.
+        for i in range(1, len(segments)):
+            assert ns.is_dir("/" + "/".join(segments[:i]))
+
+    @FAST_SETTINGS
+    @given(segments=st.lists(PATH_SEGMENT, min_size=1, max_size=5))
+    def test_create_delete_is_identity(self, segments):
+        ns = Namespace()
+        path = "/" + "/".join(segments)
+        ns.create_file(path, replication=1)
+        assert ns.exists(path)
+        ns.delete(path)
+        assert not ns.exists(path)
+
+    @FAST_SETTINGS
+    @given(segments=st.lists(PATH_SEGMENT, min_size=1, max_size=4))
+    def test_normalize_idempotent(self, segments):
+        path = "/" + "//".join(segments)
+        assert normalize(normalize(path)) == normalize(path)
+
+    @FAST_SETTINGS
+    @given(
+        src=st.lists(PATH_SEGMENT, min_size=1, max_size=3),
+        dst=st.lists(PATH_SEGMENT, min_size=1, max_size=3),
+    )
+    def test_rename_preserves_file_count(self, src, dst):
+        ns = Namespace()
+        src_path = "/src/" + "/".join(src)
+        dst_path = "/dst/" + "/".join(dst)
+        if normalize(src_path) == normalize(dst_path):
+            return
+        ns.create_file(src_path, replication=1)
+        ns.mkdirs("/dst/" + "/".join(dst[:-1]) if len(dst) > 1 else "/dst")
+        try:
+            ns.rename(src_path, dst_path)
+        except Exception:
+            return  # collisions etc. are allowed to fail
+        files = list(ns.walk_files("/"))
+        assert len(files) == 1

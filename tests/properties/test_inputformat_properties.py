@@ -1,0 +1,91 @@
+"""Property: TextInputFormat reads every line exactly once, regardless
+of where block boundaries fall — the invariant that makes "one split per
+block" safe."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.inputformat import TextInputFormat
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+LINE = st.text(alphabet="abcXYZ 09", min_size=0, max_size=30)
+
+
+def chunked_fetch(data: bytes, block_size: int):
+    def fetch(path, block_index, max_bytes):
+        start = block_index * block_size
+        if start >= len(data) and block_index > 0:
+            raise IndexError(block_index)
+        chunk = data[start : start + block_size]
+        if max_bytes is not None:
+            chunk = chunk[:max_bytes]
+        return chunk, 0.0
+
+    return fetch
+
+
+def read_lines(data: bytes, block_size: int) -> list[str]:
+    lengths = []
+    offset = 0
+    while offset < len(data):
+        lengths.append(min(block_size, len(data) - offset))
+        offset += lengths[-1]
+    if not lengths:
+        lengths = [0]
+    splits = TextInputFormat.splits_for_file(
+        "/f", lengths, [("n",)] * len(lengths)
+    )
+    fetch = chunked_fetch(data, block_size)
+    out = []
+    for split in splits:
+        for _key, value in TextInputFormat.read_records(split, fetch):
+            out.append(value.value)
+    return out
+
+
+class TestExactlyOnce:
+    @SETTINGS
+    @given(
+        lines=st.lists(LINE, min_size=0, max_size=20),
+        block_size=st.integers(min_value=1, max_value=64),
+    )
+    def test_lines_partition_exactly(self, lines, block_size):
+        data = ("\n".join(lines) + "\n").encode() if lines else b""
+        assert read_lines(data, block_size) == lines
+
+    @SETTINGS
+    @given(
+        lines=st.lists(LINE, min_size=1, max_size=10),
+        block_size=st.integers(min_value=1, max_value=32),
+    )
+    def test_missing_final_newline(self, lines, block_size):
+        data = "\n".join(lines).encode()
+        expected = list(lines)
+        # A trailing empty line without a newline yields no record.
+        if expected and expected[-1] == "":
+            expected = expected[:-1]
+        assert read_lines(data, block_size) == expected
+
+    @SETTINGS
+    @given(
+        lines=st.lists(LINE, min_size=0, max_size=12),
+        block_size=st.integers(min_value=1, max_value=48),
+    )
+    def test_offsets_strictly_increasing(self, lines, block_size):
+        data = ("\n".join(lines) + "\n").encode() if lines else b""
+        lengths = []
+        offset = 0
+        while offset < len(data):
+            lengths.append(min(block_size, len(data) - offset))
+            offset += lengths[-1]
+        if not lengths:
+            return
+        splits = TextInputFormat.splits_for_file(
+            "/f", lengths, [("n",)] * len(lengths)
+        )
+        fetch = chunked_fetch(data, block_size)
+        offsets = []
+        for split in splits:
+            for key, _value in TextInputFormat.read_records(split, fetch):
+                offsets.append(key.value)
+        assert offsets == sorted(set(offsets))

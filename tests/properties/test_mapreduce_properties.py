@@ -1,0 +1,176 @@
+"""Property-based tests on MapReduce invariants.
+
+The headline property is Lin's monoid law: with a lawful combiner, the
+job's answer is independent of split boundaries, reduce counts, and
+whether the combiner runs at all.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.mapreduce.partitioner import HashPartitioner
+from repro.mapreduce.streaming import streaming_job
+from repro.mapreduce.types import (
+    FloatWritable,
+    IntWritable,
+    Text,
+    record_writable,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+FAST = settings(max_examples=100, deadline=None)
+
+WORDS = st.lists(
+    st.text(alphabet="abcde", min_size=1, max_size=4), min_size=0, max_size=80
+)
+
+
+def run_wc(text: str, split_size: int, combine: bool, num_reduces: int = 1):
+    fs = LinuxFileSystem()
+    fs.write_file("/in.txt", text)
+    job = streaming_job(
+        name="wc",
+        map_fn=lambda k, v: ((w, 1) for w in v.split()),
+        reduce_fn=lambda k, vs: [(k, sum(vs))],
+        combine_fn=(lambda k, vs: [(k, sum(vs))]) if combine else None,
+        num_reduces=num_reduces,
+    )
+    runner = LocalJobRunner(localfs=fs, split_size=split_size)
+    return runner.run(job, "/in.txt", "/out")
+
+
+class TestWordCountProperties:
+    @SETTINGS
+    @given(words=WORDS)
+    def test_matches_counter(self, words):
+        text = " ".join(words)
+        result = run_wc(text + "\n" if text else "", split_size=64, combine=False)
+        assert {k: int(v) for k, v in result.pairs} == dict(Counter(words))
+
+    @SETTINGS
+    @given(words=WORDS, split_size=st.integers(min_value=4, max_value=256))
+    def test_split_size_invariance(self, words, split_size):
+        text = "\n".join(" ".join(words[i : i + 5]) for i in range(0, len(words), 5))
+        baseline = run_wc(text, split_size=10_000, combine=False)
+        chunked = run_wc(text, split_size=split_size, combine=False)
+        assert sorted(baseline.pairs) == sorted(chunked.pairs)
+
+    @SETTINGS
+    @given(
+        words=WORDS,
+        split_size=st.integers(min_value=8, max_value=128),
+        num_reduces=st.integers(min_value=1, max_value=5),
+    )
+    def test_combiner_monoid_law(self, words, split_size, num_reduces):
+        """Plain == combined, for every split/reduce configuration."""
+        text = " ".join(words)
+        plain = run_wc(text, split_size=split_size, combine=False,
+                       num_reduces=num_reduces)
+        combined = run_wc(text, split_size=split_size, combine=True,
+                          num_reduces=num_reduces)
+        assert sorted(plain.pairs) == sorted(combined.pairs)
+
+    @SETTINGS
+    @given(words=WORDS, num_reduces=st.integers(min_value=1, max_value=6))
+    def test_reduce_count_invariance(self, words, num_reduces):
+        text = " ".join(words)
+        one = run_wc(text, split_size=64, combine=True, num_reduces=1)
+        many = run_wc(text, split_size=64, combine=True, num_reduces=num_reduces)
+        assert sorted(one.pairs) == sorted(many.pairs)
+
+
+class TestAverageMonoid:
+    """(sum, count) pairs are the monoid that makes averaging combinable."""
+
+    SumCount = record_writable("SC", [("total", float), ("count", int)])
+
+    @SETTINGS
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        split_size=st.integers(min_value=8, max_value=64),
+    )
+    def test_average_via_sumcount_invariant(self, values, split_size):
+        text = "\n".join(f"{k},{v}" for k, v in values)
+        SumCount = self.SumCount
+
+        def map_fn(key, line):
+            k, v = line.split(",")
+            yield k, SumCount(total=float(v), count=1)
+
+        def merge(key, partials):
+            total = sum(p.total for p in partials)
+            count = sum(p.count for p in partials)
+            return [(key, SumCount(total=total, count=count))]
+
+        def finish(key, partials):
+            total = sum(p.total for p in partials)
+            count = sum(p.count for p in partials)
+            return [(key, total / count)]
+
+        fs = LinuxFileSystem()
+        fs.write_file("/in.txt", text)
+        job = streaming_job("avg", map_fn, finish, combine_fn=merge)
+        result = LocalJobRunner(localfs=fs, split_size=split_size).run(
+            job, "/in.txt", "/out"
+        )
+        expected: dict[str, list] = {}
+        for k, v in values:
+            expected.setdefault(k, []).append(v)
+        for key, value in result.pairs:
+            truth = sum(expected[key]) / len(expected[key])
+            assert abs(float(value) - truth) < 1e-9
+
+
+class TestWritableProperties:
+    @FAST
+    @given(st.text(alphabet=st.characters(blacklist_characters="\x01"), max_size=50))
+    def test_text_round_trip(self, value):
+        assert Text.decode(Text(value).encode()).value == value
+
+    @FAST
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_int_round_trip(self, value):
+        assert IntWritable.decode(IntWritable(value).encode()).value == value
+
+    @FAST
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_round_trip_exact(self, value):
+        decoded = FloatWritable.decode(FloatWritable(value).encode())
+        assert decoded.value == value
+
+    @FAST
+    @given(
+        total=st.floats(allow_nan=False, allow_infinity=False, width=32),
+        count=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_record_round_trip(self, total, count):
+        SumCount = self.__class__.SumCount if hasattr(self.__class__, "SumCount") else record_writable(
+            "RT", [("total", float), ("count", int)]
+        )
+        value = SumCount(total=float(total), count=count)
+        assert SumCount.decode(value.encode()) == value
+
+    SumCount = record_writable("RT", [("total", float), ("count", int)])
+
+
+class TestPartitionerProperties:
+    @FAST
+    @given(
+        key=st.text(min_size=0, max_size=30),
+        num_reduces=st.integers(min_value=1, max_value=64),
+    )
+    def test_partition_in_range_and_stable(self, key, num_reduces):
+        partitioner = HashPartitioner()
+        first = partitioner.partition(Text(key), num_reduces)
+        assert 0 <= first < num_reduces
+        assert partitioner.partition(Text(key), num_reduces) == first

@@ -1,0 +1,89 @@
+"""Model-based testing: random RDD pipelines vs plain-list semantics.
+
+Hypothesis composes random chains of transformations and checks the
+distributed result against the same chain over a plain Python list —
+under every partitioning, and with caching + an executor crash thrown
+into the middle.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sparklite import SparkLiteContext
+
+DATA = st.lists(st.integers(min_value=-50, max_value=50), max_size=40)
+
+#: (name, rdd-step, list-step) triples to chain.
+STEPS = st.sampled_from(
+    [
+        ("double", lambda r: r.map(lambda x: x * 2),
+         lambda xs: [x * 2 for x in xs]),
+        ("inc", lambda r: r.map(lambda x: x + 1),
+         lambda xs: [x + 1 for x in xs]),
+        ("evens", lambda r: r.filter(lambda x: x % 2 == 0),
+         lambda xs: [x for x in xs if x % 2 == 0]),
+        ("positive", lambda r: r.filter(lambda x: x > 0),
+         lambda xs: [x for x in xs if x > 0]),
+        ("fan", lambda r: r.flat_map(lambda x: [x, -x]),
+         lambda xs: [y for x in xs for y in (x, -x)]),
+        ("dedup", lambda r: r.distinct(),
+         lambda xs: list(set(xs))),
+    ]
+)
+
+
+class TestPipelinesAgainstListModel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=DATA,
+        steps=st.lists(STEPS, max_size=4),
+        partitions=st.integers(min_value=1, max_value=7),
+    )
+    def test_chain_matches_list_semantics(self, data, steps, partitions):
+        sc = SparkLiteContext.local(num_executors=3)
+        rdd = sc.parallelize(data, num_partitions=partitions)
+        expected = list(data)
+        for _name, rdd_step, list_step in steps:
+            rdd = rdd_step(rdd)
+            expected = list_step(expected)
+        assert Counter(rdd.collect()) == Counter(expected)
+        assert rdd.count() == len(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=DATA,
+        partitions=st.integers(min_value=1, max_value=6),
+        crash_index=st.integers(min_value=0, max_value=2),
+    )
+    def test_crash_mid_pipeline_is_invisible(self, data, partitions, crash_index):
+        sc = SparkLiteContext.local(num_executors=3)
+        rdd = (
+            sc.parallelize(data, num_partitions=partitions)
+            .map(lambda x: (x % 3, x))
+            .cache()
+        )
+        rdd.collect()  # populate caches
+        sc.crash_executor(f"executor{crash_index}")
+        grouped = rdd.reduce_by_key(lambda a, b: a + b)
+        expected: dict = {}
+        for x in data:
+            expected[x % 3] = expected.get(x % 3, 0) + x
+        assert dict(grouped.collect()) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-9, 9)), max_size=30
+        ),
+        partitions=st.integers(min_value=1, max_value=5),
+    )
+    def test_reduce_by_key_matches_dict_fold(self, pairs, partitions):
+        sc = SparkLiteContext.local(num_executors=2)
+        rdd = sc.parallelize(pairs, num_partitions=partitions).reduce_by_key(
+            lambda a, b: a + b
+        )
+        expected: dict = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert dict(rdd.collect()) == expected

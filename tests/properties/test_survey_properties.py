@@ -1,0 +1,70 @@
+"""Property: the survey synthesizer hits arbitrary feasible targets."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.survey.dataset import fit_integer_sample
+from repro.survey.likert import PROFICIENCY_SCALE, TIME_SCALE, Scale
+from repro.survey.stats import mean_std_of
+from repro.util.rng import RngStream
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def feasible_std_bound(mean: float, scale: Scale, n: int) -> float:
+    """A loose upper bound on achievable sample std for a clipped mean."""
+    spread = min(mean - scale.low, scale.high - mean)
+    return max(0.3, spread)
+
+
+def min_feasible_std(mean: float) -> float:
+    """Integer samples with a fractional mean cannot have tiny std: a
+    mix of floor/ceil values already spreads by ~sqrt(f(1-f))."""
+    frac = mean - int(mean)
+    return (frac * (1 - frac)) ** 0.5
+
+
+class TestFitProperties:
+    @SETTINGS
+    @given(
+        mean=st.floats(min_value=0.5, max_value=9.5),
+        std_frac=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_proficiency_targets_hit(self, mean, std_frac, seed):
+        std = std_frac * feasible_std_bound(mean, PROFICIENCY_SCALE, 29)
+        assume(std >= min_feasible_std(mean) - 0.05)
+        values = fit_integer_sample(
+            29, mean, std, PROFICIENCY_SCALE, RngStream(seed).child("p")
+        )
+        assert all(0 <= v <= 10 for v in values)
+        got_mean, got_std = mean_std_of(values)
+        assert abs(got_mean - mean) < 0.15
+        assert abs(got_std - std) < 0.25
+
+    @SETTINGS
+    @given(
+        mean=st.floats(min_value=1.2, max_value=3.8),
+        std=st.floats(min_value=0.2, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_time_scale_targets(self, mean, std, seed):
+        assume(std <= feasible_std_bound(mean, TIME_SCALE, 29) + 0.3)
+        assume(std >= min_feasible_std(mean) - 0.05)
+        values = fit_integer_sample(
+            29, mean, std, TIME_SCALE, RngStream(seed).child("t")
+        )
+        assert all(1 <= v <= 4 for v in values)
+        got_mean, _ = mean_std_of(values)
+        assert abs(got_mean - mean) < 0.15
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_deterministic_per_seed(self, seed):
+        a = fit_integer_sample(
+            29, 3.0, 0.9, TIME_SCALE, RngStream(seed).child("d")
+        )
+        b = fit_integer_sample(
+            29, 3.0, 0.9, TIME_SCALE, RngStream(seed).child("d")
+        )
+        assert a == b

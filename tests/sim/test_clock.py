@@ -1,0 +1,28 @@
+"""Clock invariants."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now == 10.0
+
+    def test_advances(self):
+        clock = SimClock()
+        clock._advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_never_goes_backward(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock._advance_to(4.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(5.0)
+        clock._advance_to(5.0)
+        assert clock.now == 5.0

@@ -1,0 +1,165 @@
+"""Event engine: ordering, cancellation, recurring timers, run bounds."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_fifo_within_same_time(self):
+        sim = Simulation()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_schedule_at_absolute(self):
+        sim = Simulation()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulation()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulation()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        handle.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunUntil:
+    def test_stops_at_time(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_with_empty_queue_sets_time(self):
+        sim = Simulation()
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_run_for(self):
+        sim = Simulation()
+        sim.run_for(2.5)
+        sim.run_for(2.5)
+        assert sim.now == 5.0
+
+    def test_event_exactly_at_boundary_fires(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(3.0, fired.append, "edge")
+        sim.run_until(3.0)
+        assert fired == ["edge"]
+
+
+class TestEvery:
+    def test_recurring_fires(self):
+        sim = Simulation()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_cancel_stops_recurrence(self):
+        sim = Simulation()
+        ticks = []
+        cancel = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.0)
+        cancel()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_cancel_from_inside_callback(self):
+        sim = Simulation()
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                holder["cancel"]()
+
+        holder["cancel"] = sim.every(1.0, tick)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_delay(self):
+        sim = Simulation()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        sim.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)
+
+
+class TestRunawayProtection:
+    def test_run_raises_on_event_storm(self):
+        sim = Simulation()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulation()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

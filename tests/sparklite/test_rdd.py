@@ -1,0 +1,158 @@
+"""RDD transformations and actions."""
+
+import pytest
+
+from repro.sparklite import SparkLiteContext
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def sc():
+    return SparkLiteContext.local(num_executors=3)
+
+
+class TestSources:
+    def test_parallelize_round_trip(self, sc):
+        rdd = sc.parallelize(range(10), num_partitions=4)
+        assert sorted(rdd.collect()) == list(range(10))
+        assert rdd.num_partitions == 4
+
+    def test_partitions_cover_data_exactly_once(self, sc):
+        rdd = sc.parallelize(range(23), num_partitions=5)
+        seen = []
+        for i in range(5):
+            seen.extend(rdd.partition(i))
+        assert sorted(seen) == list(range(23))
+
+    def test_empty_source(self, sc):
+        rdd = sc.parallelize([], num_partitions=2)
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_zero_partitions_rejected(self, sc):
+        with pytest.raises(ReproError):
+            sc.parallelize([1], num_partitions=0)
+
+    def test_partition_index_bounds(self, sc):
+        rdd = sc.parallelize([1], num_partitions=1)
+        with pytest.raises(ReproError):
+            rdd.partition(5)
+
+
+class TestNarrowTransformations:
+    def test_map(self, sc):
+        assert sorted(
+            sc.parallelize([1, 2, 3], 2).map(lambda x: x * 10).collect()
+        ) == [10, 20, 30]
+
+    def test_filter(self, sc):
+        rdd = sc.parallelize(range(10), 3).filter(lambda x: x % 3 == 0)
+        assert sorted(rdd.collect()) == [0, 3, 6, 9]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize(["a b", "c"], 2).flat_map(str.split)
+        assert sorted(rdd.collect()) == ["a", "b", "c"]
+
+    def test_map_values(self, sc):
+        rdd = sc.parallelize([("k", 1), ("j", 2)], 2).map_values(
+            lambda v: v * 100
+        )
+        assert dict(rdd.collect()) == {"k": 100, "j": 200}
+
+    def test_union(self, sc):
+        a = sc.parallelize([1, 2], 2)
+        b = sc.parallelize([3], 1)
+        union = a.union(b)
+        assert union.num_partitions == 3
+        assert sorted(union.collect()) == [1, 2, 3]
+
+    def test_chaining(self, sc):
+        result = (
+            sc.parallelize(range(20), 4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * x)
+            .collect()
+        )
+        assert sorted(result) == [x * x for x in range(2, 21, 2)]
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        rdd = sc.parallelize(pairs, 3).reduce_by_key(lambda x, y: x + y)
+        assert dict(rdd.collect()) == {"a": 4, "b": 6, "c": 5}
+
+    def test_reduce_by_key_repartitions(self, sc):
+        rdd = sc.parallelize([("a", 1)], 2).reduce_by_key(
+            lambda x, y: x + y, num_partitions=7
+        )
+        assert rdd.num_partitions == 7
+        assert rdd.collect() == [("a", 1)]
+
+    def test_group_by_key(self, sc):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        grouped = dict(sc.parallelize(pairs, 2).group_by_key().collect())
+        assert sorted(grouped["a"]) == [1, 2]
+        assert grouped["b"] == [3]
+
+    def test_distinct(self, sc):
+        rdd = sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct()
+        assert sorted(rdd.collect()) == [1, 2, 3]
+
+    def test_join(self, sc):
+        users = sc.parallelize([(1, "ann"), (2, "bob")], 2)
+        scores = sc.parallelize([(1, 10), (1, 20), (3, 99)], 2)
+        joined = users.join(scores).collect()
+        assert sorted(joined) == [(1, ("ann", 10)), (1, ("ann", 20))]
+
+    def test_same_key_lands_in_one_partition(self, sc):
+        pairs = [("dup", i) for i in range(20)]
+        shuffled = sc.parallelize(pairs, 4).group_by_key(num_partitions=4)
+        nonempty = [
+            i for i in range(4) if shuffled.partition(i)
+        ]
+        assert len(nonempty) == 1
+
+
+class TestActions:
+    def test_count_and_sum(self, sc):
+        rdd = sc.parallelize(range(100), 5)
+        assert rdd.count() == 100
+        assert rdd.sum() == 4950
+
+    def test_take(self, sc):
+        assert len(sc.parallelize(range(100), 5).take(7)) == 7
+        assert sc.parallelize([1], 1).take(10) == [1]
+
+    def test_reduce(self, sc):
+        assert sc.parallelize([1, 2, 3, 4], 3).reduce(lambda a, b: a * b) == 24
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ReproError):
+            sc.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_count_by_key(self, sc):
+        pairs = [("a", 1), ("a", 2), ("b", 1)]
+        assert sc.parallelize(pairs, 2).count_by_key() == {"a": 2, "b": 1}
+
+    def test_lineage_rendering(self, sc):
+        rdd = sc.parallelize([1], 1).map(lambda x: x).filter(bool)
+        text = "\n".join(rdd.lineage())
+        assert "filter" in text and "map" in text and "parallelize" in text
+
+
+class TestWordCountEquivalence:
+    def test_matches_mapreduce_answer(self, sc):
+        text = ["a b a", "c a b", "a"]
+        rdd_counts = dict(
+            sc.parallelize(text, 2)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda x, y: x + y)
+            .collect()
+        )
+        from collections import Counter
+
+        expected = Counter(w for line in text for w in line.split())
+        assert rdd_counts == dict(expected)

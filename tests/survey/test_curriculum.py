@@ -1,0 +1,44 @@
+"""Table V: curriculum mapping, and that it points at living code."""
+
+from repro.survey.curriculum import (
+    TABLE5_OUTCOMES,
+    curriculum_table,
+    resolve_artifact,
+    validate_coverage,
+)
+
+
+class TestTable5:
+    def test_six_outcomes_as_in_paper(self):
+        assert len(TABLE5_OUTCOMES) == 6
+
+    def test_levels_match_paper(self):
+        levels = [o.level for o in TABLE5_OUTCOMES]
+        assert levels.count("Familiarity") == 3
+        assert levels.count("Usage") == 2
+        assert levels.count("Assessment") == 1
+
+    def test_knowledge_areas(self):
+        areas = {o.knowledge_area for o in TABLE5_OUTCOMES}
+        assert areas == {
+            "Parallel & Distributed Computing",
+            "Information Management",
+        }
+
+    def test_every_artifact_resolves(self):
+        assert validate_coverage() == []
+
+    def test_resolve_artifact_returns_object(self):
+        artifact = resolve_artifact("repro.mapreduce.api:Job")
+        from repro.mapreduce.api import Job
+
+        assert artifact is Job
+
+    def test_table_renders_with_artifacts(self):
+        text = curriculum_table(include_artifacts=True).render()
+        assert "Table V" in text
+        assert "repro.hdfs.placement:ReplicaPlacementPolicy" in text
+
+    def test_table_without_artifacts(self):
+        text = curriculum_table(include_artifacts=False).render()
+        assert "repro." not in text

@@ -1,0 +1,173 @@
+"""Survey synthesis and table regeneration (Tables I-IV)."""
+
+import pytest
+
+from repro.survey.dataset import (
+    REPORTED,
+    RESPONSES,
+    fit_integer_sample,
+    synthesize_responses,
+)
+from repro.survey.likert import (
+    PROFICIENCY_SCALE,
+    TIME_SCALE,
+    USEFULNESS_SCALE,
+)
+from repro.survey.models import PROFICIENCY_TOPICS, SurveyResponse
+from repro.survey.stats import (
+    improvement_per_topic,
+    mean_std_of,
+    summarize_responses,
+)
+from repro.survey.tables import (
+    table1_proficiency,
+    table2_time,
+    table3_helpfulness,
+    table4_level,
+)
+from repro.util.rng import RngStream
+
+#: Tables print 1-2 decimals; matching within 0.05 is exact-at-print.
+TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def responses():
+    return synthesize_responses(seed=2013)
+
+
+class TestScales:
+    def test_proficiency_bounds(self):
+        assert PROFICIENCY_SCALE.validate(0) == 0
+        assert PROFICIENCY_SCALE.validate(10) == 10
+        with pytest.raises(ValueError):
+            PROFICIENCY_SCALE.validate(11)
+
+    def test_band_labels(self):
+        assert TIME_SCALE.labels[0] == "less than 30 minutes"
+        assert USEFULNESS_SCALE.labels[-1] == "very useful"
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            TIME_SCALE.validate(2.5)
+
+
+class TestFitIntegerSample:
+    def test_matches_targets(self):
+        rng = RngStream(1).child("fit")
+        values = fit_integer_sample(29, 6.6, 1.2, PROFICIENCY_SCALE, rng)
+        mean, std = mean_std_of(values)
+        assert abs(mean - 6.6) < TOLERANCE
+        assert abs(std - 1.2) < TOLERANCE
+
+    def test_respects_scale_bounds(self):
+        rng = RngStream(2).child("fit")
+        values = fit_integer_sample(29, 3.9, 0.3, TIME_SCALE, rng)
+        assert all(1 <= v <= 4 for v in values)
+
+    def test_near_constant_target(self):
+        # Hadoop-before: 0.03 +/- 0.2 - one brave self-rater among zeros.
+        rng = RngStream(3).child("fit")
+        values = fit_integer_sample(29, 0.03, 0.2, PROFICIENCY_SCALE, rng)
+        assert sum(values) <= 2
+        mean, std = mean_std_of(values)
+        assert abs(mean - 0.03) < TOLERANCE
+
+    def test_deterministic(self):
+        a = fit_integer_sample(
+            29, 3.1, 0.9, TIME_SCALE, RngStream(4).child("x")
+        )
+        b = fit_integer_sample(
+            29, 3.1, 0.9, TIME_SCALE, RngStream(4).child("x")
+        )
+        assert a == b
+
+
+class TestSynthesizedResponses:
+    def test_count(self, responses):
+        assert len(responses) == RESPONSES == 29
+
+    def test_all_validate(self, responses):
+        for response in responses:
+            assert response.validate() is response
+
+    def test_every_reported_stat_reproduced(self, responses):
+        summary = summarize_responses(responses)
+        for section in ("proficiency_before", "proficiency_after",
+                        "time_taken", "usefulness"):
+            for item, reported in REPORTED[section].items():
+                mean, std = summary[section][item]
+                assert abs(mean - reported.mean) < TOLERANCE, (section, item)
+                assert abs(std - reported.std) < TOLERANCE, (section, item)
+
+    def test_year_counts_exact(self, responses):
+        summary = summarize_responses(responses)
+        assert summary["year_level_counts"] == REPORTED["year_level_counts"]
+
+    def test_students_mostly_improve(self, responses):
+        gains = improvement_per_topic(responses)
+        assert all(gain > 0 for gain in gains.values())
+        # Hadoop gains the most (from ~zero to 4.5).
+        assert gains["Hadoop MapReduce"] == max(gains.values())
+
+    def test_rank_pairing_limits_regressions(self, responses):
+        regressions = sum(
+            1
+            for r in responses
+            for t in PROFICIENCY_TOPICS
+            if r.proficiency_after[t] < r.proficiency_before[t]
+        )
+        # Rank pairing keeps declines rare (they can only come from
+        # marginal-distribution overlap, not pairing).
+        assert regressions <= len(responses)
+
+
+class TestTables:
+    def test_table1(self, responses):
+        table, deviations = table1_proficiency(responses)
+        assert max(deviations.values()) < TOLERANCE
+        rendered = table.render()
+        assert "Hadoop MapReduce" in rendered
+        assert "Table I" in rendered
+
+    def test_table2(self, responses):
+        table, deviations = table2_time(responses)
+        assert max(deviations.values()) < TOLERANCE
+        assert "Set up Hadoop cluster" in table.render()
+
+    def test_table3(self, responses):
+        table, deviations = table3_helpfulness(responses)
+        assert max(deviations.values()) < TOLERANCE
+        assert "In-class lab" in table.render()
+
+    def test_labs_beat_lectures(self, responses):
+        # "The students favored the in-class labs over the lectures."
+        summary = summarize_responses(responses)
+        assert (
+            summary["usefulness"]["In-class lab"][0]
+            > summary["usefulness"]["Lecture"][0]
+        )
+
+    def test_table4_exact(self, responses):
+        table, deviations = table4_level(responses)
+        assert max(deviations.values()) == 0
+        assert "Junior" in table.render()
+
+    def test_quarter_said_sophomore_or_lower(self, responses):
+        # ">25% of the responses still thought that this module could be
+        # taught at sophomore or freshman level."
+        summary = summarize_responses(responses)
+        counts = summary["year_level_counts"]
+        low = counts.get("Sophomore", 0) + counts.get("Freshman", 0)
+        assert low / len(responses) > 0.25
+
+
+class TestMeanStd:
+    def test_matches_numpy_sample_std(self):
+        mean, std = mean_std_of([1, 2, 3, 4])
+        assert mean == 2.5
+        assert std == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_degenerate_cases(self):
+        assert mean_std_of([]) == (0.0, 0.0)
+        assert mean_std_of([5]) == (5.0, 0.0)

@@ -1,0 +1,39 @@
+"""The ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table IV" in out
+
+    def test_curriculum(self, capsys):
+        assert main(["curriculum"]) == 0
+        assert "all artifacts resolve" in capsys.readouterr().out
+
+    def test_syllabus(self, capsys):
+        assert main(["syllabus"]) == 0
+        out = capsys.readouterr().out
+        assert "Fall 2012" in out and "Data sources" in out
+
+    def test_handout_render_only(self, capsys):
+        assert main(["handout"]) == 0
+        out = capsys.readouterr().out
+        assert "myhadoop-configure" in out
+        assert "replaying" not in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "blk_" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,103 @@
+"""Configuration validation across the stack."""
+
+import pytest
+
+from repro.hdfs.config import HdfsConfig
+from repro.mapreduce.config import CostModel, JobConf, MapReduceConfig
+from repro.util.errors import ConfigError
+
+
+class TestHdfsConfig:
+    def test_defaults_match_hadoop_1(self):
+        config = HdfsConfig()
+        assert config.block_size == 64 * 1024 * 1024
+        assert config.replication == 3
+
+    def test_block_size_parses_strings(self):
+        assert HdfsConfig(block_size="1MB").block_size == 1024 * 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"block_size": 0},
+            {"replication": 0},
+            {"safemode_threshold": 0.0},
+            {"safemode_threshold": 1.5},
+            {"heartbeat_interval": 0},
+            {"heartbeat_miss_limit": 0},
+            {"min_replicas": 0},
+            {"datanode_full_fraction": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            HdfsConfig(**kwargs)
+
+    def test_dead_node_timeout_derived(self):
+        config = HdfsConfig(heartbeat_interval=5.0, heartbeat_miss_limit=4)
+        assert config.dead_node_timeout == 20.0
+
+    def test_for_teaching_shrinks_blocks_only(self):
+        base = HdfsConfig(replication=2, heartbeat_interval=7.0)
+        teaching = base.for_teaching(block_size=4096)
+        assert teaching.block_size == 4096
+        assert teaching.replication == 2
+        assert teaching.heartbeat_interval == 7.0
+        assert base.block_size == 64 * 1024 * 1024  # original untouched
+
+
+class TestMapReduceConfig:
+    def test_tracker_timeout_derived(self):
+        config = MapReduceConfig(tasktracker_heartbeat=2.0, tracker_miss_limit=5)
+        assert config.tracker_timeout == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"map_slots_per_tracker": 0},
+            {"reduce_slots_per_tracker": 0},
+            {"tasktracker_heartbeat": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MapReduceConfig(**kwargs)
+
+
+class TestCostModel:
+    def test_cpu_time_linear(self):
+        cost = CostModel()
+        assert cost.cpu_time(2000, 0) == pytest.approx(
+            2 * cost.cpu_time(1000, 0)
+        )
+
+    def test_sort_time_superlinear(self):
+        cost = CostModel()
+        assert cost.sort_time(10_000) > 10 * cost.sort_time(1_000)
+        assert cost.sort_time(1) == 0.0
+        assert cost.sort_time(0) == 0.0
+
+
+class TestJobConf:
+    def test_defaults(self):
+        conf = JobConf()
+        assert conf.num_reduces == 1
+        assert conf.max_attempts == 4
+        assert conf.heap_leak_probability == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_reduces": 0},
+            {"max_attempts": 0},
+            {"heap_leak_probability": -0.1},
+            {"heap_leak_probability": 1.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            JobConf(**kwargs)
+
+    def test_params_bag(self):
+        conf = JobConf(params={"movies_path": "/m"})
+        assert conf.params["movies_path"] == "/m"

@@ -1,0 +1,68 @@
+"""Determinism and independence of named RNG streams."""
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 3) == derive_seed(7, "a", 3)
+
+    def test_path_sensitive(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a", "b") != derive_seed(7, "ab")
+
+    def test_seed_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestRngStream:
+    def test_same_path_same_draws(self):
+        a = RngStream(5).child("hdfs", "dn", 3)
+        b = RngStream(5).child("hdfs", "dn", 3)
+        assert [a.integers(0, 100) for _ in range(10)] == [
+            b.integers(0, 100) for _ in range(10)
+        ]
+
+    def test_sibling_streams_differ(self):
+        root = RngStream(5)
+        a = root.child("a")
+        b = root.child("b")
+        draws_a = [a.integers(0, 10**9) for _ in range(5)]
+        draws_b = [b.integers(0, 10**9) for _ in range(5)]
+        assert draws_a != draws_b
+
+    def test_adding_consumer_does_not_perturb(self):
+        # Drawing from one stream must not affect a sibling.
+        root1 = RngStream(9)
+        first = root1.child("stable")
+        baseline = [first.uniform() for _ in range(5)]
+
+        root2 = RngStream(9)
+        noisy = root2.child("other")
+        _ = [noisy.uniform() for _ in range(100)]
+        second = root2.child("stable")
+        assert [second.uniform() for _ in range(5)] == baseline
+
+    def test_bernoulli_bounds(self):
+        stream = RngStream(3).child("bern")
+        assert not any(stream.bernoulli(0.0) for _ in range(50))
+        stream2 = RngStream(3).child("bern2")
+        assert all(stream2.bernoulli(1.0) for _ in range(50))
+
+    def test_choice_uses_sequence_values(self):
+        stream = RngStream(4).child("choice")
+        seq = ["x", "y", "z"]
+        for _ in range(20):
+            assert stream.choice(seq) in seq
+
+    def test_shuffle_is_permutation(self):
+        stream = RngStream(4).child("shuffle")
+        values = list(range(20))
+        shuffled = list(values)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == values
+
+    def test_integer_bounds_exclusive_high(self):
+        stream = RngStream(8).child("ints")
+        draws = [stream.integers(0, 3) for _ in range(100)]
+        assert set(draws) <= {0, 1, 2}

@@ -1,0 +1,49 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.util.textable import TextTable, mean_std
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["A", "B"], title="T")
+        table.add_row([1, "xy"])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "B" in lines[1]
+        assert "1" in lines[3] and "xy" in lines[3]
+
+    def test_column_widths_expand_to_content(self):
+        table = TextTable(["x"])
+        table.add_row(["longvalue"])
+        assert table.column_widths() == [len("longvalue")]
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_no_title(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert not table.render().startswith("\n")
+        assert table.render().splitlines()[0].startswith("a")
+
+    def test_str_same_as_render(self):
+        table = TextTable(["a"])
+        assert str(table) == table.render()
+
+
+class TestMeanStd:
+    def test_paper_style_trimming(self):
+        assert mean_std(6.6, 1.2) == "6.6±1.2"
+        assert mean_std(3.0, 0.9) == "3±0.9"
+        assert mean_std(0.03, 0.2) == "0.03±0.2"
+
+    def test_decimals_control(self):
+        assert mean_std(1.23456, 0.5, decimals=3) == "1.235±0.5"
+
+    def test_zero(self):
+        assert mean_std(0.0, 0.0) == "0±0"

@@ -1,0 +1,96 @@
+"""Unit parsing/formatting round trips and edge cases."""
+
+import pytest
+
+from repro.util.errors import ConfigError
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    format_duration,
+    format_size,
+    parse_duration,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_float_truncates(self):
+        assert parse_size(12.7) == 12
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64MB", 64 * MB),
+            ("1kb", KB),
+            ("2G", 2 * GB),
+            ("1.5M", int(1.5 * MB)),
+            ("171GB", 171 * GB),
+            ("3TB", 3 * TB),
+            ("100", 100),
+            ("7b", 7),
+            (" 8 MB ", 8 * MB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12XB", "MB12"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("15min", 900.0),
+            ("2h", 7200.0),
+            ("30s", 30.0),
+            ("1d", 86400.0),
+            ("90", 90.0),
+            ("1.5m", 90.0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_duration(-2)
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_duration("5fortnights")
+
+
+class TestFormatting:
+    def test_format_size_bands(self):
+        assert format_size(0) == "0B"
+        assert format_size(512) == "512B"
+        assert format_size(1536) == "1.5KB"
+        assert format_size(171 * GB) == "171.0GB"
+        assert format_size(2 * TB) == "2.0TB"
+
+    def test_format_duration_bands(self):
+        assert format_duration(12.0) == "12.0s"
+        assert format_duration(900) == "15m00s"
+        assert format_duration(3783) == "1h03m"
+        assert format_duration(0) == "0.0s"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-90) == "-1m30s"
+
+    def test_round_trip_size(self):
+        # format_size output is itself parseable.
+        for value in (KB, 3 * MB, 171 * GB):
+            assert parse_size(format_size(value)) == value

@@ -1,0 +1,260 @@
+"""YARN-lite: resources, containers, scheduling policies, recovery."""
+
+import pytest
+
+from repro.util.errors import ConfigError, ReproError
+from repro.util.units import GB
+from repro.yarn import (
+    Application,
+    Container,
+    ContainerState,
+    Resource,
+    TaskSpec,
+    YarnCluster,
+)
+from repro.yarn.application import AppState
+from repro.yarn.resources import DEFAULT_CONTAINER
+
+
+class TestResource:
+    def test_fits_in(self):
+        small = Resource(memory=GB, vcores=1)
+        big = Resource(memory=4 * GB, vcores=4)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_arithmetic(self):
+        a = Resource(memory=2 * GB, vcores=2)
+        b = Resource(memory=GB, vcores=1)
+        assert (a + b).memory == 3 * GB
+        assert (a - b).vcores == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            Resource(memory=-1, vcores=0)
+
+    def test_describe(self):
+        assert "MB" in Resource(memory=GB, vcores=2).describe()
+
+
+class TestNodeManager:
+    def test_capacity_accounting(self):
+        cluster = YarnCluster(num_nodes=1)
+        node = cluster.nodes["node0"]
+        before = node.available
+        app = Application("a", [TaskSpec(name="t", duration=100.0)])
+        cluster.submit(app)
+        cluster.sim.run_for(3.0)
+        assert node.used == DEFAULT_CONTAINER
+        assert node.available.memory == before.memory - DEFAULT_CONTAINER.memory
+
+    def test_resources_released_on_completion(self):
+        cluster = YarnCluster(num_nodes=1)
+        app = Application("a", [TaskSpec(name="t", duration=2.0)])
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=60)
+        assert cluster.nodes["node0"].used == Resource.zero()
+
+    def test_overcommit_rejected(self):
+        cluster = YarnCluster(
+            num_nodes=1, node_capacity=Resource(memory=GB, vcores=1)
+        )
+        node = cluster.nodes["node0"]
+        with pytest.raises(ReproError):
+            node.launch("app", Resource(memory=2 * GB, vcores=1), 1.0)
+
+    def test_dead_node_rejects_launch(self):
+        cluster = YarnCluster(num_nodes=1)
+        cluster.crash_node("node0")
+        with pytest.raises(ReproError):
+            cluster.nodes["node0"].launch("app", DEFAULT_CONTAINER, 1.0)
+
+    def test_kill_container(self):
+        cluster = YarnCluster(num_nodes=1)
+        app = Application("a", [TaskSpec(name="t", duration=100.0)])
+        cluster.submit(app)
+        cluster.sim.run_for(3.0)
+        container_id = next(iter(app.running))
+        cluster.nodes["node0"].kill_container(container_id, "preempted")
+        cluster.sim.run_for(2.0)
+        # The AM saw the kill and re-queued the task.
+        assert app.pending or app.running
+
+
+class TestApplicationLifecycle:
+    def test_simple_app_succeeds(self):
+        cluster = YarnCluster(num_nodes=2)
+        app = Application(
+            "wc", [TaskSpec(name=f"t{i}", duration=3.0) for i in range(8)]
+        )
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=600)
+        assert app.state == AppState.SUCCEEDED
+        assert app.progress == 1.0
+
+    def test_payload_results_collected(self):
+        cluster = YarnCluster(num_nodes=1)
+        app = Application(
+            "calc",
+            [TaskSpec(name="t", duration=1.0, payload=lambda: 7 * 6)],
+        )
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=60)
+        assert app.results["t"] == 42
+
+    def test_empty_app_rejected(self):
+        with pytest.raises(ReproError):
+            Application("empty", [])
+
+    def test_retry_then_success(self):
+        cluster = YarnCluster(num_nodes=2)
+        app = Application(
+            "flaky",
+            [TaskSpec(name="x", duration=2.0, failures_before_success=2)],
+        )
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=600)
+        assert app.state == AppState.SUCCEEDED
+        assert app.attempts["x"] == 3
+
+    def test_exhausted_retries_fail_app(self):
+        cluster = YarnCluster(num_nodes=2)
+        app = Application(
+            "doomed",
+            [TaskSpec(name="x", duration=1.0, failures_before_success=99)],
+            max_attempts_per_task=3,
+        )
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=600)
+        assert app.state == AppState.FAILED
+        assert "3 times" in app.failure_reason
+
+    def test_parallel_apps_both_finish(self):
+        cluster = YarnCluster(num_nodes=4)
+        apps = [
+            Application(f"a{i}", [TaskSpec(name=f"t{j}", duration=2.0)
+                                  for j in range(6)])
+            for i in range(3)
+        ]
+        for app in apps:
+            cluster.submit(app)
+        cluster.run_until_finished(*apps, timeout=600)
+        assert all(a.state == AppState.SUCCEEDED for a in apps)
+
+
+class TestSchedulingPolicies:
+    def _mixed_workload(self, policy):
+        # Scarce capacity (8 concurrent containers) so policy matters.
+        cluster = YarnCluster(
+            num_nodes=2,
+            policy=policy,
+            node_capacity=Resource(memory=8 * GB, vcores=4),
+        )
+        big = Application(
+            "batch", [TaskSpec(name=f"b{i}", duration=8.0) for i in range(60)]
+        )
+        small = Application(
+            "query", [TaskSpec(name=f"q{i}", duration=2.0) for i in range(4)]
+        )
+        cluster.submit(big)
+        cluster.sim.run_for(2.0)
+        cluster.submit(small)
+        cluster.run_until_finished(small, timeout=3600)
+        return cluster.sim.now, big
+
+    def test_fair_lets_small_job_through(self):
+        fair_time, big = self._mixed_workload("fair")
+        assert big.progress < 1.0  # the query did not wait for the batch
+
+    def test_fifo_starves_small_job(self):
+        fifo_time, big_fifo = self._mixed_workload("fifo")
+        fair_time, _big = self._mixed_workload("fair")
+        # Under FIFO the query waits behind most of the batch.
+        assert fifo_time > fair_time * 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            YarnCluster(num_nodes=1, policy="chaos")
+
+
+class TestLocality:
+    def test_preferred_node_honored_when_free(self):
+        cluster = YarnCluster(num_nodes=3)
+        app = Application(
+            "local",
+            [TaskSpec(name="t", duration=2.0, preferred_nodes=("node2",))],
+        )
+        cluster.submit(app)
+        cluster.sim.run_for(3.0)
+        hosted = [
+            name
+            for name, nm in cluster.nodes.items()
+            if any(
+                c.application_id == app.application_id
+                for c in nm.containers.values()
+            )
+        ]
+        assert hosted == ["node2"]
+
+    def test_delay_scheduling_falls_back(self):
+        cluster = YarnCluster(
+            num_nodes=2, node_capacity=Resource(memory=2 * GB, vcores=1)
+        )
+        # Fill the preferred node with a long task.
+        blocker = Application(
+            "blocker",
+            [TaskSpec(name="b", duration=1000.0,
+                      preferred_nodes=("node0",))],
+        )
+        cluster.submit(blocker)
+        cluster.sim.run_for(3.0)
+        app = Application(
+            "wants-node0",
+            [TaskSpec(name="t", duration=2.0, preferred_nodes=("node0",))],
+        )
+        cluster.submit(app)
+        cluster.run_until_finished(app, timeout=120)
+        # It gave up on locality after the delay and ran on node1.
+        assert app.state == AppState.SUCCEEDED
+
+
+class TestNodeLossRecovery:
+    def test_containers_rescheduled_after_node_loss(self):
+        cluster = YarnCluster(num_nodes=3)
+        app = Application(
+            "survivor",
+            [TaskSpec(name=f"s{i}", duration=40.0) for i in range(6)],
+        )
+        cluster.submit(app)
+        cluster.sim.run_for(5.0)
+        victim = next(
+            name for name, nm in cluster.nodes.items() if nm.containers
+        )
+        cluster.crash_node(victim)
+        cluster.run_until_finished(app, timeout=3600)
+        assert app.state == AppState.SUCCEEDED
+        assert app.containers_lost > 0
+
+    def test_lost_node_removed_from_capacity(self):
+        cluster = YarnCluster(num_nodes=3)
+        before = cluster.rm.cluster_capacity()
+        cluster.crash_node("node1")
+        cluster.sim.run_for(60.0)  # past the heartbeat timeout
+        after = cluster.rm.cluster_capacity()
+        assert after.memory == before.memory * 2 // 3
+
+    def test_node_loss_does_not_count_against_retries(self):
+        cluster = YarnCluster(num_nodes=3)
+        app = Application(
+            "fragile",
+            [TaskSpec(name="t", duration=40.0)],
+            max_attempts_per_task=99,
+        )
+        cluster.submit(app)
+        cluster.sim.run_for(3.0)
+        victim = next(
+            name for name, nm in cluster.nodes.items() if nm.containers
+        )
+        cluster.crash_node(victim)
+        cluster.run_until_finished(app, timeout=3600)
+        assert app.state == AppState.SUCCEEDED
