@@ -120,6 +120,21 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Educational Hadoop 1.x stack (paper reproduction)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "pooled", "pooled-threads"),
+        default=None,
+        help="where task attempts' real work runs (default: serial); "
+        "pooled backends parallelise share-nothing work while keeping "
+        "simulated results bit-identical",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool size for pooled backends (0 = one per host CPU)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo").set_defaults(fn=_cmd_demo)
     sub.add_parser("tables").set_defaults(fn=_cmd_tables)
@@ -139,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("figure1").set_defaults(fn=_cmd_figure1)
 
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0 (0 = one per host CPU)")
+    if args.backend is not None:
+        from repro.mapreduce.backend import set_default_backend
+
+        set_default_backend(args.backend, args.workers)
     return args.fn(args)
 
 

@@ -158,3 +158,4 @@ class InMapperDelayMapper(Mapper):
 class AirlineDelayInMapperJob(Job):
     mapper = InMapperDelayMapper
     reducer = SumCountAverageReducer
+    shares_node_state = True  # node-level "global memory" accumulator

@@ -89,6 +89,7 @@ class AlbumRatingJob(Job):
     mapper = AlbumJoinMapper
     combiner = SumCountMergeCombiner
     reducer = AlbumAverageReducer
+    shares_node_state = True  # cached side file via node_cache
 
     def __init__(self, conf: JobConf | None = None, **params):
         conf = conf or JobConf(name="album-rating")

@@ -153,6 +153,7 @@ class GenreStatsJob(Job):
     mapper = GenreJoinMapper
     combiner = GenreStatsCombiner
     reducer = GenreStatsReducer
+    shares_node_state = True  # side-file reads, all three strategies
 
     def __init__(self, conf: JobConf | None = None, **params):
         strategy = params.get("strategy", "cached")

@@ -123,6 +123,7 @@ class TopRaterJob(Job):
 
     mapper = MarkedUserGenreMapper
     reducer = TopRaterReducer
+    shares_node_state = True  # cached side file via node_cache
 
     def __init__(self, conf: JobConf | None = None, **params):
         conf = conf or JobConf(name="top-rater", num_reduces=1)

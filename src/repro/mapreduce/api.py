@@ -145,6 +145,14 @@ class Job:
     partitioner = None
     #: Input format class; None means TextInputFormat.
     input_format = None
+    #: Declare True when the job's tasks read or mutate state shared
+    #: across tasks — ``Context.node_cache``, ``read_side_file`` /
+    #: ``cached_side_file`` — so parallel execution backends run its
+    #: attempts inline (serial semantics) instead of on the pool, where
+    #: per-node shared state and side-file cost accounting would not be
+    #: reproduced bit-identically.  Side-file readers are simply absent
+    #: on the pool, so an undeclared job fails loudly, not subtly.
+    shares_node_state: bool = False
 
     def __init__(self, conf: JobConf | None = None, **params: Any):
         if self.mapper is None:

@@ -1,0 +1,316 @@
+"""Execution backends: where a task attempt's *real* work runs.
+
+The simulator prices map/reduce work in simulated seconds, but the user
+code itself (tokenising, sorting, combining, reducing) executes for
+real.  Historically that execution was inline and serial: every task
+attempt ran to completion inside the discrete-event loop, so a
+multi-node simulated cluster used exactly one core of the host.
+
+An :class:`ExecutionBackend` decouples the two:
+
+- :class:`SerialExecutionBackend` reproduces the historical behaviour
+  exactly — ``submit`` runs the work and its completion callback
+  immediately, in the simulation thread.
+- :class:`PooledExecutionBackend` dispatches share-nothing work onto a
+  ``concurrent.futures`` pool and resolves results at a deterministic
+  *join point*: the simulation engine (via the
+  :class:`~repro.sim.engine.WorkJoiner` protocol) joins all in-flight
+  work, in submission order, before the clock advances past the
+  simulated instant at which the work was submitted.
+
+The determinism contract
+========================
+
+Real work runs in parallel; simulated time stays serial.  Because
+
+1. every pooled work item is a pure function of its arguments (no
+   simulation state crosses the boundary — input bytes are prefetched,
+   node-shared state forces inline execution),
+2. completion callbacks fire in submission order, which equals the
+   serial execution order, and
+3. completion *events* land at ``submit_time + duration`` with
+   durations computed from the cost model, not the host,
+
+a pooled run produces bit-identical counters, outputs and simulated
+clocks to a serial run — only the host wall-clock differs.  The
+property tests in ``tests/properties/test_backend_determinism.py``
+assert exactly this.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable
+
+from repro.util.errors import ConfigError
+
+OnDone = Callable[["WorkHandle"], None]
+
+#: Backend names accepted by :func:`create_backend` and the CLI.
+BACKEND_NAMES = ("serial", "pooled", "pooled-threads")
+
+
+class WorkHandle:
+    """Handle to one submitted unit of real work."""
+
+    __slots__ = ("submit_time", "_result", "_error", "_future")
+
+    def __init__(self, submit_time: float):
+        self.submit_time = submit_time
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._future: Future | None = None
+
+    def result(self) -> Any:
+        """Return the work's result, or raise the exception it raised."""
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class ExecutionBackend:
+    """Where task attempts' real work runs.  See the module docstring."""
+
+    name = "base"
+    #: True when share-nothing work may execute off the sim thread.
+    parallel = False
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        on_done: OnDone,
+        *,
+        submit_time: float = 0.0,
+        inline: bool = False,
+    ) -> WorkHandle:
+        """Run ``fn`` and eventually call ``on_done(handle)``.
+
+        ``inline=True`` demands execution in the caller's thread before
+        ``submit`` returns (work that touches shared simulation or
+        node state).  Exceptions raised by ``fn`` are captured in the
+        handle — ``on_done`` observes them via :meth:`WorkHandle.result`
+        — but exceptions from ``on_done`` itself propagate.
+        """
+        raise NotImplementedError
+
+    # -- WorkJoiner protocol (see repro.sim.engine) ---------------------
+    def pending_since(self) -> float | None:
+        return None
+
+    def join_all(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _run_captured(fn: Callable[[], Any], handle: WorkHandle) -> None:
+    try:
+        handle._result = fn()
+    except BaseException as exc:  # noqa: BLE001 - relayed via handle.result()
+        handle._error = exc
+
+
+class SerialExecutionBackend(ExecutionBackend):
+    """The historical inline executor: everything runs at submit time."""
+
+    name = "serial"
+    parallel = False
+
+    def submit(self, fn, on_done, *, submit_time=0.0, inline=False):
+        handle = WorkHandle(submit_time)
+        _run_captured(fn, handle)
+        on_done(handle)
+        return handle
+
+
+class PooledExecutionBackend(ExecutionBackend):
+    """Dispatch share-nothing real work onto a thread/process pool.
+
+    ``mode="process"`` (the default) sidesteps the GIL for CPU-bound
+    user code; payloads and results must be picklable.  Work that fails
+    to pickle is transparently re-run inline at the join point (the
+    result is identical — pooling is an optimisation, never a semantic).
+    ``mode="thread"`` has no pickling constraints and suits
+    free-threaded interpreters or I/O-heavy custom code.
+
+    ``inline=True`` submissions (node-state-sharing jobs, formats
+    without prefetch support) run eagerly in the caller's thread,
+    exactly as the serial backend would.
+    """
+
+    name = "pooled"
+    parallel = True
+
+    def __init__(self, workers: int | None = None, mode: str = "process"):
+        if mode not in ("process", "thread"):
+            raise ConfigError(f"unknown pool mode {mode!r}")
+        if workers is not None and workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = one per host CPU)")
+        self.workers = workers or os.cpu_count() or 1
+        self.mode = mode
+        self._executor: Executor | None = None
+        #: (handle, on_done, fn) in submission order; fn kept for the
+        #: unpicklable-payload inline fallback.
+        self._in_flight: list[tuple[WorkHandle, OnDone, Callable[[], Any]]] = []
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.mode == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-pooled",
+                )
+        return self._executor
+
+    def submit(self, fn, on_done, *, submit_time=0.0, inline=False):
+        handle = WorkHandle(submit_time)
+        if inline:
+            _run_captured(fn, handle)
+            on_done(handle)
+            return handle
+        try:
+            handle._future = self._ensure_executor().submit(fn)
+        except RuntimeError:
+            # Executor already shut down (e.g. interpreter teardown):
+            # degrade to inline execution rather than losing the task.
+            _run_captured(fn, handle)
+            on_done(handle)
+            return handle
+        self._in_flight.append((handle, on_done, fn))
+        return handle
+
+    # -- WorkJoiner protocol --------------------------------------------
+    def pending_since(self) -> float | None:
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0].submit_time
+
+    def join_all(self) -> None:
+        """Resolve all in-flight work, firing callbacks in submission order."""
+        while self._in_flight:
+            batch, self._in_flight = self._in_flight, []
+            for handle, on_done, fn in batch:
+                try:
+                    handle._result = handle._future.result()
+                except BaseException as exc:  # noqa: BLE001
+                    if _is_transport_error(exc):
+                        # The *pool plumbing* failed (unpicklable payload
+                        # or result, broken worker) — the work itself may
+                        # be fine.  Re-run inline for an identical answer.
+                        warnings.warn(
+                            f"pooled work fell back to inline execution: "
+                            f"{type(exc).__name__}: {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        _run_captured(fn, handle)
+                    else:
+                        handle._error = exc
+                finally:
+                    handle._future = None
+                on_done(handle)
+                # on_done may submit more work (rare); the outer while
+                # loop drains it in order.
+
+    def shutdown(self) -> None:
+        self.join_all()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def _is_transport_error(exc: BaseException) -> bool:
+    """Did the pool's plumbing fail, rather than the work itself?
+
+    Unpicklable payloads/results surface as PicklingError, TypeError or
+    AttributeError from the pickling machinery (never from task work:
+    the runtime wraps user-code errors in ReproError subclasses), and a
+    dead worker surfaces as BrokenProcessPool.  The fallback re-runs
+    the work inline, which yields an identical answer either way — at
+    worst a deterministic failure is computed twice.
+    """
+    import pickle
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.util.errors import ReproError
+
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(
+        exc,
+        (pickle.PicklingError, BrokenProcessPool, TypeError, AttributeError),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Default-backend registry: one process-wide spec, consulted whenever a
+# cluster or runner is built without an explicit backend.  The CLI's
+# ``--backend/--workers`` flags set it, which is how every example and
+# benchmark picks the flags up without plumbing changes.
+
+_default_spec: tuple[str, int] = ("serial", 0)
+
+
+def set_default_backend(name: str, workers: int = 0) -> None:
+    """Set the process-wide default backend spec (e.g. from the CLI)."""
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if workers < 0:
+        raise ConfigError("workers must be >= 0 (0 = one per host CPU)")
+    global _default_spec
+    _default_spec = (name, workers)
+
+
+def default_backend_spec() -> tuple[str, int]:
+    return _default_spec
+
+
+def create_backend(name: str, workers: int = 0) -> ExecutionBackend:
+    """Instantiate a backend by name ("serial", "pooled", "pooled-threads")."""
+    if name == "serial":
+        return SerialExecutionBackend()
+    if name == "pooled":
+        return PooledExecutionBackend(workers=workers or None, mode="process")
+    if name == "pooled-threads":
+        return PooledExecutionBackend(workers=workers or None, mode="thread")
+    raise ConfigError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | None",
+    config_name: str | None = None,
+    config_workers: int = 0,
+) -> ExecutionBackend:
+    """Pick the backend for a cluster/runner.
+
+    Explicit instance > per-config knob
+    (:attr:`~repro.mapreduce.config.MapReduceConfig.execution_backend`)
+    > process-wide default (:func:`set_default_backend`).
+    """
+    if backend is not None:
+        return backend
+    default_name, default_workers = _default_spec
+    name = config_name or default_name
+    workers = config_workers or default_workers
+    return create_backend(name, workers)

@@ -12,6 +12,7 @@ from repro.cluster.builder import HadoopHardware
 from repro.hdfs.cluster import HdfsCluster
 from repro.hdfs.config import HdfsConfig
 from repro.mapreduce.api import Job
+from repro.mapreduce.backend import ExecutionBackend, resolve_backend
 from repro.mapreduce.blockio import BlockFetcher
 from repro.mapreduce.config import MapReduceConfig
 from repro.mapreduce.job import JobReport, RunningJob
@@ -33,6 +34,7 @@ class MapReduceCluster:
         mr_config: MapReduceConfig | None = None,
         hardware: HadoopHardware | None = None,
         seed: int = 0,
+        backend: ExecutionBackend | None = None,
     ):
         self.hdfs = hdfs or HdfsCluster(
             hardware=hardware,
@@ -42,6 +44,14 @@ class MapReduceCluster:
         )
         self.sim = self.hdfs.sim
         self.mr_config = mr_config or MapReduceConfig()
+        self.backend = resolve_backend(
+            backend,
+            self.mr_config.execution_backend,
+            self.mr_config.backend_workers,
+        )
+        # The engine joins in-flight pooled work before the simulated
+        # clock passes its submit time — the determinism barrier.
+        self.sim.register_work_joiner(self.backend)
         self.rng = RngStream(seed=seed).child("mapreduce")
         self.fetcher = BlockFetcher(
             namenode=self.hdfs.namenode,
@@ -67,9 +77,20 @@ class MapReduceCluster:
                 output_client_factory=self._output_client,
                 rng=self.rng.child("tt", node.name),
                 co_datanode=self.hdfs.datanodes.get(node.name),
+                backend=self.backend,
             )
             tracker.start(self.jobtracker)
             self.tasktrackers[node.name] = tracker
+
+    def close(self) -> None:
+        """Join outstanding work and release backend resources (pools)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "MapReduceCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _output_client(self, node: str | None):

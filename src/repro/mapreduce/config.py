@@ -58,6 +58,12 @@ class MapReduceConfig:
     sort_buffer_bytes: int = 100 * MB
     #: Simulated per-task JVM heap (the thing student jobs leaked).
     task_heap_bytes: int = 200 * MB
+    #: Where task attempts' *real* work runs: ``None`` inherits the
+    #: process-wide default (see ``repro.mapreduce.backend``), else one
+    #: of "serial", "pooled" (process pool), "pooled-threads".
+    execution_backend: str | None = None
+    #: Pool size for pooled backends; 0 means one worker per host CPU.
+    backend_workers: int = 0
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -65,6 +71,8 @@ class MapReduceConfig:
             raise ConfigError("slot counts must be >= 1")
         if self.tasktracker_heartbeat <= 0:
             raise ConfigError("tasktracker_heartbeat must be positive")
+        if self.backend_workers < 0:
+            raise ConfigError("backend_workers must be >= 0")
 
     @property
     def tracker_timeout(self) -> float:

@@ -41,12 +41,20 @@ class C:
     KILLED_SPECULATIVE = ("Job Counters", "Killed speculative attempts")
 
 
+def _group_counters() -> defaultdict:
+    """One counter group.  Module-level so Counters instances pickle
+    (a ``defaultdict`` pickles its factory by reference), which pooled
+    execution backends rely on to ship task results between processes.
+    """
+    return defaultdict(int)
+
+
 @dataclass
 class Counters:
     """Hierarchical ``group -> name -> int`` counters."""
 
     _data: dict[str, dict[str, int]] = field(
-        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+        default_factory=lambda: defaultdict(_group_counters)
     )
 
     def increment(self, counter: tuple[str, str], amount: int = 1) -> None:

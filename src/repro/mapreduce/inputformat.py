@@ -48,8 +48,35 @@ class FetchStats:
     elapsed: float = 0.0
 
 
+@dataclass
+class PrefetchedSplit:
+    """One split's input bytes, fully fetched and boundary-trimmed.
+
+    Produced by :meth:`TextInputFormat.prefetch` in the simulation
+    thread (where block fetches may touch DataNode/network state) and
+    consumed by :meth:`TextInputFormat.parse_records` anywhere — in
+    particular inside a pooled execution backend's worker, which must
+    not call back into simulation state.
+    """
+
+    data: bytes
+    position: int  # byte offset of data[0] within the file
+
+
 class TextInputFormat:
-    """Lines as records: key = byte offset (LongWritable), value = Text."""
+    """Lines as records: key = byte offset (LongWritable), value = Text.
+
+    The format is split into an I/O half (:meth:`prefetch` — every
+    ``fetch`` call, boundary-line reassembly, byte/second accounting)
+    and a CPU half (:meth:`parse_records` — record iteration over the
+    prefetched bytes).  :meth:`read_records` composes the two; parallel
+    execution backends run them on different threads of control.
+    Formats overriding :meth:`read_records` wholesale should set
+    ``supports_prefetch = False`` so backends fall back to inline
+    execution.
+    """
+
+    supports_prefetch = True
 
     @staticmethod
     def splits_for_file(
@@ -82,6 +109,13 @@ class TextInputFormat:
     ) -> Iterator[tuple[Writable, Writable]]:
         """Yield ``(LongWritable offset, Text line)`` for one split."""
         stats = stats if stats is not None else FetchStats()
+        yield from cls.parse_records(cls.prefetch(split, fetch, stats))
+
+    @classmethod
+    def prefetch(
+        cls, split: InputSplit, fetch: BlockFetch, stats: FetchStats
+    ) -> PrefetchedSplit:
+        """Perform all of this split's block I/O; return the raw bytes."""
         data, elapsed = fetch(split.path, split.block_index, None)
         stats.bytes_read += len(data)
         stats.elapsed += elapsed
@@ -92,13 +126,24 @@ class TextInputFormat:
             # split, which reads past its end to finish it.
             newline = data.find(b"\n")
             if newline == -1:
-                return  # entire block is the middle of one huge line
+                # Entire block is the middle of one huge line: no
+                # records, and (matching the historical fetch pattern)
+                # no continuation read either.
+                return PrefetchedSplit(data=b"", position=position)
             position += newline + 1
             data = data[newline + 1 :]
 
         if not split.is_last:
             data += cls._read_continuation(split, fetch, stats)
+        return PrefetchedSplit(data=data, position=position)
 
+    @classmethod
+    def parse_records(
+        cls, prefetched: PrefetchedSplit
+    ) -> Iterator[tuple[Writable, Writable]]:
+        """CPU half: iterate records over already-fetched bytes."""
+        data = prefetched.data
+        position = prefetched.position
         start = 0
         while start < len(data):
             end = data.find(b"\n", start)
@@ -161,10 +206,10 @@ class KeyValueTextInputFormat(TextInputFormat):
     """Lines of ``key<TAB>value``: key = Text before the first tab."""
 
     @classmethod
-    def read_records(
-        cls, split: InputSplit, fetch: BlockFetch, stats: FetchStats | None = None
+    def parse_records(
+        cls, prefetched: PrefetchedSplit
     ) -> Iterator[tuple[Writable, Writable]]:
-        for _offset, line in TextInputFormat.read_records(split, fetch, stats):
+        for _offset, line in TextInputFormat.parse_records(prefetched):
             text = line.value
             tab = text.find("\t")
             if tab == -1:

@@ -221,6 +221,15 @@ class JobTracker:
     # ------------------------------------------------------------------
     # scheduling (heartbeat-driven)
     def heartbeat(self, tracker: TaskTracker) -> list[Assignment]:
+        """Pull-model scheduling: fill the tracker's free slots.
+
+        All trackers heartbeat at the same simulated instants (multiples
+        of ``tasktracker_heartbeat``), so a whole wave of assignments is
+        launched at one simulated time — the window a pooled
+        :class:`~repro.mapreduce.backend.ExecutionBackend` exploits to
+        run the wave's real work concurrently before the engine's join
+        barrier lets the clock move on.
+        """
         info = self.trackers.get(tracker.name)
         if info is None:
             self.register_tracker(tracker)

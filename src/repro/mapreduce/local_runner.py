@@ -14,10 +14,12 @@ enters the picture.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.hdfs.localfs import LinuxFileSystem
 from repro.mapreduce.api import Job
+from repro.mapreduce.backend import ExecutionBackend, resolve_backend
 from repro.mapreduce.config import CostModel, MapReduceConfig
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.inputformat import InputSplit
@@ -27,8 +29,11 @@ from repro.mapreduce.runtime import (
     execute_reduce,
     job_input_format,
     job_partitioner,
+    map_attempt_work,
+    prefetch_split,
+    reduce_attempt_work,
 )
-from repro.mapreduce.shuffle import merge_for_reduce
+from repro.mapreduce.shuffle import MapOutput, merge_for_reduce
 from repro.util.errors import FileNotFoundInHdfs, JobSubmissionError, OutputExistsError
 
 
@@ -62,12 +67,24 @@ class LocalJobRunner:
         cost: CostModel | None = None,
         split_size: int | None = None,
         local_disk_bw: float = 100 * 1024 * 1024,
+        backend: ExecutionBackend | None = None,
     ):
         self.localfs = localfs or LinuxFileSystem()
         self.cost = cost or CostModel()
         self.split_size = split_size or self.DEFAULT_SPLIT_SIZE
         self.local_disk_bw = local_disk_bw
         self.mr_config = MapReduceConfig(cost=self.cost)
+        self.backend = resolve_backend(backend)
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, if any)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "LocalJobRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _splits_for(self, job: Job, paths: list[str]) -> list[InputSplit]:
@@ -135,43 +152,101 @@ class LocalJobRunner:
         counters = Counters()
         node_cache: dict = {}  # one workstation == one shared "JVM"
         elapsed = 0.0
+        # Pooled execution applies only to share-nothing jobs whose
+        # input format separates I/O from parsing; everything else runs
+        # the historical serial path.  Completion callbacks fire in
+        # submission order, so counters merge and ``elapsed`` sums in
+        # exactly the serial order — results are bit-identical.
+        pooled = (
+            self.backend.parallel
+            and not job.shares_node_state
+            and getattr(job_input_format(job), "supports_prefetch", False)
+        )
 
-        map_outputs = []
-        for index, split in enumerate(splits):
-            execution = execute_map(
-                job=job,
-                split=split,
-                fetch=self._fetch,
-                cost=self.cost,
-                mr_config=self.mr_config,
-                side_reader=self._side_reader,
-                node_cache=node_cache,
-                task_node="local",
-                disk_write_bw=self.local_disk_bw,
-            )
+        map_outputs: list[MapOutput] = []
+
+        def map_done(index: int, handle) -> None:
+            nonlocal elapsed
+            execution = handle.result()
             execution.output.task_index = index
             counters.merge(execution.counters)
             elapsed += execution.duration
             map_outputs.append(execution.output)
 
-        all_pairs: list[tuple[str, str]] = []
-        for partition in range(job.conf.num_reduces):
-            merged = merge_for_reduce(map_outputs, partition)
-            execution = execute_reduce(
-                job=job,
-                merged_pairs=merged,
-                cost=self.cost,
-                side_reader=self._side_reader,
-                node_cache=node_cache,
-                task_node="local",
+        for index, split in enumerate(splits):
+            if pooled:
+                prefetched = prefetch_split(job, split, self._fetch)
+                work = functools.partial(
+                    map_attempt_work,
+                    job,
+                    split,
+                    prefetched,
+                    self.cost,
+                    self.mr_config,
+                    "local",
+                    self.local_disk_bw,
+                )
+            else:
+                work = functools.partial(
+                    execute_map,
+                    job=job,
+                    split=split,
+                    fetch=self._fetch,
+                    cost=self.cost,
+                    mr_config=self.mr_config,
+                    side_reader=self._side_reader,
+                    node_cache=node_cache,
+                    task_node="local",
+                    disk_write_bw=self.local_disk_bw,
+                )
+            self.backend.submit(
+                work,
+                functools.partial(map_done, index),
+                inline=not pooled,
             )
+        self.backend.join_all()  # all map outputs in hand, serial order
+
+        all_pairs: list[tuple[str, str]] = []
+
+        def reduce_done(partition: int, handle) -> None:
+            nonlocal elapsed
+            execution, text = handle.result()
             counters.merge(execution.counters)
             elapsed += execution.duration
-            text = TextOutputFormat.render(execution.pairs)
             part_path = f"{output_path}/{part_file_name(partition)}"
             self.localfs.write_file(part_path, text)
             elapsed += len(text) / self.local_disk_bw
             all_pairs.extend(TextOutputFormat.parse(text))
+
+        for partition in range(job.conf.num_reduces):
+            if pooled:
+                work = functools.partial(
+                    reduce_attempt_work,
+                    job,
+                    map_outputs,
+                    partition,
+                    self.cost,
+                    "local",
+                )
+            else:
+                def work(partition=partition):
+                    merged = merge_for_reduce(map_outputs, partition)
+                    execution = execute_reduce(
+                        job=job,
+                        merged_pairs=merged,
+                        cost=self.cost,
+                        side_reader=self._side_reader,
+                        node_cache=node_cache,
+                        task_node="local",
+                    )
+                    return execution, TextOutputFormat.render(execution.pairs)
+
+            self.backend.submit(
+                work,
+                functools.partial(reduce_done, partition),
+                inline=not pooled,
+            )
+        self.backend.join_all()
 
         self.localfs.write_file(f"{output_path}/_SUCCESS", b"")
         return LocalJobResult(

@@ -19,20 +19,27 @@ from typing import Any, Callable
 
 from repro.mapreduce.api import Context, Job
 from repro.mapreduce.config import CostModel, JobConf, MapReduceConfig
+from repro.mapreduce.inputformat import (
+    FetchStats,
+    InputSplit,
+    PrefetchedSplit,
+    TextInputFormat,
+)
 from repro.mapreduce.counters import C, Counters
-from repro.mapreduce.inputformat import FetchStats, InputSplit, TextInputFormat
+from repro.mapreduce.outputformat import TextOutputFormat
 from repro.mapreduce.partitioner import HashPartitioner, Partitioner
 from repro.mapreduce.shuffle import (
     MapOutput,
     Pair,
     group_by_key,
+    merge_for_reduce,
     partition_pairs,
     run_combiner,
     serialized_bytes,
     sort_pairs,
 )
 from repro.mapreduce.types import Writable
-from repro.util.errors import TaskFailedError
+from repro.util.errors import MapReduceError, TaskFailedError
 
 SideReader = Callable[[str], tuple[str, float]]
 
@@ -73,6 +80,33 @@ def _wrap_user_error(phase: str, exc: Exception) -> TaskFailedError:
     return TaskFailedError(f"{phase} raised {type(exc).__name__}: {exc}")
 
 
+@dataclass
+class PrefetchedInput:
+    """A split's bytes plus the I/O accounting already paid for them.
+
+    Built in the simulation thread by :func:`prefetch_split`; shipped to
+    pool workers so :func:`execute_map` needs no ``fetch`` callable.
+    """
+
+    payload: PrefetchedSplit
+    stats: FetchStats
+
+
+def prefetch_split(job: Job, split: InputSplit, fetch) -> PrefetchedInput | None:
+    """Perform a split's block I/O up front, if the input format allows.
+
+    Returns ``None`` when the job's input format does not support the
+    prefetch/parse separation (``supports_prefetch`` unset or False), in
+    which case the caller must execute the attempt inline.
+    """
+    input_format = job_input_format(job)
+    if not getattr(input_format, "supports_prefetch", False):
+        return None
+    stats = FetchStats()
+    payload = input_format.prefetch(split, fetch, stats)
+    return PrefetchedInput(payload=payload, stats=stats)
+
+
 def execute_map(
     job: Job,
     split: InputSplit,
@@ -83,8 +117,15 @@ def execute_map(
     node_cache: dict[str, Any] | None = None,
     task_node: str | None = None,
     disk_write_bw: float = 100 * 1024 * 1024,
+    prefetched: "PrefetchedInput | None" = None,
 ) -> MapExecution:
-    """Run one map task over one split."""
+    """Run one map task over one split.
+
+    When ``prefetched`` is given the split's block I/O has already been
+    performed (see :func:`prefetch_split`): records are parsed from the
+    prefetched bytes and ``fetch`` is never called, which is what lets
+    this function run inside a pool worker with no simulation state.
+    """
     counters = Counters()
     conf: JobConf = job.conf
     context = Context(
@@ -94,15 +135,20 @@ def execute_map(
         node_cache=node_cache,
         task_node=task_node,
     )
-    stats = FetchStats()
     input_format = job_input_format(job)
+    if prefetched is not None:
+        stats = prefetched.stats
+        records = input_format.parse_records(prefetched.payload)
+    else:
+        stats = FetchStats()
+        records = input_format.read_records(split, fetch, stats)
 
     mapper = job.mapper()  # type: ignore[misc]
     records_in = 0
     input_bytes_seen = 0
     try:
         mapper.setup(context)
-        for key, value in input_format.read_records(split, fetch, stats):
+        for key, value in records:
             records_in += 1
             mapper.map(key, value, context)
         mapper.cleanup(context)
@@ -110,7 +156,10 @@ def execute_map(
         raise _wrap_user_error("map", exc) from exc
     input_bytes_seen = stats.bytes_read
 
-    pairs = context.drain()
+    # Sort once, before partitioning: partitions are key-determined, so
+    # a stable bucketing of sorted pairs leaves every bucket key-sorted
+    # — the per-partition re-sort the combiner used to pay disappears.
+    pairs = sort_pairs(context.drain())
     output_bytes = serialized_bytes(pairs)
     counters.increment(C.MAP_INPUT_RECORDS, records_in)
     counters.increment(C.MAP_OUTPUT_RECORDS, len(pairs))
@@ -127,7 +176,7 @@ def execute_map(
         for partition, ppairs in partitions.items():
             try:
                 combined[partition] = run_combiner(
-                    job.combiner, ppairs, context, counters
+                    job.combiner, ppairs, context, counters, presorted=True
                 )
             except Exception as exc:  # noqa: BLE001 - user code boundary
                 raise _wrap_user_error("combine", exc) from exc
@@ -233,3 +282,63 @@ def execute_reduce(
         duration=duration,
         input_records=len(pairs),
     )
+
+
+# ---------------------------------------------------------------------------
+# Pooled-work entry points.  These are the only functions execution
+# backends ship to pool workers, so they are module-level (picklable by
+# reference) and take *only* picklable, share-nothing arguments: no
+# fetch closures, no side readers, no node caches, no simulation state.
+
+
+def _no_fetch(path: str, block_index: int, max_bytes: int | None):
+    raise MapReduceError(
+        "pooled map work must consume prefetched input, not call fetch()"
+    )
+
+
+def map_attempt_work(
+    job: Job,
+    split: InputSplit,
+    prefetched: PrefetchedInput,
+    cost: CostModel,
+    mr_config: MapReduceConfig,
+    task_node: str | None,
+    disk_write_bw: float,
+) -> MapExecution:
+    """The share-nothing portion of one map attempt (pool-safe)."""
+    return execute_map(
+        job=job,
+        split=split,
+        fetch=_no_fetch,
+        cost=cost,
+        mr_config=mr_config,
+        task_node=task_node,
+        disk_write_bw=disk_write_bw,
+        prefetched=prefetched,
+    )
+
+
+def reduce_attempt_work(
+    job: Job,
+    map_outputs: list[MapOutput],
+    partition: int,
+    cost: CostModel,
+    task_node: str | None,
+) -> tuple[ReduceExecution, str]:
+    """The share-nothing portion of one reduce attempt (pool-safe).
+
+    Merges the already-shuffled map outputs for ``partition``, runs the
+    reducer, and renders the output file text; the caller prices the
+    shuffle network time and performs the HDFS write (both touch
+    simulation state, so they stay in the simulation thread).
+    """
+    merged = merge_for_reduce(map_outputs, partition)
+    execution = execute_reduce(
+        job=job,
+        merged_pairs=merged,
+        cost=cost,
+        task_node=task_node,
+    )
+    text = TextOutputFormat.render(execution.pairs)
+    return execution, text

@@ -4,6 +4,13 @@ This module is pure data-plumbing over Writable pairs; the byte and
 record accounting it returns feeds the counters the course's combiner
 lecture has students compare ("increased map task run time ... versus
 reduced network traffic").
+
+Hot-path notes: these functions sit inside every task attempt, so they
+are written for throughput — a single bucketing pass that materialises
+only non-empty partitions, per-instance ``serialized_size`` memos (see
+:class:`~repro.mapreduce.types.Writable`), per-partition byte memos on
+:class:`MapOutput`, and a ``presorted`` fast path for the combiner so a
+map task sorts its output exactly once.
 """
 
 from __future__ import annotations
@@ -26,7 +33,19 @@ def serialized_bytes(pairs: Iterable[Pair]) -> int:
 
 def sort_pairs(pairs: list[Pair]) -> list[Pair]:
     """Sort by key (stable, so equal-key value order is emission order)."""
-    return sorted(pairs, key=lambda kv: kv[0].sort_key())
+    return sorted(pairs, key=_pair_sort_key)
+
+
+def _pair_sort_key(kv: Pair):
+    return kv[0].sort_key()
+
+
+def is_key_sorted(pairs: list[Pair]) -> bool:
+    """True when ``pairs`` is non-descending by key sort order."""
+    return all(
+        pairs[i][0].sort_key() <= pairs[i + 1][0].sort_key()
+        for i in range(len(pairs) - 1)
+    )
 
 
 def group_by_key(sorted_pairs: Iterable[Pair]) -> Iterator[tuple[Writable, list[Writable]]]:
@@ -47,10 +66,23 @@ def group_by_key(sorted_pairs: Iterable[Pair]) -> Iterator[tuple[Writable, list[
 def partition_pairs(
     pairs: Iterable[Pair], partitioner: Partitioner, num_reduces: int
 ) -> dict[int, list[Pair]]:
-    """Bucket pairs by reduce partition (all partitions present)."""
-    buckets: dict[int, list[Pair]] = {p: [] for p in range(num_reduces)}
-    for key, value in pairs:
-        buckets[partitioner.partition(key, num_reduces)].append((key, value))
+    """Bucket pairs by reduce partition in a single pass.
+
+    Only partitions that receive at least one pair are materialised;
+    consumers read absent partitions via ``.get(p, ())``.  For wide
+    reduce fan-outs this skips allocating hundreds of empty lists per
+    map task.
+    """
+    buckets: dict[int, list[Pair]] = {}
+    part = partitioner.partition
+    get = buckets.get
+    for kv in pairs:
+        p = part(kv[0], num_reduces)
+        bucket = get(p)
+        if bucket is None:
+            buckets[p] = [kv]
+        else:
+            bucket.append(kv)
     return buckets
 
 
@@ -59,16 +91,31 @@ def run_combiner(
     pairs: list[Pair],
     context: Context,
     counters: Counters,
+    presorted: bool = False,
 ) -> list[Pair]:
     """Apply a combiner to one map task's (sorted) output.
 
     Returns the combined pair list.  Counter deltas
     (COMBINE_INPUT/OUTPUT_RECORDS) land in ``counters``.
+
+    ``presorted=True`` promises the caller already key-sorted ``pairs``
+    (the map task sorts its output exactly once before partitioning, and
+    a stable sort bucketed on a key-derived partition stays sorted), so
+    the redundant per-partition re-sort is skipped.  The promise is
+    checked in debug mode.
     """
     counters.increment(C.COMBINE_INPUT_RECORDS, len(pairs))
+    if presorted:
+        if __debug__ and not is_key_sorted(pairs):
+            raise AssertionError(
+                "run_combiner(presorted=True) received unsorted pairs"
+            )
+        source = pairs
+    else:
+        source = sort_pairs(pairs)
     combiner = combiner_cls()
     combiner.setup(context)
-    for key, values in group_by_key(sort_pairs(pairs)):
+    for key, values in group_by_key(source):
         combiner.reduce(key, values, context)
     combiner.cleanup(context)
     combined = context.drain()
@@ -78,14 +125,28 @@ def run_combiner(
 
 @dataclass
 class MapOutput:
-    """One completed map task's partitioned, (optionally) combined output."""
+    """One completed map task's partitioned, (optionally) combined output.
+
+    Partition pair lists are immutable once the map task finishes, so
+    per-partition byte totals are memoised: the JobTracker and every
+    reduce's shuffle pricing re-read them repeatedly, and recomputing
+    meant re-walking every pair list per reduce per map.
+    """
 
     task_index: int
     node: str
     partitions: dict[int, list[Pair]] = field(default_factory=dict)
+    #: partition -> serialized bytes, filled lazily.
+    _bytes_memo: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def partition_bytes(self, partition: int) -> int:
-        return serialized_bytes(self.partitions.get(partition, ()))
+        size = self._bytes_memo.get(partition)
+        if size is None:
+            size = serialized_bytes(self.partitions.get(partition, ()))
+            self._bytes_memo[partition] = size
+        return size
 
     def total_bytes(self) -> int:
         return sum(self.partition_bytes(p) for p in self.partitions)
@@ -100,7 +161,9 @@ def merge_for_reduce(
     """Merge one partition's pairs from every map output, key-sorted.
 
     A k-way merge in Hadoop; a concatenate-and-sort here (same result,
-    and the sort cost model charges the equivalent comparisons).
+    and the sort cost model charges the equivalent comparisons).  Map
+    outputs arrive key-sorted per partition, so Timsort's galloping
+    merge makes this pass close to linear.
     """
     merged: list[Pair] = []
     for output in outputs:

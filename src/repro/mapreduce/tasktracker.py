@@ -12,16 +12,29 @@ daemon (and, configurably, the co-located DataNode) down with it.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cluster.hardware import Node
+from repro.mapreduce.backend import (
+    ExecutionBackend,
+    SerialExecutionBackend,
+    WorkHandle,
+)
 from repro.mapreduce.blockio import BlockFetcher
 from repro.mapreduce.config import MapReduceConfig
 from repro.mapreduce.counters import C
 from repro.mapreduce.inputformat import FetchStats
 from repro.mapreduce.outputformat import TextOutputFormat, part_file_name
-from repro.mapreduce.runtime import execute_map, execute_reduce
+from repro.mapreduce.runtime import (
+    _wrap_user_error,
+    execute_map,
+    execute_reduce,
+    map_attempt_work,
+    prefetch_split,
+    reduce_attempt_work,
+)
 from repro.mapreduce.shuffle import merge_for_reduce, serialized_bytes
 from repro.mapreduce.tasks import TaskType
 from repro.sim.engine import ScheduledEvent, Simulation
@@ -43,7 +56,10 @@ class TrackerState(enum.Enum):
 @dataclass
 class _RunningAttempt:
     assignment: "Assignment"
-    completion: ScheduledEvent
+    #: None while the attempt's real work is still in flight on a
+    #: parallel backend; set once the work resolves and a completion
+    #: (or failure/heap-leak) event is scheduled.
+    completion: ScheduledEvent | None = None
 
 
 #: The fraction of a heap-leaking task's normal runtime it burns before
@@ -63,6 +79,7 @@ class TaskTracker:
         output_client_factory: Callable[[str | None], "DFSClient"],
         rng: RngStream,
         co_datanode: "DataNode | None" = None,
+        backend: ExecutionBackend | None = None,
     ):
         self.node = node
         self.sim = sim
@@ -71,6 +88,7 @@ class TaskTracker:
         self.output_client_factory = output_client_factory
         self.rng = rng
         self.co_datanode = co_datanode
+        self.backend = backend if backend is not None else SerialExecutionBackend()
         self.jobtracker: "JobTracker | None" = None
         self.state = TrackerState.STOPPED
         self.running: dict[str, _RunningAttempt] = {}
@@ -133,8 +151,14 @@ class TaskTracker:
         if self._cancel_heartbeat is not None:
             self._cancel_heartbeat()
             self._cancel_heartbeat = None
+        # Resolve any in-flight pooled work first: on a serial backend
+        # the work (and its side effects, e.g. a reduce's output write)
+        # already happened at launch, so a pooled run must let it land
+        # too before the completions are cancelled — identical outcome.
+        self.backend.join_all()
         for running in self.running.values():
-            running.completion.cancel()
+            if running.completion is not None:
+                running.completion.cancel()
         self.running.clear()
         self.state = state
         self.sim.bus.publish(topic, self.sim.now, tracker=self.name)
@@ -149,55 +173,118 @@ class TaskTracker:
 
     # -- execution -----------------------------------------------------------
     def _launch(self, assignment: "Assignment") -> None:
+        """Start one task attempt.
+
+        The attempt's *real* work runs wherever the execution backend
+        puts it (inline for the serial backend; on a pool otherwise),
+        but every simulation-visible consequence — completion events,
+        failure scheduling, the heap-leak RNG draw, the reduce-output
+        HDFS write — happens in ``on_done``, which parallel backends
+        invoke in submission order at the engine's deterministic join
+        point, with the simulated clock still at the submit instant.
+        Pooled and serial runs are therefore bit-identical.
+        """
         self.tasks_run += 1
         job = self.jobtracker.running_job(assignment.job_id)
         try:
             if assignment.task_type == TaskType.MAP:
-                result, duration = self._run_map(job, assignment)
+                work, finalize, inline = self._prepare_map(job, assignment)
             else:
-                result, duration = self._run_reduce(job, assignment)
+                work, finalize, inline = self._prepare_reduce(job, assignment)
         except FetchFailedError as exc:
             # Fetch failures are the *map's* fault: the attempt is
             # killed without burning this reduce's failure budget.
             self._schedule_failure(assignment, exc, counts_against=False)
             return
         except ReproError as exc:
-            # User-code bugs (TaskFailedError) and infrastructure trouble
-            # (e.g. an unreadable block) both surface as attempt failures,
-            # as they do in Hadoop.
             self._schedule_failure(assignment, exc)
             return
-        heap_leak = self.rng.bernoulli(job.conf.heap_leak_probability)
-        if heap_leak:
-            self._schedule_heap_leak(assignment, duration, job)
-            return
-        completion = self.sim.schedule(
-            duration, self._complete, assignment, result, duration
-        )
-        self.running[assignment.attempt_id] = _RunningAttempt(
-            assignment=assignment, completion=completion
+
+        running = _RunningAttempt(assignment=assignment)
+        self.running[assignment.attempt_id] = running
+
+        def on_done(handle: WorkHandle) -> None:
+            try:
+                result, duration = finalize(handle.result())
+            except FetchFailedError as exc:
+                self._schedule_failure(
+                    assignment, exc, counts_against=False, running=running
+                )
+                return
+            except ReproError as exc:
+                # User-code bugs (TaskFailedError) and infrastructure
+                # trouble (e.g. an unreadable block) both surface as
+                # attempt failures, as they do in Hadoop.
+                self._schedule_failure(assignment, exc, running=running)
+                return
+            heap_leak = self.rng.bernoulli(job.conf.heap_leak_probability)
+            if heap_leak:
+                self._schedule_heap_leak(assignment, duration, job, running)
+                return
+            running.completion = self.sim.schedule(
+                duration, self._complete, assignment, result, duration
+            )
+
+        self.backend.submit(
+            work, on_done, submit_time=self.sim.now, inline=inline
         )
 
-    def _run_map(self, job, assignment):
+    def _run_inline(self, job: "Job | None") -> bool:
+        """Must this job's work stay in the simulation thread?"""
+        return not self.backend.parallel or bool(
+            job is not None and job.shares_node_state
+        )
+
+    def _prepare_map(self, job, assignment):
+        """Split a map attempt into (work, finalize, inline)."""
         task = job.map_tasks[assignment.task_index]
         tally: dict[str, int] = {}
         fetch = self.fetcher.make_fetch(self.name, tally)
-        execution = execute_map(
-            job=job.job,
-            split=task.split,
-            fetch=fetch,
-            cost=self.mr_config.cost,
-            mr_config=self.mr_config,
-            side_reader=self._side_reader,
-            node_cache=self.node_cache,
-            task_node=self.name,
-            disk_write_bw=self.node.spec.disk_write_bw,
-        )
-        execution.output.node = self.name
-        execution.output.task_index = assignment.task_index
-        return execution, execution.duration
+        prefetched = None
+        if not self._run_inline(job.job):
+            # Block I/O touches DataNode/network state: do it now, in
+            # the simulation thread, so the pool worker is share-nothing.
+            try:
+                prefetched = prefetch_split(job.job, task.split, fetch)
+            except Exception as exc:  # noqa: BLE001 - same wrap as serial
+                raise _wrap_user_error("map", exc) from exc
+        if prefetched is None:
+            def work_inline():
+                execution = execute_map(
+                    job=job.job,
+                    split=task.split,
+                    fetch=fetch,
+                    cost=self.mr_config.cost,
+                    mr_config=self.mr_config,
+                    side_reader=self._side_reader,
+                    node_cache=self.node_cache,
+                    task_node=self.name,
+                    disk_write_bw=self.node.spec.disk_write_bw,
+                )
+                return execution
 
-    def _run_reduce(self, job, assignment):
+            work, inline = work_inline, True
+        else:
+            work, inline = functools.partial(
+                map_attempt_work,
+                job.job,
+                task.split,
+                prefetched,
+                self.mr_config.cost,
+                self.mr_config,
+                self.name,
+                self.node.spec.disk_write_bw,
+            ), False
+
+        def finalize(execution):
+            execution.output.node = self.name
+            execution.output.task_index = assignment.task_index
+            return execution, execution.duration
+
+        return work, finalize, inline
+
+    def _prepare_reduce(self, job, assignment):
+        """Split a reduce attempt into (work, finalize, inline)."""
         partition = assignment.task_index
         outputs = job.completed_map_outputs()
         # Shuffle fetch: map output lives on the node that ran the map.
@@ -219,26 +306,47 @@ class TaskTracker:
             raise FetchFailedError(
                 f"could not fetch map output from dead node(s) {nodes}"
             )
-        merged = merge_for_reduce(outputs, partition)
         shuffle_time, shuffle_bytes = self._price_shuffle(outputs, partition)
-        execution = execute_reduce(
-            job=job.job,
-            merged_pairs=merged,
-            cost=self.mr_config.cost,
-            side_reader=self._side_reader,
-            node_cache=self.node_cache,
-            task_node=self.name,
-        )
-        execution.counters.increment(C.REDUCE_SHUFFLE_BYTES, shuffle_bytes)
-        # Write this partition's output file to HDFS from this node.
-        client = self.output_client_factory(self.name)
-        text = TextOutputFormat.render(execution.pairs)
-        out_path = f"{job.output_path}/{part_file_name(partition)}"
-        write = client.put_bytes(out_path, text.encode("utf-8"), overwrite=True)
-        execution.counters.increment(C.HDFS_BYTES_WRITTEN, write.length)
-        duration = execution.duration + shuffle_time + write.elapsed
-        execution.duration = duration
-        return execution, duration
+
+        if self._run_inline(job.job):
+            def work_inline():
+                merged = merge_for_reduce(outputs, partition)
+                execution = execute_reduce(
+                    job=job.job,
+                    merged_pairs=merged,
+                    cost=self.mr_config.cost,
+                    side_reader=self._side_reader,
+                    node_cache=self.node_cache,
+                    task_node=self.name,
+                )
+                return execution, TextOutputFormat.render(execution.pairs)
+
+            work, inline = work_inline, True
+        else:
+            work, inline = functools.partial(
+                reduce_attempt_work,
+                job.job,
+                outputs,
+                partition,
+                self.mr_config.cost,
+                self.name,
+            ), False
+
+        def finalize(payload):
+            execution, text = payload
+            execution.counters.increment(C.REDUCE_SHUFFLE_BYTES, shuffle_bytes)
+            # Write this partition's output file to HDFS from this node.
+            client = self.output_client_factory(self.name)
+            out_path = f"{job.output_path}/{part_file_name(partition)}"
+            write = client.put_bytes(
+                out_path, text.encode("utf-8"), overwrite=True
+            )
+            execution.counters.increment(C.HDFS_BYTES_WRITTEN, write.length)
+            duration = execution.duration + shuffle_time + write.elapsed
+            execution.duration = duration
+            return execution, duration
+
+        return work, finalize, inline
 
     #: Parallel copier threads per reduce (mapred.reduce.parallel.copies).
     PARALLEL_COPIES = 5
@@ -287,17 +395,25 @@ class TaskTracker:
         assignment: "Assignment",
         exc: Exception,
         counts_against: bool = True,
+        running: _RunningAttempt | None = None,
     ) -> None:
         """User-code error: the attempt burns startup time, then fails."""
         duration = self.mr_config.cost.task_startup + 2.0
         completion = self.sim.schedule(
             duration, self._fail, assignment, str(exc), counts_against
         )
-        self.running[assignment.attempt_id] = _RunningAttempt(
-            assignment=assignment, completion=completion
-        )
+        if running is None:
+            running = _RunningAttempt(assignment=assignment)
+            self.running[assignment.attempt_id] = running
+        running.completion = completion
 
-    def _schedule_heap_leak(self, assignment, duration: float, job) -> None:
+    def _schedule_heap_leak(
+        self,
+        assignment,
+        duration: float,
+        job,
+        running: _RunningAttempt | None = None,
+    ) -> None:
         burn = duration * HEAP_LEAK_BURN_FRACTION
         completion = self.sim.schedule(
             burn,
@@ -305,9 +421,10 @@ class TaskTracker:
             assignment,
             job.conf.crash_daemons_on_heap_leak,
         )
-        self.running[assignment.attempt_id] = _RunningAttempt(
-            assignment=assignment, completion=completion
-        )
+        if running is None:
+            running = _RunningAttempt(assignment=assignment)
+            self.running[assignment.attempt_id] = running
+        running.completion = completion
 
     def _heap_leak_fires(self, assignment, crash_daemons: bool) -> None:
         self.running.pop(assignment.attempt_id, None)
@@ -341,10 +458,14 @@ class TaskTracker:
 
     def kill_attempt(self, attempt_id: str) -> bool:
         """Cancel a running attempt (losing speculative twin)."""
+        # Let in-flight work resolve first (see _halt) so the kill
+        # cancels a scheduled completion, exactly as on a serial run.
+        self.backend.join_all()
         running = self.running.pop(attempt_id, None)
         if running is None:
             return False
-        running.completion.cancel()
+        if running.completion is not None:
+            running.completion.cancel()
         return True
 
     def __repr__(self) -> str:

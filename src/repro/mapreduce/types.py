@@ -16,6 +16,7 @@ byte accounting students observe in job reports.
 from __future__ import annotations
 
 import functools
+import sys
 from typing import Any, Callable
 
 from repro.util.errors import InvalidWritableError
@@ -26,7 +27,18 @@ class Writable:
 
     Text serialization (rather than binary) keeps job output files
     human-readable — what ``hadoop fs -cat`` on a ``part-00000`` shows.
+
+    Instances are value objects: once constructed they are never
+    mutated, which is what lets :meth:`serialized_size` (and composite
+    sort keys) be memoised per instance — the shuffle byte-accounting
+    walks the same pair lists many times (map output, per-partition
+    spill, per-reduce fetch pricing), and without the memo every walk
+    re-encodes every value.
     """
+
+    #: Memo slots shared by all subclasses (which declare ``__slots__``
+    #: of their own, so instances carry no ``__dict__``).
+    __slots__ = ("_size_memo", "_key_memo")
 
     def encode(self) -> str:
         raise NotImplementedError
@@ -36,8 +48,17 @@ class Writable:
         raise NotImplementedError
 
     def serialized_size(self) -> int:
-        """Bytes this value contributes to map output / shuffle traffic."""
-        return len(self.encode().encode("utf-8"))
+        """Bytes this value contributes to map output / shuffle traffic.
+
+        Memoised: Writables are immutable, so the first encode's size
+        is reused for every later accounting pass.
+        """
+        try:
+            return self._size_memo
+        except AttributeError:
+            size = len(self.encode().encode("utf-8"))
+            self._size_memo = size
+            return size
 
     # Ordering / equality via the sort key -------------------------------
     def sort_key(self) -> Any:
@@ -234,7 +255,16 @@ def record_writable(
             return cls(*(t(p) for t, p in zip(field_types, parts)))
 
         def sort_key(self) -> tuple:
-            return tuple(getattr(self, field_name) for field_name in field_names)
+            # Memoised: building the field tuple on every comparison
+            # dominates composite-key sorts otherwise.
+            try:
+                return self._key_memo
+            except AttributeError:
+                key = tuple(
+                    getattr(self, field_name) for field_name in field_names
+                )
+                self._key_memo = key
+                return key
 
         def __repr__(self) -> str:
             inner = ", ".join(
@@ -245,6 +275,15 @@ def record_writable(
 
     _Record.__name__ = name
     _Record.__qualname__ = name
+    # Pretend the class was defined where record_writable was called
+    # (the namedtuple trick), so module-level record classes pickle by
+    # reference — required to ship pairs to process-pool workers.
+    try:
+        _Record.__module__ = sys._getframe(1).f_globals.get(
+            "__name__", __name__
+        )
+    except (AttributeError, ValueError):  # pragma: no cover - exotic runtimes
+        pass
     return _Record
 
 

@@ -10,10 +10,33 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+import math
+from typing import Any, Callable, Protocol
 
 from repro.sim.clock import SimClock
 from repro.util.events import EventBus
+
+
+class WorkJoiner(Protocol):
+    """Something holding real (wall-clock) work in flight on behalf of
+    simulated events — e.g. a pooled task-execution backend.
+
+    The contract that keeps parallel real work deterministic: work is
+    submitted while the clock sits at some simulated time ``S``; its
+    completion events land at ``S + duration`` with ``duration >= 0``.
+    The engine therefore must *join* (resolve, in submission order) all
+    in-flight work before processing any event with time strictly
+    greater than ``S`` — but events at exactly ``S`` may run first,
+    which is the window in which a whole wave of task launches overlaps
+    on real CPUs.
+    """
+
+    def pending_since(self) -> float | None:
+        """Earliest submit time of in-flight work, or None if idle."""
+
+    def join_all(self) -> None:
+        """Block until all in-flight work resolves; runs callbacks in
+        submission order (callbacks may schedule new events)."""
 
 
 class ScheduledEvent:
@@ -55,6 +78,7 @@ class Simulation:
         self._queue: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._work_joiners: list[WorkJoiner] = []
 
     # ------------------------------------------------------------------
     @property
@@ -123,17 +147,45 @@ class Simulation:
         return cancel
 
     # ------------------------------------------------------------------
+    # real-work barrier
+    def register_work_joiner(self, joiner: WorkJoiner) -> None:
+        """Attach a joiner whose in-flight work gates clock advancement."""
+        if joiner not in self._work_joiners:
+            self._work_joiners.append(joiner)
+
+    def _join_in_flight(self, horizon: float) -> bool:
+        """Join work that must resolve before time reaches ``horizon``.
+
+        Returns True if anything was joined (completion events may have
+        been scheduled, so callers should re-examine the queue head).
+        """
+        joined = False
+        for joiner in self._work_joiners:
+            since = joiner.pending_since()
+            if since is not None and horizon > since:
+                joiner.join_all()
+                joined = True
+        return joined
+
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event; returns False if the queue is empty."""
-        while self._queue:
+        while True:
+            while self._queue and self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue:
+                if self._work_joiners and self._join_in_flight(math.inf):
+                    continue  # joins may have scheduled new events
+                return False
+            if self._work_joiners and self._join_in_flight(
+                self._queue[0].time
+            ):
+                continue  # completions may land before the old head
             event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
             self.clock._advance_to(event.time)
             self._events_processed += 1
             event.fn(*event.args)
             return True
-        return False
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until the event queue drains."""
@@ -151,6 +203,11 @@ class Simulation:
             while self._queue and self._queue[0].cancelled:
                 heapq.heappop(self._queue)
             if not self._queue or self._queue[0].time > time:
+                # In-flight real work could still complete at <= time.
+                if self._work_joiners and self._join_in_flight(
+                    math.nextafter(time, math.inf)
+                ):
+                    continue
                 self.clock._advance_to(max(self.now, time))
                 return
             self.step()

@@ -1,0 +1,169 @@
+"""Execution backends: submit/join semantics and the engine barrier."""
+
+import warnings
+
+import pytest
+
+from repro.mapreduce.backend import (
+    BACKEND_NAMES,
+    PooledExecutionBackend,
+    SerialExecutionBackend,
+    create_backend,
+    default_backend_spec,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.sim.engine import Simulation
+from repro.util.errors import ConfigError, TaskFailedError
+
+
+class TestSerialBackend:
+    def test_runs_at_submit(self):
+        backend = SerialExecutionBackend()
+        seen = []
+        handle = backend.submit(lambda: 41 + 1, lambda h: seen.append(h.result()))
+        assert seen == [42]
+        assert handle.result() == 42
+        assert backend.pending_since() is None
+
+    def test_error_captured_in_handle(self):
+        backend = SerialExecutionBackend()
+        seen = []
+
+        def boom():
+            raise TaskFailedError("map raised ValueError: nope")
+
+        backend.submit(boom, seen.append)
+        with pytest.raises(TaskFailedError):
+            seen[0].result()
+
+
+class TestPooledBackend:
+    @pytest.fixture(params=["thread", "process"])
+    def pooled(self, request):
+        backend = PooledExecutionBackend(workers=2, mode=request.param)
+        yield backend
+        backend.shutdown()
+
+    def test_join_fires_callbacks_in_submission_order(self, pooled):
+        order = []
+        for i in range(6):
+            pooled.submit(
+                _double_factory(i),
+                lambda h: order.append(h.result()),
+                submit_time=float(i),
+            )
+        assert pooled.pending_since() == 0.0
+        pooled.join_all()
+        assert order == [0, 2, 4, 6, 8, 10]
+        assert pooled.pending_since() is None
+
+    def test_inline_submission_runs_immediately(self, pooled):
+        seen = []
+        pooled.submit(lambda: "now", lambda h: seen.append(h.result()), inline=True)
+        assert seen == ["now"]  # before any join
+        assert pooled.pending_since() is None
+
+    def test_callback_submitting_more_work_is_drained(self, pooled):
+        results = []
+
+        def first_done(handle):
+            results.append(handle.result())
+            pooled.submit(_double_factory(50), lambda h: results.append(h.result()))
+
+        pooled.submit(_double_factory(1), first_done)
+        pooled.join_all()
+        assert results == [2, 100]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            PooledExecutionBackend(mode="fibers")
+
+
+class TestTransportFallback:
+    def test_unpicklable_work_reruns_inline(self):
+        backend = PooledExecutionBackend(workers=1, mode="process")
+        try:
+            seen = []
+            local_state = {"x": 7}
+            backend.submit(lambda: local_state["x"] * 3, lambda h: seen.append(h.result()))
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                backend.join_all()
+            assert seen == [21]
+            assert any(
+                issubclass(w.category, RuntimeWarning) for w in caught
+            )
+        finally:
+            backend.shutdown()
+
+
+class TestRegistry:
+    def test_create_by_name(self):
+        for name in BACKEND_NAMES:
+            backend = create_backend(name, workers=1)
+            try:
+                assert backend.name in ("serial", "pooled")
+            finally:
+                backend.shutdown()
+        with pytest.raises(ConfigError):
+            create_backend("gpu")
+
+    def test_resolve_precedence(self):
+        original = default_backend_spec()
+        try:
+            explicit = SerialExecutionBackend()
+            assert resolve_backend(explicit) is explicit
+            resolved = resolve_backend(None, "pooled-threads", 2)
+            assert resolved.parallel and resolved.mode == "thread"
+            resolved.shutdown()
+            set_default_backend("pooled-threads", 1)
+            fallback = resolve_backend(None)
+            assert fallback.parallel
+            fallback.shutdown()
+        finally:
+            set_default_backend(*original)
+        assert not resolve_backend(None).parallel
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ConfigError):
+            set_default_backend("quantum")
+
+
+class TestEngineBarrier:
+    def test_clock_never_passes_pending_work(self):
+        """The engine joins in-flight work before advancing past its
+        submit time: same-time events overlap, later events do not."""
+        sim = Simulation()
+        backend = PooledExecutionBackend(workers=2, mode="thread")
+        sim.register_work_joiner(backend)
+        trace = []
+
+        def launch(tag):
+            backend.submit(
+                lambda: tag,
+                lambda h: trace.append((sim.now, "joined", h.result())),
+                submit_time=sim.now,
+            )
+
+        sim.schedule_at(1.0, launch, "a")
+        sim.schedule_at(1.0, launch, "b")
+        sim.schedule_at(5.0, lambda: trace.append((sim.now, "later", None)))
+        sim.run_until(10.0)
+        backend.shutdown()
+        # Both joins land with the clock still at 1.0, before t=5 runs.
+        assert trace == [
+            (1.0, "joined", "a"),
+            (1.0, "joined", "b"),
+            (5.0, "later", None),
+        ]
+
+
+def _double_factory(i):
+    import functools
+
+    return functools.partial(_double, i)
+
+
+def _double(i):
+    return i * 2

@@ -7,6 +7,7 @@ from repro.mapreduce.partitioner import HashPartitioner
 from repro.mapreduce.shuffle import (
     MapOutput,
     group_by_key,
+    is_key_sorted,
     merge_for_reduce,
     partition_pairs,
     run_combiner,
@@ -43,17 +44,37 @@ class TestSortAndGroup:
 
 
 class TestPartitioning:
-    def test_all_partitions_present(self):
+    def test_all_nonempty_partitions_present(self):
         pairs = pairs_of(*[(f"k{i}", i) for i in range(40)])
         buckets = partition_pairs(pairs, HashPartitioner(), 4)
-        assert set(buckets) == {0, 1, 2, 3}
+        assert set(buckets) == {0, 1, 2, 3}  # 40 keys fill all four
         assert sum(len(b) for b in buckets.values()) == 40
+
+    def test_empty_partitions_are_omitted(self):
+        # partition_pairs is sparse: consumers use .get(p, ()), and the
+        # single bucketing pass never materialises empty partitions.
+        pairs = pairs_of(("dup", 1), ("dup", 2))
+        buckets = partition_pairs(pairs, HashPartitioner(), 64)
+        assert len(buckets) == 1
+        assert all(b for b in buckets.values())
+
+    def test_no_pairs_no_partitions(self):
+        assert partition_pairs([], HashPartitioner(), 4) == {}
 
     def test_same_key_same_bucket(self):
         pairs = pairs_of(("dup", 1), ("dup", 2), ("dup", 3))
         buckets = partition_pairs(pairs, HashPartitioner(), 8)
         nonempty = [p for p, b in buckets.items() if b]
         assert len(nonempty) == 1
+
+    def test_stable_bucketing_of_sorted_input_stays_sorted(self):
+        # The map side sorts once, then partitions: each bucket of a
+        # key-sorted list must itself be key-sorted (what lets the
+        # combiner run with presorted=True).
+        pairs = sort_pairs(pairs_of(*[(f"k{i % 13}", i) for i in range(60)]))
+        buckets = partition_pairs(pairs, HashPartitioner(), 4)
+        for bucket in buckets.values():
+            assert is_key_sorted(bucket)
 
 
 class TestSerializedBytes:
@@ -85,6 +106,28 @@ class TestCombiner:
         assert as_dict == {"a": 2, "b": 1}
         assert counters.get(C.COMBINE_INPUT_RECORDS) == 3
         assert counters.get(C.COMBINE_OUTPUT_RECORDS) == 2
+
+    def test_presorted_skips_resort_same_answer(self):
+        counters = Counters()
+        context = Context(conf=JobConf(), counters=counters)
+        pairs = sort_pairs(pairs_of(("b", 1), ("a", 2), ("a", 3)))
+        combined = run_combiner(
+            self.SumCombiner, pairs, context, counters, presorted=True
+        )
+        assert {k.value: v.value for k, v in combined} == {"a": 5, "b": 1}
+
+    def test_presorted_lie_is_caught_in_debug_mode(self):
+        import pytest
+
+        counters = Counters()
+        context = Context(conf=JobConf(), counters=counters)
+        unsorted = pairs_of(("b", 1), ("a", 2))
+        if __debug__:
+            with pytest.raises(AssertionError):
+                run_combiner(
+                    self.SumCombiner, unsorted, context, counters,
+                    presorted=True,
+                )
 
 
 class TestMergeForReduce:

@@ -122,3 +122,52 @@ class TestWrap:
     def test_unknown_type_rejected(self):
         with pytest.raises(InvalidWritableError):
             wrap(object())
+
+
+class TestMemoisation:
+    """Writables are immutable; size/sort-key memos must be pure reuse."""
+
+    def test_serialized_size_encodes_once(self, monkeypatch):
+        calls = {"n": 0}
+        original = Text.encode
+
+        def counting_encode(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Text, "encode", counting_encode)
+        value = Text("memoised payload")
+        first = value.serialized_size()
+        for _ in range(5):
+            assert value.serialized_size() == first
+        assert calls["n"] == 1
+
+    def test_record_sort_key_built_once_and_stable(self):
+        Pt = record_writable("Pt", [("x", int), ("y", int)])
+        p = Pt(x=3, y=4)
+        key1 = p.sort_key()
+        key2 = p.sort_key()
+        assert key1 is key2  # memo reuse, not recomputation
+        assert key1 == (3, 4)
+        assert (p.x, p.y) == (3, 4)  # fields untouched by memoisation
+
+    def test_memo_does_not_leak_into_equality_hash_or_pickle(self):
+        import pickle
+
+        warmed = Text("same")
+        warmed.serialized_size()
+        warmed.sort_key()
+        fresh = Text("same")
+        assert warmed == fresh
+        assert hash(warmed) == hash(fresh)
+        restored = pickle.loads(
+            pickle.dumps(warmed, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert restored == fresh
+        assert restored.serialized_size() == fresh.serialized_size()
+
+    def test_comparisons_unchanged_after_memoisation(self):
+        a, b = IntWritable(1), IntWritable(2)
+        a.serialized_size(), b.serialized_size()
+        assert a < b
+        assert sorted([b, a]) == [a, b]

@@ -1,0 +1,105 @@
+"""Serial vs pooled execution: bit-identical simulated universes.
+
+The ExecutionBackend contract (see ``repro.mapreduce.backend``): pooled
+backends may run task attempts' real work in parallel, but counters,
+output pairs and *simulated* clocks must equal a serial run exactly —
+parallelism is an optimisation of host wall-clock, never a semantic.
+"""
+
+import warnings
+
+import pytest
+
+from repro.datasets.movielens import generate_movielens
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.movie_genres import GenreStatsJob
+from repro.jobs.wordcount import WordCountWithCombinerJob
+from repro.mapreduce.backend import create_backend
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.local_runner import LocalJobRunner
+
+BACKENDS = ("pooled", "pooled-threads")
+
+CORPUS = (
+    "the quick brown fox jumps over the lazy dog\n" * 400
+    + "pack my box with five dozen liquor jugs\n" * 250
+)
+
+
+def _cluster_fingerprint(backend_name):
+    backend = create_backend(backend_name, 2)
+    with MapReduceCluster(num_workers=4, seed=11, backend=backend) as mr:
+        mr.client().put_text("/in/corpus.txt", CORPUS)
+        job = WordCountWithCombinerJob(JobConf(name="wc", num_reduces=3))
+        report = mr.run_job(job, "/in", "/out", require_success=True)
+        return (
+            report.elapsed,
+            report.counters.as_dict(),
+            tuple(sorted(mr.read_output("/out"))),
+            mr.sim.now,
+            mr.sim.events_processed,
+        )
+
+
+def _local_fingerprint(backend_name, job_factory, files):
+    fs = LinuxFileSystem()
+    for path, text in files.items():
+        fs.write_file(path, text)
+    backend = create_backend(backend_name, 2)
+    with LocalJobRunner(
+        localfs=fs, backend=backend, split_size=8 * 1024
+    ) as runner:
+        result = runner.run(job_factory(), list(files)[0], "/out")
+        return (
+            result.simulated_seconds,
+            result.counters.as_dict(),
+            tuple(sorted(result.pairs)),
+            result.num_splits,
+        )
+
+
+class TestClusterDeterminism:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_wordcount_identical_to_serial(self, backend_name):
+        serial = _cluster_fingerprint("serial")
+        with warnings.catch_warnings():
+            # Any inline fallback would hide a broken pooled path.
+            warnings.simplefilter("error", RuntimeWarning)
+            pooled = _cluster_fingerprint(backend_name)
+        assert pooled == serial
+
+
+class TestLocalRunnerDeterminism:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_wordcount_identical_to_serial(self, backend_name):
+        files = {"/data/corpus.txt": CORPUS}
+
+        def job():
+            return WordCountWithCombinerJob(JobConf(name="wc", num_reduces=2))
+
+        serial = _local_fingerprint("serial", job, files)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            pooled = _local_fingerprint(backend_name, job, files)
+        assert pooled == serial
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_movie_ratings_job_runs_inline_identically(self, backend_name):
+        """GenreStatsJob reads a side file via node-state sharing, so a
+        pooled backend must route it inline — and still match serial."""
+        data = generate_movielens(
+            seed=7, num_ratings=800, num_movies=40, num_users=50
+        )
+        files = {
+            "/ratings.dat": data.ratings_text,
+            "/movies.dat": data.movies_text,
+        }
+        assert GenreStatsJob.shares_node_state
+
+        def job():
+            return GenreStatsJob(movies_path="/movies.dat", strategy="cached")
+
+        serial = _local_fingerprint("serial", job, files)
+        pooled = _local_fingerprint(backend_name, job, files)
+        assert pooled == serial
