@@ -9,6 +9,7 @@ Subcommands:
 - ``handout``     the executable myHadoop tutorial handout
 - ``classroom``   replay the Fall-2012 meltdown vs the Spring-2013 fix
 - ``figure1``     the architecture scan sweep
+- ``chaos``       run a fault-injection drill and print its timeline
 """
 
 from __future__ import annotations
@@ -115,6 +116,45 @@ def _cmd_figure1(_args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import list_scenarios, run_scenario
+
+    if args.list or not args.scenario:
+        print("chaos drills (run with: python -m repro chaos <name>):\n")
+        for scenario in list_scenarios():
+            print(f"  {scenario.name:22s} {scenario.title}")
+            print(f"  {'':22s}   reenacts: {scenario.paper_incident}")
+        return 0
+
+    names = (
+        [s.name for s in list_scenarios()]
+        if args.scenario == "all"
+        else [args.scenario]
+    )
+    exit_code = 0
+    for name in names:
+        result = run_scenario(name, seed=args.seed, backend=args.backend)
+        print(f"=== chaos drill: {name} (seed={args.seed}) ===")
+        print(result.plan.describe())
+        print()
+        if args.timeline:
+            print("timeline (faults + recovery):")
+            for line in result.timeline:
+                print(f"  {line}")
+        else:
+            print("injected faults:")
+            for line in result.fault_log or ["  (none)"]:
+                print(f"  {line}")
+        print()
+        print("checks:")
+        print(result.summary())
+        verdict = "HEALED" if result.ok else "FAILED"
+        print(f"\nverdict: {verdict}\n")
+        if not result.ok:
+            exit_code = 1
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +192,23 @@ def main(argv: list[str] | None = None) -> int:
     classroom.add_argument("--seed", type=int, default=2012)
     classroom.set_defaults(fn=_cmd_classroom)
     sub.add_parser("figure1").set_defaults(fn=_cmd_figure1)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection drill",
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="?",
+        help="drill name, or 'all' (omit or use --list to enumerate)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="FaultPlan seed (same seed, same fault log)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available drills and exit")
+    chaos.add_argument("--timeline", action="store_true",
+                       help="print the full fault + recovery event "
+                       "timeline instead of just injected faults")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     if args.workers < 0:

@@ -1,0 +1,40 @@
+"""Deterministic, declarative fault injection for the whole stack.
+
+The paper's central operational lesson is that the interesting systems
+behavior lives in the *failure* paths — dead DataNodes, lost map
+outputs, corrupted replicas, full-cluster restarts.  This package turns
+those incidents into seeded, replayable chaos:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, pure data describing
+  what goes wrong, when, and at which rate;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, which arms a
+  plan against a live cluster through the engine's fault hooks;
+- :mod:`repro.faults.scenarios` — scripted classroom drills asserting
+  that jobs heal (output bit-identical to a fault-free run) and that
+  chaos replays (same seed, same fault log).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, RateFault, ScheduledFault, TriggerFault
+from repro.faults.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "RateFault",
+    "ScheduledFault",
+    "TriggerFault",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+]

@@ -1,0 +1,399 @@
+"""Classroom chaos drills: scripted fault scenarios, end to end.
+
+Each scenario reproduces one of the operational incidents the course
+staff lived through (Section II.A of the paper) as a deterministic
+drill: build a cluster, load a corpus, arm a :class:`FaultPlan`, run a
+real job through the chaos, and *prove* the frameworks healed — the
+faulty run's output must be bit-identical to a fault-free baseline run
+on an identically-seeded cluster, and replaying the same plan seed must
+reproduce the exact same fault log.
+
+Run one from the command line::
+
+    python -m repro chaos lost_map_output
+    python -m repro chaos --list
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.hdfs.config import HdfsConfig
+from repro.hdfs.fsck import fsck
+from repro.jobs.wordcount import WordCountJob
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.job import JobReport
+from repro.util.errors import ConfigError
+from repro.util.rng import RngStream
+
+#: Cluster seed shared by the baseline and faulty runs of a drill —
+#: *identical* clusters are what make bit-identical output meaningful.
+CLUSTER_SEED = 11
+
+#: Bus topic prefixes worth showing on a drill timeline: the injected
+#: faults plus every recovery mechanism they are supposed to exercise.
+TIMELINE_TOPICS = (
+    "faults",
+    "mr.task",
+    "mr.shuffle",
+    "mr.jobtracker",
+    "mr.tasktracker",
+    "hdfs.datanode",
+    "hdfs.namenode",
+    "hdfs.block",
+)
+
+#: A check is (label, passed, detail).
+Check = tuple[str, bool, str]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One scripted drill: a fault plan plus scenario-specific checks."""
+
+    name: str
+    title: str
+    #: The paper incident this drill reenacts.
+    paper_incident: str
+    #: seed -> the fault plan to arm.
+    plan: Callable[[int], FaultPlan]
+    #: Optional post-run phase (runs after output capture, may advance
+    #: the simulation further) appending scenario-specific checks.
+    post: Callable[[MapReduceCluster, FaultInjector, list[Check]], None] | None = None
+    #: Generous sim-time budget; chaos runs are slower than healthy ones.
+    timeout: float = 14 * 24 * 3600.0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a drill produced, ready to render or assert on."""
+
+    name: str
+    seed: int
+    plan: FaultPlan
+    report: JobReport | None = None
+    baseline_report: JobReport | None = None
+    output_files: dict[str, bytes] = field(default_factory=dict)
+    baseline_files: dict[str, bytes] = field(default_factory=dict)
+    timeline: list[str] = field(default_factory=list)
+    fault_log: list[str] = field(default_factory=list)
+    replay_fault_log: list[str] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.checks) and all(passed for _, passed, _ in self.checks)
+
+    def check(self, label: str, passed: bool, detail: str = "") -> None:
+        self.checks.append((label, passed, detail))
+
+    def summary(self) -> str:
+        lines = []
+        for label, passed, detail in self.checks:
+            mark = "PASS" if passed else "FAIL"
+            suffix = f" ({detail})" if detail and not passed else ""
+            lines.append(f"  [{mark}] {label}{suffix}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# shared workload
+
+
+def _make_cluster(backend: str | None = None) -> MapReduceCluster:
+    return MapReduceCluster(
+        num_workers=5,
+        hdfs_config=HdfsConfig(block_size=2048, replication=2),
+        mr_config=MapReduceConfig(
+            execution_backend=backend or "serial", backend_workers=2
+        ),
+        seed=CLUSTER_SEED,
+    )
+
+
+def _load_corpus(mr: MapReduceCluster) -> str:
+    """~10 blocks of Zipfian text — enough maps to lose some mid-job."""
+    gen = ZipfTextGenerator(
+        RngStream(seed=5).child("chaos-corpus"), vocab_size=120
+    )
+    mr.client().put_text("/chaos/in.txt", gen.text(3600))
+    return "/chaos/in.txt"
+
+
+def _job() -> WordCountJob:
+    return WordCountJob(JobConf(name="chaos-wc", num_reduces=2))
+
+
+def _read_part_files(mr: MapReduceCluster, output: str) -> dict[str, bytes]:
+    client = mr._output_client(None)
+    files: dict[str, bytes] = {}
+    for status in client.list_status(output):
+        name = status.path.rsplit("/", 1)[-1]
+        if not status.is_dir and name.startswith("part-"):
+            files[name] = client.read_text(status.path).encode()
+    return files
+
+
+def _framework_counters(report: JobReport) -> dict[str, dict[str, int]]:
+    """Counter groups that must survive chaos untouched.
+
+    "Job Counters" (launches, locality, failures) legitimately differ
+    when attempts are re-executed; everything else — records, bytes,
+    user counters — must match the fault-free run exactly.
+    """
+    return {
+        group: names
+        for group, names in report.counters.as_dict().items()
+        if group != "Job Counters"
+    }
+
+
+def _render_event(event) -> str:
+    rendered = " ".join(f"{k}={event.data[k]}" for k in sorted(event.data))
+    return f"t={event.time:10.3f}  {event.topic:35s} {rendered}".rstrip()
+
+
+def _run_once(
+    scenario: Scenario,
+    plan: FaultPlan | None,
+    backend: str | None,
+    checks: list[Check] | None = None,
+) -> tuple[JobReport, dict[str, bytes], list[str], list[str]]:
+    """One full drill execution; returns (report, files, timeline, log)."""
+    with _make_cluster(backend) as mr:
+        input_path = _load_corpus(mr)
+        mr.sim.bus.record_history = True
+        injector = (
+            FaultInjector(plan, mr).arm() if plan is not None else None
+        )
+        try:
+            report = mr.run_job(
+                _job(), input_path, "/chaos/out", timeout=scenario.timeout
+            )
+            files = _read_part_files(mr, "/chaos/out")
+            if injector is not None and checks is not None and scenario.post:
+                scenario.post(mr, injector, checks)
+        finally:
+            fault_log = injector.fault_log() if injector is not None else []
+            if injector is not None:
+                injector.disarm()
+        timeline = [
+            _render_event(e)
+            for e in mr.sim.bus.history()
+            if e.topic.startswith(TIMELINE_TOPICS)
+        ]
+        return report, files, timeline, fault_log
+
+
+def run_scenario(
+    name: str, seed: int = 0, backend: str | None = None
+) -> ScenarioResult:
+    """Execute one drill: baseline, faulty run, and a replay.
+
+    The three runs back the three acceptance claims — the job *heals*
+    (faulty output is bit-identical to the fault-free baseline, with
+    framework/user counters intact), and the chaos itself is
+    *reproducible* (replaying the same plan seed yields an identical
+    fault log).
+    """
+    scenario = get_scenario(name)
+    plan = scenario.plan(seed)
+    result = ScenarioResult(name=scenario.name, seed=seed, plan=plan)
+
+    baseline_report, baseline_files, _, _ = _run_once(scenario, None, backend)
+    result.baseline_report = baseline_report
+    result.baseline_files = baseline_files
+    result.check(
+        "fault-free baseline succeeded",
+        baseline_report.succeeded,
+        str(baseline_report.failure_reason),
+    )
+
+    report, files, timeline, fault_log = _run_once(
+        scenario, plan, backend, checks=result.checks
+    )
+    result.report = report
+    result.output_files = files
+    result.timeline = timeline
+    result.fault_log = fault_log
+    result.check(
+        "job completed despite injected faults",
+        report.succeeded,
+        str(report.failure_reason),
+    )
+    result.check(
+        "faults were actually injected",
+        bool(fault_log),
+        "plan injected nothing",
+    )
+    result.check(
+        "output bit-identical to fault-free baseline",
+        files == baseline_files,
+        f"faulty={sorted(files)} baseline={sorted(baseline_files)}",
+    )
+    result.check(
+        "framework + user counters match baseline",
+        _framework_counters(report) == _framework_counters(baseline_report),
+        "counter drift outside 'Job Counters'",
+    )
+
+    _, _, _, replay_log = _run_once(scenario, plan, backend)
+    result.replay_fault_log = replay_log
+    result.check(
+        "replaying the seed reproduces the exact fault log",
+        replay_log == fault_log,
+        f"replay diverged: {len(fault_log)} vs {len(replay_log)} entries",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the drills
+
+
+def _kill_datanode_plan(seed: int) -> FaultPlan:
+    # The first completed map pulls the trigger: one DataNode dies
+    # mid-job and stays down until well after the job finishes, so
+    # every later read of its replicas must fail over.
+    return FaultPlan(seed=seed).on_event(
+        "mr.task.completed", "datanode.crash", count=1, target="node2"
+    )
+
+
+def _lost_map_output_plan(seed: int) -> FaultPlan:
+    # Kill the TaskTracker that just completed the second map, taking
+    # its materialized map output with it.  Reduces retry their fetches
+    # with backoff, exhaust the budget, escalate to map_output_lost,
+    # the map re-executes elsewhere, and the reduces refetch.
+    return FaultPlan(seed=seed).on_event(
+        "mr.task.completed",
+        "tracker.crash",
+        count=2,
+        target_from="tracker",
+        restart_after=120.0,
+    )
+
+
+def _corrupt_cluster_plan(seed: int) -> FaultPlan:
+    # Silent on-disk corruption across the whole cluster, sparing each
+    # block's last healthy replica so the data stays recoverable — the
+    # "corrupted Hadoop cluster" incident.
+    return FaultPlan(seed=seed).corrupt_blocks(at=1.0, count=2)
+
+
+def _corrupt_post(
+    mr: MapReduceCluster, injector: FaultInjector, checks: list[Check]
+) -> None:
+    # The paper's recovery: bounce everything.  DataNode startup
+    # integrity scans surface the bad replicas, the NameNode re-
+    # replicates from healthy copies, and fsck comes back HEALTHY.
+    mr.hdfs.restart_cluster()
+    healed = mr.hdfs.wait_until(
+        lambda: not mr.hdfs.namenode.safemode.active
+        and fsck(mr.hdfs.namenode).healthy
+        and fsck(mr.hdfs.namenode).corrupt_replicas == 0,
+        timeout=8 * 3600.0,
+        step=10.0,
+    )
+    report = fsck(mr.hdfs.namenode)
+    checks.append(
+        (
+            "fsck HEALTHY after restart scans + re-replication",
+            bool(healed),
+            f"status={report.status} corrupt_replicas={report.corrupt_replicas}",
+        )
+    )
+
+
+def _thundering_restart_plan(seed: int) -> FaultPlan:
+    # Mid-job, the whole cluster is bounced — the recovery procedure
+    # itself as the fault.  In-flight attempts are lost, the NameNode
+    # sits in safemode through the startup scans, trackers re-register
+    # and are reconciled, and the job still finishes correctly.
+    return FaultPlan(seed=seed).on_event(
+        "mr.task.completed", "cluster.restart", count=1
+    )
+
+
+def _shuffle_storm_plan(seed: int) -> FaultPlan:
+    # A bad network night: transient fetch failures, flaky tasks, and
+    # stragglers all at once.  Retries with backoff ride out most of
+    # it; what escalates goes through the full re-execution chain.
+    return (
+        FaultPlan(seed=seed)
+        .shuffle_failure_rate(0.25)
+        .task_exception_rate(0.05)
+        .straggler_rate(0.10, factor=3.0)
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="kill_datanode",
+            title="Kill a DataNode mid-job",
+            paper_incident=(
+                "worker daemons dying under load; HDFS reads must fail "
+                "over to surviving replicas (Section II.A)"
+            ),
+            plan=_kill_datanode_plan,
+        ),
+        Scenario(
+            name="lost_map_output",
+            title="Lose a completed map's output",
+            paper_incident=(
+                "a crashed worker takes finished map output with it; the "
+                "JobTracker re-executes completed maps (Section II.A)"
+            ),
+            plan=_lost_map_output_plan,
+        ),
+        Scenario(
+            name="corrupt_cluster_fsck",
+            title="Corrupted cluster, then fsck",
+            paper_incident=(
+                "the corrupted Hadoop cluster that forced staff to bounce "
+                "everything and wait out the startup scans (Section II.A)"
+            ),
+            plan=_corrupt_cluster_plan,
+            post=_corrupt_post,
+        ),
+        Scenario(
+            name="thundering_restart",
+            title="Bounce the whole cluster mid-job",
+            paper_incident=(
+                "the fifteen-minute full-cluster restart: safemode, "
+                "integrity scans, every daemon re-registering (Section II.A)"
+            ),
+            plan=_thundering_restart_plan,
+        ),
+        Scenario(
+            name="shuffle_storm",
+            title="Shuffle-failure storm with flaky, slow tasks",
+            paper_incident=(
+                "overloaded shared gigabit links making fetches flaky and "
+                "tasks drag (Sections II.A, V)"
+            ),
+            plan=_shuffle_storm_plan,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r}; "
+            f"expected one of {sorted(SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios() -> list[Scenario]:
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]

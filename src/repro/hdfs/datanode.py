@@ -64,6 +64,9 @@ class DataNode:
         #: makes a near-full 850 GB HDD take ~15 minutes to rescan.
         self.ballast_bytes: int = 0
         self._cancel_heartbeat: Callable[[], None] | None = None
+        #: Latency multiplier applied to simulated block reads (>= 1.0);
+        #: the slow-disk fault injector raises it (see ``repro.faults``).
+        self.disk_slow_factor: float = 1.0
         self.heartbeats_sent = 0
         self.blocks_served = 0
         self.restarts = 0
@@ -150,6 +153,9 @@ class DataNode:
     # -- heartbeat & commands ---------------------------------------------
     def _heartbeat(self) -> None:
         if not self.is_serving:
+            return
+        if self.sim.faults.datanode_heartbeat_crash(self):
+            self.crash()
             return
         self.heartbeats_sent += 1
         response = self.namenode.heartbeat(self.info())

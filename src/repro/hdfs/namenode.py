@@ -176,7 +176,12 @@ class NameNode:
             if meta is None or meta.live_replicas <= meta.expected_replication:
                 self.over_replicated.discard(block_id)
                 continue
-            extra = sorted(meta.locations, key=self._free_space_of)[0]
+            # Tie-break free space by name: set iteration order is hash-
+            # randomized, and the stable sort would otherwise leak it into
+            # which replica gets invalidated (run-to-run nondeterminism).
+            extra = sorted(
+                meta.locations, key=lambda d: (self._free_space_of(d), d)
+            )[0]
             meta.locations.discard(extra)
             self._pending_commands[extra].append(
                 InvalidateCommand(block_ids=(block_id,))

@@ -56,6 +56,10 @@ OnDone = Callable[["WorkHandle"], None]
 #: Backend names accepted by :func:`create_backend` and the CLI.
 BACKEND_NAMES = ("serial", "pooled", "pooled-threads")
 
+#: Resubmits attempted on a fresh pool after a worker death before the
+#: backend gives up on pooling and runs the work inline.
+WORKER_CRASH_RESUBMITS = 2
+
 
 class WorkHandle:
     """Handle to one submitted unit of real work."""
@@ -163,9 +167,21 @@ class PooledExecutionBackend(ExecutionBackend):
         self.workers = workers or os.cpu_count() or 1
         self.mode = mode
         self._executor: Executor | None = None
-        #: (handle, on_done, fn) in submission order; fn kept for the
-        #: unpicklable-payload inline fallback.
-        self._in_flight: list[tuple[WorkHandle, OnDone, Callable[[], Any]]] = []
+        #: (handle, on_done, fn, index) in submission order; fn kept for
+        #: resubmission after worker death and the inline fallbacks.
+        self._in_flight: list[
+            tuple[WorkHandle, OnDone, Callable[[], Any], int]
+        ] = []
+        #: Monotonic pooled-submission counter; the chaos hook keys
+        #: deterministic worker-crash draws off it.
+        self._submit_count = 0
+        #: Fault-injection hook: called with the submission index after a
+        #: pooled result lands; True simulates the worker having died
+        #: with the result lost (see ``repro.faults``).
+        self._chaos: Callable[[int], bool] | None = None
+        #: Work items whose results were recovered after a worker death
+        #: (by resubmission or the final inline fallback).
+        self.worker_crash_recoveries = 0
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> Executor:
@@ -193,7 +209,9 @@ class PooledExecutionBackend(ExecutionBackend):
             _run_captured(fn, handle)
             on_done(handle)
             return handle
-        self._in_flight.append((handle, on_done, fn))
+        index = self._submit_count
+        self._submit_count += 1
+        self._in_flight.append((handle, on_done, fn, index))
         return handle
 
     # -- WorkJoiner protocol --------------------------------------------
@@ -206,14 +224,20 @@ class PooledExecutionBackend(ExecutionBackend):
         """Resolve all in-flight work, firing callbacks in submission order."""
         while self._in_flight:
             batch, self._in_flight = self._in_flight, []
-            for handle, on_done, fn in batch:
+            for handle, on_done, fn, index in batch:
                 try:
                     handle._result = handle._future.result()
+                    if self._chaos is not None and self._chaos(index):
+                        raise _InjectedWorkerCrash(
+                            f"injected worker crash (work #{index})"
+                        )
                 except BaseException as exc:  # noqa: BLE001
-                    if _is_transport_error(exc):
-                        # The *pool plumbing* failed (unpicklable payload
-                        # or result, broken worker) — the work itself may
-                        # be fine.  Re-run inline for an identical answer.
+                    if _is_worker_crash(exc):
+                        self._recover_worker_crash(handle, fn, exc)
+                    elif _is_pickling_error(exc):
+                        # The payload/result couldn't cross the process
+                        # boundary — the work itself may be fine.  Re-run
+                        # inline for an identical answer.
                         warnings.warn(
                             f"pooled work fell back to inline execution: "
                             f"{type(exc).__name__}: {exc}",
@@ -229,6 +253,50 @@ class PooledExecutionBackend(ExecutionBackend):
                 # on_done may submit more work (rare); the outer while
                 # loop drains it in order.
 
+    def _recover_worker_crash(
+        self, handle: WorkHandle, fn: Callable[[], Any], exc: BaseException
+    ) -> None:
+        """A worker died holding this work's result.
+
+        Pooled work is a pure function of its arguments, so the recovery
+        is re-execution: resubmit on a fresh pool up to
+        :data:`WORKER_CRASH_RESUBMITS` times, then fall back inline.
+        Either way the answer is identical to an undisturbed run — the
+        serial-vs-pooled determinism guarantee survives worker death.
+        """
+        if not isinstance(exc, _InjectedWorkerCrash):
+            # A real BrokenExecutor poisons the whole pool; discard it so
+            # the resubmit (and subsequent submissions) get a fresh one.
+            self._discard_executor()
+        for _retry in range(WORKER_CRASH_RESUBMITS):
+            try:
+                handle._result = self._ensure_executor().submit(fn).result()
+            except BaseException as retry_exc:  # noqa: BLE001
+                if _is_worker_crash(retry_exc):
+                    self._discard_executor()
+                    exc = retry_exc
+                    continue
+                if _is_pickling_error(retry_exc):
+                    break  # pooling is hopeless for this payload
+                handle._error = retry_exc  # the work itself failed
+                return
+            handle._error = None
+            self.worker_crash_recoveries += 1
+            return
+        warnings.warn(
+            f"pooled work fell back to inline execution after worker "
+            f"crash: {type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _run_captured(fn, handle)
+        self.worker_crash_recoveries += 1
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     def shutdown(self) -> None:
         self.join_all()
         if self._executor is not None:
@@ -236,27 +304,41 @@ class PooledExecutionBackend(ExecutionBackend):
             self._executor = None
 
 
-def _is_transport_error(exc: BaseException) -> bool:
-    """Did the pool's plumbing fail, rather than the work itself?
+class _InjectedWorkerCrash(Exception):
+    """A fault-injected worker death: the result is treated as lost, but
+    the pool itself is healthy, so recovery skips the pool rebuild."""
+
+
+def _is_pickling_error(exc: BaseException) -> bool:
+    """Did the payload/result fail to cross the process boundary?
 
     Unpicklable payloads/results surface as PicklingError, TypeError or
     AttributeError from the pickling machinery (never from task work:
-    the runtime wraps user-code errors in ReproError subclasses), and a
-    dead worker surfaces as BrokenProcessPool.  The fallback re-runs
-    the work inline, which yields an identical answer either way — at
-    worst a deterministic failure is computed twice.
+    the runtime wraps user-code errors in ReproError subclasses).  The
+    fallback re-runs the work inline, which yields an identical answer —
+    at worst a deterministic failure is computed twice.
     """
     import pickle
-    from concurrent.futures.process import BrokenProcessPool
 
     from repro.util.errors import ReproError
 
     if isinstance(exc, ReproError):
         return False
     return isinstance(
-        exc,
-        (pickle.PicklingError, BrokenProcessPool, TypeError, AttributeError),
+        exc, (pickle.PicklingError, TypeError, AttributeError)
     )
+
+
+def _is_worker_crash(exc: BaseException) -> bool:
+    """Did a pool worker die (OOM-killed, segfaulted, injected)?
+
+    ``BrokenExecutor`` covers ``BrokenProcessPool`` and
+    ``BrokenThreadPool``; :class:`_InjectedWorkerCrash` is the fault
+    injector's simulated flavour of the same event.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    return isinstance(exc, (BrokenExecutor, _InjectedWorkerCrash))
 
 
 # ---------------------------------------------------------------------------

@@ -78,7 +78,7 @@ class BlockFetcher:
                 continue
             if max_bytes is not None:
                 data = data[:max_bytes]
-            elapsed = datanode.node.disk.read_time(len(data))
+            elapsed = datanode.node.disk.read_time(len(data)) * datanode.disk_slow_factor
             locality = self._classify(node, dn_name)
             if locality != "node_local":
                 if node is not None and node in self.network.topology:

@@ -172,3 +172,31 @@ class MapReduceCluster:
         return sorted(
             name for name, tt in self.tasktrackers.items() if tt.is_serving
         )
+
+    def restart_cluster(self) -> float:
+        """The paper's "bounce everything" recovery, MapReduce included.
+
+        TaskTrackers stop *first* (letting in-flight work land), HDFS
+        restarts underneath (NameNode safemode + DataNode integrity
+        scans), and trackers come back only after the NameNode leaves
+        safemode — so no task attempt burns its failure budget on
+        ``SafeModeException`` during the outage.  Returns the longest
+        DataNode startup-scan time (the paper's "fifteen minutes").
+        """
+        for tracker in self.tasktrackers.values():
+            if tracker.is_serving:
+                tracker.stop()
+        scan = self.hdfs.restart_cluster()
+
+        def tick() -> None:
+            if self.hdfs.namenode.safemode.active:
+                return
+            for tracker in self.tasktrackers.values():
+                if not tracker.is_serving and tracker.node.is_up:
+                    tracker.start(self.jobtracker)
+            cancel()
+
+        cancel = self.sim.every(
+            self.mr_config.tasktracker_heartbeat, tick, start_delay=scan
+        )
+        return scan

@@ -64,6 +64,15 @@ class MapReduceConfig:
     execution_backend: str | None = None
     #: Pool size for pooled backends; 0 means one worker per host CPU.
     backend_workers: int = 0
+    #: Transient shuffle-fetch retries before a reduce escalates to
+    #: ``map_output_lost`` (Hadoop: mapreduce.reduce.shuffle.maxfetchfailures).
+    shuffle_fetch_retries: int = 3
+    #: Exponential-backoff base delay between shuffle-fetch retries, seconds.
+    shuffle_retry_base: float = 1.0
+    #: Backoff ceiling, seconds.
+    shuffle_retry_max: float = 20.0
+    #: Jitter fraction applied to each backoff delay (0 = none).
+    shuffle_retry_jitter: float = 0.25
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -73,6 +82,12 @@ class MapReduceConfig:
             raise ConfigError("tasktracker_heartbeat must be positive")
         if self.backend_workers < 0:
             raise ConfigError("backend_workers must be >= 0")
+        if self.shuffle_fetch_retries < 0:
+            raise ConfigError("shuffle_fetch_retries must be >= 0")
+        if self.shuffle_retry_base <= 0 or self.shuffle_retry_max <= 0:
+            raise ConfigError("shuffle retry delays must be positive")
+        if not (0.0 <= self.shuffle_retry_jitter <= 1.0):
+            raise ConfigError("shuffle_retry_jitter must be in [0, 1]")
 
     @property
     def tracker_timeout(self) -> float:
@@ -95,6 +110,10 @@ class JobConf:
     #: (The paper: leaked heap "crashed the task tracker and data node
     #: daemons".)
     crash_daemons_on_heap_leak: bool = True
+    #: Wall-clock (simulated) ceiling for one task attempt; exceeding it
+    #: fails the attempt like Hadoop's mapred.task.timeout.  ``None``
+    #: disables the check.
+    task_timeout: float | None = None
     #: Free-form user parameters readable via ``context.get(...)``.
     params: dict[str, Any] = field(default_factory=dict)
 
@@ -105,3 +124,5 @@ class JobConf:
             raise ConfigError("max_attempts must be >= 1")
         if not (0.0 <= self.heap_leak_probability <= 1.0):
             raise ConfigError("heap_leak_probability must be in [0, 1]")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigError("task_timeout must be positive (or None)")

@@ -62,7 +62,14 @@ class RunningJob:
         ]
         self.pending_maps: deque[int] = deque(range(len(self.map_tasks)))
         self.pending_reduces: deque[int] = deque(range(len(self.reduce_tasks)))
+        #: Scheduler-level counters (launches, locality, failures).
         self.counters = Counters()
+        #: Execution counters of each task's *latest successful* attempt,
+        #: keyed by task id.  Kept per-task (not merged into a running
+        #: total) so a map that is re-executed after its output is lost
+        #: replaces its contribution instead of double-counting it — the
+        #: aggregate then matches a fault-free run exactly.
+        self.task_counters: dict[str, Counters] = {}
         self.blacklist: set[str] = set()
         self.tracker_failures: dict[str, int] = {}
         self.events: list[tuple[float, str]] = []
@@ -94,6 +101,20 @@ class RunningJob:
 
     def log(self, time: float, message: str) -> None:
         self.events.append((time, message))
+
+    # ------------------------------------------------------------------
+    def record_task_counters(self, task_id: str, counters: Counters) -> None:
+        """Record the execution counters of a task's successful attempt
+        (the latest success wins; see :attr:`task_counters`)."""
+        self.task_counters[task_id] = counters
+
+    def aggregate_counters(self) -> Counters:
+        """Scheduler counters merged with every task's latest counters."""
+        total = Counters()
+        total.merge(self.counters)
+        for task_id in sorted(self.task_counters):
+            total.merge(self.task_counters[task_id])
+        return total
 
     # ------------------------------------------------------------------
     def completed_map_outputs(self):
@@ -129,6 +150,7 @@ class RunningJob:
             if self.finish_time is not None
             else None
         )
+        counters = self.aggregate_counters()
         return JobReport(
             job_id=self.job_id,
             name=self.name,
@@ -153,7 +175,7 @@ class RunningJob:
             failed_attempts=failed_attempts,
             killed_attempts=killed_attempts,
             total_resubmissions=self.total_resubmissions(),
-            counters=self.counters,
+            counters=counters,
         )
 
 

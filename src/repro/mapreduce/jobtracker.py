@@ -100,6 +100,33 @@ class JobTracker:
         self.trackers[tracker.name] = TrackerInfo(
             tracker=tracker, last_heartbeat=self.sim.now
         )
+        self._reconcile_tracker(tracker)
+
+    def _reconcile_tracker(self, tracker: TaskTracker) -> None:
+        """Reconcile bookkeeping with a freshly (re)registered tracker.
+
+        A tracker that crashed and restarted *before* the liveness
+        timeout declared it lost comes back with a clean slate: any
+        attempt the JobTracker still records as running there died with
+        the old process and would otherwise hang RUNNING forever.  Kill
+        (without penalty) and requeue them.
+        """
+        for job in self._active_jobs():
+            for task in [*job.map_tasks, *job.reduce_tasks]:
+                for attempt in task.running_attempts:
+                    if (
+                        attempt.tracker == tracker.name
+                        and attempt.attempt_id not in tracker.running
+                    ):
+                        attempt.state = AttemptState.KILLED
+                        attempt.finish_time = self.sim.now
+                        attempt.failure = "TaskTracker restarted"
+                        self._requeue(job, task)
+                        job.log(
+                            self.sim.now,
+                            f"{attempt.attempt_id} lost in restart of "
+                            f"{tracker.name}; re-queued",
+                        )
 
     def _check_trackers(self) -> None:
         timeout = self.mr_config.tracker_timeout
@@ -135,6 +162,14 @@ class JobTracker:
                             self.sim.now,
                             f"{task.task_id} output lost with tracker {name}; "
                             f"re-queued",
+                        )
+                        self.sim.bus.publish(
+                            "mr.jobtracker.map_output_lost",
+                            self.sim.now,
+                            job_id=job.job_id,
+                            task_id=task.task_id,
+                            node=name,
+                            reason="tracker_lost",
                         )
 
     def _requeue(self, job: RunningJob, task) -> None:
@@ -398,7 +433,15 @@ class JobTracker:
             attempt.finish_time = self.sim.now
         task.state = TaskState.SUCCEEDED
         task.duration = duration
-        job.counters.merge(execution.counters)
+        job.record_task_counters(task.task_id, execution.counters)
+        self.sim.bus.publish(
+            "mr.task.completed",
+            self.sim.now,
+            job_id=job.job_id,
+            task_id=task.task_id,
+            attempt_id=assignment.attempt_id,
+            tracker=tracker.name,
+        )
         if assignment.task_type == TaskType.MAP:
             task.output = execution.output
             task.completed_on = tracker.name
@@ -444,6 +487,14 @@ class JobTracker:
             self.sim.now,
             f"{task.task_id} output unfetchable from {node}; re-queued",
         )
+        self.sim.bus.publish(
+            "mr.jobtracker.map_output_lost",
+            self.sim.now,
+            job_id=job.job_id,
+            task_id=task.task_id,
+            node=node,
+            reason="fetch_failed",
+        )
 
     def task_failed(
         self,
@@ -463,6 +514,16 @@ class JobTracker:
             )
             attempt.finish_time = self.sim.now
             attempt.failure = reason
+        self.sim.bus.publish(
+            "mr.task.failed",
+            self.sim.now,
+            job_id=job.job_id,
+            task_id=task.task_id,
+            attempt_id=assignment.attempt_id,
+            tracker=tracker.name,
+            reason=reason,
+            counts_against=counts_against,
+        )
         if not counts_against:
             job.log(
                 self.sim.now,

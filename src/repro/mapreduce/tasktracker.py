@@ -38,7 +38,12 @@ from repro.mapreduce.runtime import (
 from repro.mapreduce.shuffle import merge_for_reduce, serialized_bytes
 from repro.mapreduce.tasks import TaskType
 from repro.sim.engine import ScheduledEvent, Simulation
-from repro.util.errors import FetchFailedError, HeapExhaustedError, ReproError
+from repro.util.errors import (
+    FetchFailedError,
+    HeapExhaustedError,
+    ReproError,
+    TaskFailedError,
+)
 from repro.util.rng import RngStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +70,15 @@ class _RunningAttempt:
 #: The fraction of a heap-leaking task's normal runtime it burns before
 #: the JVM dies (students watched tasks run a while, then OOM).
 HEAP_LEAK_BURN_FRACTION = 0.6
+
+
+class _ShuffleStall(Exception):
+    """Internal: a reduce's shuffle fetch failed transiently; retry with
+    backoff instead of escalating to ``map_output_lost``."""
+
+    def __init__(self, nodes: list[str]):
+        super().__init__(f"shuffle stalled on {nodes}")
+        self.nodes = nodes
 
 
 class TaskTracker:
@@ -99,6 +113,8 @@ class TaskTracker:
         self._cancel_heartbeat: Callable[[], None] | None = None
         self.tasks_run = 0
         self.crashes = 0
+        self.heartbeats_sent = 0
+        self.shuffle_retries = 0
 
     # ------------------------------------------------------------------
     @property
@@ -167,13 +183,17 @@ class TaskTracker:
     def _heartbeat(self) -> None:
         if not self.is_serving or self.jobtracker is None:
             return
+        if self.sim.faults.tracker_heartbeat_crash(self):
+            self.crash()
+            return
+        self.heartbeats_sent += 1
         assignments = self.jobtracker.heartbeat(self)
         for assignment in assignments:
             self._launch(assignment)
 
     # -- execution -----------------------------------------------------------
-    def _launch(self, assignment: "Assignment") -> None:
-        """Start one task attempt.
+    def _launch(self, assignment: "Assignment", retry: int = 0) -> None:
+        """Start one task attempt (``retry`` counts shuffle re-fetches).
 
         The attempt's *real* work runs wherever the execution backend
         puts it (inline for the serial backend; on a pool otherwise),
@@ -184,13 +204,25 @@ class TaskTracker:
         point, with the simulated clock still at the submit instant.
         Pooled and serial runs are therefore bit-identical.
         """
-        self.tasks_run += 1
         job = self.jobtracker.running_job(assignment.job_id)
+        if retry == 0:
+            self.tasks_run += 1
+            fault = self.sim.faults.task_attempt_fault(
+                assignment.job_id, assignment.attempt_id
+            )
+            if fault is not None:
+                self._schedule_failure(assignment, TaskFailedError(fault))
+                return
         try:
             if assignment.task_type == TaskType.MAP:
                 work, finalize, inline = self._prepare_map(job, assignment)
             else:
-                work, finalize, inline = self._prepare_reduce(job, assignment)
+                work, finalize, inline = self._prepare_reduce(
+                    job, assignment, retry
+                )
+        except _ShuffleStall as stall:
+            self._schedule_shuffle_retry(assignment, stall, retry)
+            return
         except FetchFailedError as exc:
             # Fetch failures are the *map's* fault: the attempt is
             # killed without burning this reduce's failure budget.
@@ -220,6 +252,27 @@ class TaskTracker:
             heap_leak = self.rng.bernoulli(job.conf.heap_leak_probability)
             if heap_leak:
                 self._schedule_heap_leak(assignment, duration, job, running)
+                return
+            slowdown = self.sim.faults.attempt_slowdown(
+                assignment.job_id, assignment.attempt_id
+            )
+            if slowdown != 1.0:
+                duration *= slowdown
+                result.duration = duration
+                self.sim.bus.publish(
+                    "mr.task.straggling",
+                    self.sim.now,
+                    tracker=self.name,
+                    attempt=assignment.attempt_id,
+                    factor=slowdown,
+                )
+            timeout = job.conf.task_timeout
+            if timeout is not None and duration > timeout:
+                # The attempt would run past mapred.task.timeout: the
+                # tracker kills it at the deadline and reports a failure.
+                running.completion = self.sim.schedule(
+                    timeout, self._timeout_fires, assignment, timeout
+                )
                 return
             running.completion = self.sim.schedule(
                 duration, self._complete, assignment, result, duration
@@ -283,28 +336,51 @@ class TaskTracker:
 
         return work, finalize, inline
 
-    def _prepare_reduce(self, job, assignment):
-        """Split a reduce attempt into (work, finalize, inline)."""
+    def _prepare_reduce(self, job, assignment, retry: int = 0):
+        """Split a reduce attempt into (work, finalize, inline).
+
+        Shuffle fetch: map output lives on the node that ran the map.
+        A fetch that fails — dead source node, or an injected transient
+        failure — is retried with exponential backoff + jitter up to
+        ``shuffle_fetch_retries`` times (:class:`_ShuffleStall`); only
+        then does the reduce escalate to ``map_output_lost`` so the map
+        re-runs (Hadoop's fetch-failure -> map re-execution path).
+        """
         partition = assignment.task_index
         outputs = job.completed_map_outputs()
-        # Shuffle fetch: map output lives on the node that ran the map.
-        # If that node is gone, the fetch fails and the map must re-run
-        # (Hadoop's fetch-failure -> map re-execution path).
-        dead_sources = [
+        failed_sources = [
             output
             for output in outputs
             if output.node
-            and self.jobtracker is not None
-            and not self.jobtracker.tracker_is_serving(output.node)
+            and (
+                (
+                    self.jobtracker is not None
+                    and not self.jobtracker.tracker_is_serving(output.node)
+                )
+                or self.sim.faults.shuffle_fetch_fails(
+                    assignment.attempt_id, output.node, retry
+                )
+            )
         ]
-        if dead_sources:
-            for output in dead_sources:
+        if failed_sources or not job.maps_done:
+            nodes = sorted({o.node for o in failed_sources})
+            if retry < self.mr_config.shuffle_fetch_retries:
+                raise _ShuffleStall(nodes)
+            for output in failed_sources:
                 self.jobtracker.map_output_lost(
                     job.job_id, output.task_index, output.node
                 )
-            nodes = sorted({o.node for o in dead_sources})
+            self.sim.bus.publish(
+                "mr.shuffle.fetch_failed",
+                self.sim.now,
+                tracker=self.name,
+                attempt=assignment.attempt_id,
+                sources=nodes,
+                retries=retry,
+            )
             raise FetchFailedError(
-                f"could not fetch map output from dead node(s) {nodes}"
+                f"could not fetch map output from node(s) {nodes} "
+                f"after {retry} retries"
             )
         shuffle_time, shuffle_bytes = self._price_shuffle(outputs, partition)
 
@@ -382,6 +458,70 @@ class TaskTracker:
             + len(text) * cost.side_read_per_byte
         )
         return text, elapsed
+
+    # -- shuffle retry ------------------------------------------------------
+    def _shuffle_backoff(self, attempt_id: str, retry: int) -> float:
+        """Exponential backoff with deterministic jitter for one re-fetch.
+
+        The jitter draw comes from a stream named by (attempt, retry),
+        so it is identical across serial and pooled runs and across
+        replays of the same seed.
+        """
+        cfg = self.mr_config
+        delay = min(cfg.shuffle_retry_base * (2.0 ** retry), cfg.shuffle_retry_max)
+        if cfg.shuffle_retry_jitter > 0.0:
+            jitter = self.rng.child("shuffle-retry", attempt_id, retry).uniform(
+                -cfg.shuffle_retry_jitter, cfg.shuffle_retry_jitter
+            )
+            delay *= 1.0 + jitter
+        return delay
+
+    def _schedule_shuffle_retry(
+        self, assignment: "Assignment", stall: _ShuffleStall, retry: int
+    ) -> None:
+        self.shuffle_retries += 1
+        delay = self._shuffle_backoff(assignment.attempt_id, retry)
+        self.sim.bus.publish(
+            "mr.shuffle.retry",
+            self.sim.now,
+            tracker=self.name,
+            attempt=assignment.attempt_id,
+            sources=stall.nodes,
+            retry=retry + 1,
+            delay=delay,
+        )
+        running = self.running.get(assignment.attempt_id)
+        if running is None:
+            running = _RunningAttempt(assignment=assignment)
+            self.running[assignment.attempt_id] = running
+        running.completion = self.sim.schedule(
+            delay, self._retry_launch, assignment, retry + 1
+        )
+
+    def _retry_launch(self, assignment: "Assignment", retry: int) -> None:
+        if not self.is_serving or self.jobtracker is None:
+            return
+        if assignment.attempt_id not in self.running:
+            return  # killed while backing off
+        job = self.jobtracker.running_job(assignment.job_id)
+        if job.finished:
+            self.running.pop(assignment.attempt_id, None)
+            return
+        self._launch(assignment, retry=retry)
+
+    def _timeout_fires(self, assignment: "Assignment", timeout: float) -> None:
+        self.sim.bus.publish(
+            "mr.task.timeout",
+            self.sim.now,
+            tracker=self.name,
+            attempt=assignment.attempt_id,
+            timeout=timeout,
+        )
+        self._fail(
+            assignment,
+            f"Task {assignment.attempt_id} failed to report status for "
+            f"{timeout:.0f} seconds. Killing!",
+        )
 
     # -- completion & failure ---------------------------------------------
     def _complete(self, assignment: "Assignment", result, duration: float) -> None:

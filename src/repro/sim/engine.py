@@ -39,6 +39,40 @@ class WorkJoiner(Protocol):
         submission order (callbacks may schedule new events)."""
 
 
+class FaultSite:
+    """Injection points consulted by simulated components.
+
+    The default instance injects nothing, so components can call the
+    hooks unconditionally — ``sim.faults.datanode_heartbeat_crash(dn)``
+    is a no-op until a fault plan is installed (see ``repro.faults``).
+    Hooks are keyed by stable names (node name, attempt id, retry
+    number), never call order, so an armed injector draws identically
+    across serial and pooled backends.
+    """
+
+    def datanode_heartbeat_crash(self, datanode) -> bool:
+        """True → the DataNode crashes instead of heartbeating."""
+        return False
+
+    def tracker_heartbeat_crash(self, tracker) -> bool:
+        """True → the TaskTracker dies instead of heartbeating."""
+        return False
+
+    def task_attempt_fault(self, job_id: str, attempt_id: str) -> str | None:
+        """An error message to raise for this attempt, or None."""
+        return None
+
+    def attempt_slowdown(self, job_id: str, attempt_id: str) -> float:
+        """Multiplier (>= 1.0) applied to the attempt's simulated duration."""
+        return 1.0
+
+    def shuffle_fetch_fails(
+        self, attempt_id: str, source: str, retry: int
+    ) -> bool:
+        """True → this shuffle fetch from ``source`` fails transiently."""
+        return False
+
+
 class ScheduledEvent:
     """Handle to a scheduled callback; supports cancellation."""
 
@@ -79,6 +113,7 @@ class Simulation:
         self._seq = itertools.count()
         self._events_processed = 0
         self._work_joiners: list[WorkJoiner] = []
+        self.faults: FaultSite = FaultSite()
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +180,14 @@ class Simulation:
         first_delay = interval if start_delay is None else start_delay
         state["handle"] = self.schedule(first_delay, tick)
         return cancel
+
+    # ------------------------------------------------------------------
+    def install_faults(self, site: FaultSite) -> None:
+        """Route injection hooks through ``site`` (see ``repro.faults``)."""
+        self.faults = site
+
+    def clear_faults(self) -> None:
+        self.faults = FaultSite()
 
     # ------------------------------------------------------------------
     # real-work barrier

@@ -1,0 +1,46 @@
+"""The classroom chaos drills, end to end.
+
+Each drill runs a fault-free baseline, a faulty run, and a replay; the
+checks inside :func:`run_scenario` assert the jobs heal (bit-identical
+output, matching framework/user counters) and that the chaos replays
+(same seed, same fault log).  Here we simply demand every check passes
+and spot-check the recovery mechanics each drill is *supposed* to
+exercise.
+"""
+
+import pytest
+
+from repro.faults import SCENARIOS, get_scenario, list_scenarios, run_scenario
+from repro.util.errors import ConfigError
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_drill_heals_and_replays(name):
+    result = run_scenario(name, seed=3)
+    assert result.ok, f"{name} failed:\n{result.summary()}"
+    assert result.fault_log
+    assert result.replay_fault_log == result.fault_log
+    assert result.output_files == result.baseline_files
+
+
+def test_lost_map_output_exercises_the_reexecution_chain():
+    result = run_scenario("lost_map_output", seed=3)
+    assert result.ok, result.summary()
+    timeline = "\n".join(result.timeline)
+    assert "mr.shuffle.retry" in timeline
+    assert "mr.jobtracker.map_output_lost" in timeline
+    # The crashed tracker's completed maps ran again as _1 attempts.
+    assert "_m_" in timeline and "_1 " in timeline
+
+
+def test_corrupt_cluster_storm_is_recorded():
+    result = run_scenario("corrupt_cluster_fsck", seed=3)
+    assert result.ok, result.summary()
+    assert any("block.corrupted" in line for line in result.fault_log)
+
+
+def test_registry_lookup():
+    assert [s.name for s in list_scenarios()] == sorted(SCENARIOS)
+    assert get_scenario("kill_datanode").title
+    with pytest.raises(ConfigError):
+        get_scenario("meteor_strike")

@@ -159,6 +159,113 @@ class TestEngineBarrier:
         ]
 
 
+class TestWorkerCrashRecovery:
+    """A worker dying while holding a result: bounded resubmit, then
+    inline fallback — the answer survives either way."""
+
+    def test_injected_crash_recovers_on_resubmit(self):
+        backend = PooledExecutionBackend(workers=2, mode="thread")
+        try:
+            backend._chaos = lambda index: index == 1
+            seen = []
+            for i in range(4):
+                backend.submit(
+                    _double_factory(i), lambda h: seen.append(h.result())
+                )
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                backend.join_all()  # resubmit succeeds; no inline fallback
+            assert seen == [0, 2, 4, 6]
+            assert backend.worker_crash_recoveries == 1
+        finally:
+            backend.shutdown()
+
+    def test_injected_crash_keeps_callback_order(self):
+        backend = PooledExecutionBackend(workers=2, mode="thread")
+        try:
+            backend._chaos = lambda index: index in (0, 2)
+            order = []
+            for i in range(5):
+                backend.submit(
+                    _double_factory(i), lambda h: order.append(h.result())
+                )
+            backend.join_all()
+            assert order == [0, 2, 4, 6, 8]
+            assert backend.worker_crash_recoveries == 2
+        finally:
+            backend.shutdown()
+
+    def test_pool_survives_injected_crash(self):
+        backend = PooledExecutionBackend(workers=1, mode="thread")
+        try:
+            backend._chaos = lambda index: index == 0
+            seen = []
+            backend.submit(_double_factory(3), lambda h: seen.append(h.result()))
+            backend.join_all()
+            backend._chaos = None
+            backend.submit(_double_factory(4), lambda h: seen.append(h.result()))
+            backend.join_all()
+            assert seen == [6, 8]
+            assert backend.pending_since() is None
+        finally:
+            backend.shutdown()
+
+    def test_real_broken_process_pool_falls_back_inline(self):
+        """A work payload that kills every pool worker it lands on:
+        resubmits exhaust, the inline fallback (same process) answers."""
+        import functools
+        import os
+
+        backend = PooledExecutionBackend(workers=1, mode="process")
+        try:
+            seen = []
+            backend.submit(
+                functools.partial(_answer_or_die, os.getpid()),
+                lambda h: seen.append(h.result()),
+            )
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                backend.join_all()
+            assert seen == ["survived"]
+            assert backend.worker_crash_recoveries == 1
+            assert any(
+                issubclass(w.category, RuntimeWarning)
+                and "worker crash" in str(w.message)
+                for w in caught
+            )
+        finally:
+            backend.shutdown()
+
+    def test_work_error_during_resubmit_is_reported(self):
+        backend = PooledExecutionBackend(workers=1, mode="thread")
+        try:
+            backend._chaos = lambda index: True
+            state = {"calls": 0}
+
+            def flaky():
+                state["calls"] += 1
+                if state["calls"] > 1:
+                    raise TaskFailedError("real failure on the rerun")
+                return "first"
+
+            seen = []
+            backend.submit(flaky, seen.append)
+            backend.join_all()
+            with pytest.raises(TaskFailedError):
+                seen[0].result()
+        finally:
+            backend.shutdown()
+
+
+def _answer_or_die(parent_pid):
+    """Kill any pool worker this lands on; answer only in the parent."""
+    import os
+
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return "survived"
+
+
 def _double_factory(i):
     import functools
 

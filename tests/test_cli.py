@@ -34,6 +34,20 @@ class TestCli:
         assert main(["demo"]) == 0
         assert "blk_" in capsys.readouterr().out
 
+    def test_chaos_list(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "kill_datanode" in out and "lost_map_output" in out
+        # Omitting the scenario also lists rather than erroring.
+        assert main(["chaos"]) == 0
+
+    def test_chaos_drill_runs_and_heals(self, capsys):
+        assert main(["chaos", "kill_datanode", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FaultPlan(seed=3)" in out
+        assert "injected faults:" in out
+        assert "verdict: HEALED" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
