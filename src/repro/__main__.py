@@ -10,6 +10,10 @@ Subcommands:
 - ``classroom``   replay the Fall-2012 meltdown vs the Spring-2013 fix
 - ``figure1``     the architecture scan sweep
 - ``chaos``       run a fault-injection drill and print its timeline
+- ``lint``        mrlint: static-check job code (and the engine itself)
+
+Exit codes: 0 success/clean, 1 failed drill or lint findings, 2 usage
+and configuration errors — so CI can gate on them.
 """
 
 from __future__ import annotations
@@ -118,6 +122,7 @@ def _cmd_figure1(_args) -> int:
 
 def _cmd_chaos(args) -> int:
     from repro.faults import list_scenarios, run_scenario
+    from repro.util.errors import ConfigError
 
     if args.list or not args.scenario:
         print("chaos drills (run with: python -m repro chaos <name>):\n")
@@ -133,7 +138,16 @@ def _cmd_chaos(args) -> int:
     )
     exit_code = 0
     for name in names:
-        result = run_scenario(name, seed=args.seed, backend=args.backend)
+        try:
+            result = run_scenario(
+                name,
+                seed=args.seed,
+                backend=args.backend,
+                sanitize=args.sanitize,
+            )
+        except ConfigError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
         print(f"=== chaos drill: {name} (seed={args.seed}) ===")
         print(result.plan.describe())
         print()
@@ -153,6 +167,40 @@ def _cmd_chaos(args) -> int:
         if not result.ok:
             exit_code = 1
     return exit_code
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        lint_jobs,
+        lint_paths,
+        lint_self,
+        render_findings,
+        render_json,
+        sort_findings,
+    )
+    from repro.util.errors import ConfigError
+
+    if not (args.self_audit or args.jobs or args.paths):
+        print(
+            "lint: nothing to lint (pass --self, --jobs, and/or paths)",
+            file=sys.stderr,
+        )
+        return 2
+    findings = []
+    try:
+        if args.self_audit:
+            findings.extend(lint_self())
+        if args.jobs:
+            findings.extend(lint_jobs())
+        if args.paths:
+            families = tuple(args.families) if args.families else ("jobs",)
+            findings.extend(lint_paths(args.paths, families=families))
+    except ConfigError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    findings = sort_findings(findings)
+    print(render_json(findings) if args.json else render_findings(findings))
+    return 1 if findings else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -208,7 +256,46 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--timeline", action="store_true",
                        help="print the full fault + recovery event "
                        "timeline instead of just injected faults")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="run the drill with the runtime sanitizer on "
+                       "(MapReduceConfig.sanitize=True)")
     chaos.set_defaults(fn=_cmd_chaos)
+    lint = sub.add_parser(
+        "lint",
+        help="mrlint: static-check MapReduce job code (and the engine)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (student job code)",
+    )
+    lint.add_argument(
+        "--self",
+        dest="self_audit",
+        action="store_true",
+        help="audit the engine itself (repro.hdfs/mapreduce/faults/sim) "
+        "with the MRE1xx determinism rules",
+    )
+    lint.add_argument(
+        "--jobs",
+        action="store_true",
+        help="lint the reference jobs (repro.jobs) and examples/ with "
+        "the MRJ0xx job rules",
+    )
+    lint.add_argument(
+        "--family",
+        dest="families",
+        action="append",
+        choices=("jobs", "engine"),
+        default=None,
+        help="rule families for explicit paths (default: jobs; repeatable)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON (for CI and tooling)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     if args.workers < 0:

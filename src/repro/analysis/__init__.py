@@ -1,0 +1,55 @@
+"""``repro.analysis`` — mrlint: static analysis + a runtime sanitizer.
+
+The correctness tooling the paper's teaching moments beg for (and PR 2
+proved the engine itself needs).  Two halves:
+
+- **Static** (:mod:`repro.analysis.linter`): AST rules over student
+  map/reduce code (``MRJ0xx``, :mod:`repro.analysis.job_rules`) and
+  over the engine itself (``MRE1xx``,
+  :mod:`repro.analysis.engine_rules`), with ``# repro: lint-ok[RULE]``
+  suppressions.  CLI: ``python -m repro lint [--self|--jobs|PATH]``.
+- **Dynamic** (:mod:`repro.analysis.sanitizer`): enabled by
+  ``MapReduceConfig(sanitize=True)``; catches input mutation, emit
+  aliasing, and non-monoid combiners at run time, reporting through
+  the job counters (group ``"Sanitizer"``).
+"""
+
+from repro.analysis.engine_rules import ENGINE_RULES, check_engine_rules
+from repro.analysis.findings import (
+    Finding,
+    Rule,
+    render_findings,
+    render_json,
+    sort_findings,
+)
+from repro.analysis.job_rules import JOB_RULES, check_job_rules
+from repro.analysis.linter import (
+    ALL_RULES,
+    SELF_AUDIT_PACKAGES,
+    lint_jobs,
+    lint_paths,
+    lint_self,
+    lint_source,
+)
+from repro.analysis.sanitizer import SanitizingContext, TaskSanitizer, fingerprint
+
+__all__ = [
+    "ALL_RULES",
+    "ENGINE_RULES",
+    "Finding",
+    "JOB_RULES",
+    "Rule",
+    "SELF_AUDIT_PACKAGES",
+    "SanitizingContext",
+    "TaskSanitizer",
+    "check_engine_rules",
+    "check_job_rules",
+    "fingerprint",
+    "lint_jobs",
+    "lint_paths",
+    "lint_self",
+    "lint_source",
+    "render_findings",
+    "render_json",
+    "sort_findings",
+]

@@ -1,0 +1,465 @@
+"""Engine rules (MRE1xx): the framework auditing itself.
+
+PR 2 shipped a latent hash-randomization bug: over-replication trimming
+in ``NameNode._replication_sweep`` tie-broke equal free-space scores by
+*set iteration order*, so ``repro classroom`` diverged run-to-run with
+``PYTHONHASHSEED``.  These rules make that bug class (and its cousins)
+un-landable:
+
+==========  ==========================================================
+``MRE101``  unordered iteration feeding a decision: iterating a
+            ``set``/``frozenset`` directly (hash order → divergence,
+            *error*), or first-match/keyed selection over a ``dict``
+            view (insertion order → arrival-history sensitivity,
+            *warning*); includes ``sorted``/``min``/``max`` over a set
+            with a key that does not tie-break by the element itself
+``MRE102``  wall-clock time (``time.time``/``datetime.now``) inside
+            sim-clocked code — simulated time must come from the
+            engine, or replays diverge
+``MRE103``  bare/blanket ``except`` that swallows everything — it
+            would also swallow ``FaultSite`` escalations and cancel
+            injected faults silently
+==========  ==========================================================
+
+Set-typedness is inferred syntactically: set literals/comprehensions,
+``set()``/``frozenset()`` calls, names or ``self.`` attributes assigned
+or annotated as sets, and — module-wide — any attribute whose *name* is
+declared as a set in some class of the same module (this is what catches
+``meta.locations`` in namenode.py, where ``BlockMeta.locations:
+set[str]``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.findings import Finding, Rule
+
+ENGINE_RULES = {
+    "MRE101": Rule(
+        id="MRE101",
+        family="engine",
+        severity="error",
+        title="unordered iteration feeds a decision",
+        hint="wrap the collection in sorted(...) — and if you sort with a "
+        "key, end the key tuple with the element itself so equal scores "
+        "tie-break deterministically: key=lambda d: (score(d), d)",
+    ),
+    "MRE102": Rule(
+        id="MRE102",
+        family="engine",
+        severity="error",
+        title="wall clock in sim-clocked code",
+        hint="use the simulation's clock (sim.now / event timestamps); "
+        "host wall-clock reads make replays and pooled runs diverge",
+    ),
+    "MRE103": Rule(
+        id="MRE103",
+        family="engine",
+        severity="error",
+        title="blanket except swallows fault escalations",
+        hint="catch the specific exception you expect, or re-raise: a "
+        "blanket handler also eats FaultSite escalations, silently "
+        "cancelling injected faults",
+    ),
+}
+
+_WALL_CLOCK_SUFFIXES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+_SET_ANNOTATION = re.compile(r"\b(set|frozenset|Set|AbstractSet|MutableSet)\b")
+
+_DICT_VIEW_METHODS = {"keys", "values", "items"}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return bool(_SET_ANNOTATION.search(text))
+
+
+def _is_set_literalish(node: ast.expr) -> bool:
+    """A value expression that is statically a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+class _SetTypes:
+    """Module-wide syntactic inference of set-typed names/attributes."""
+
+    def __init__(self, tree: ast.Module):
+        #: Attribute names declared set-typed somewhere in this module
+        #: (class annotations or ``self.x = set()``); any ``expr.<name>``
+        #: access is then treated as a set.
+        self.attr_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and _is_set_annotation(stmt.annotation)
+                    ):
+                        self.attr_names.add(stmt.target.id)
+            elif isinstance(node, ast.Assign):
+                if _is_set_literalish(node.value):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self.attr_names.add(target.attr)
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == "self"
+                    and _is_set_annotation(node.annotation)
+                ):
+                    self.attr_names.add(node.target.attr)
+
+    def local_sets(self, fn: ast.FunctionDef) -> set[str]:
+        names: set[str] = set()
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            if _is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_set_literalish(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and _is_set_annotation(node.annotation)
+            ):
+                names.add(node.target.id)
+        return names
+
+    def is_set_expr(self, node: ast.expr, local: set[str]) -> bool:
+        if _is_set_literalish(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in local
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.attr_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left, local) or self.is_set_expr(
+                node.right, local
+            )
+        return False
+
+
+def _is_dict_view_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _key_is_tie_broken(key: ast.expr) -> bool:
+    """Does a sort key guarantee injectivity over the elements?
+
+    True only for a lambda that is the identity or whose body is a tuple
+    ending in the bare lambda parameter — ``lambda d: (score(d), d)``.
+    Anything else (named functions, attrgetter, plain scores) cannot be
+    proven injective, so equal keys would tie-break by iteration order.
+    """
+    if not isinstance(key, ast.Lambda) or len(key.args.args) != 1:
+        return False
+    param = key.args.args[0].arg
+    body = key.body
+    if isinstance(body, ast.Name) and body.id == param:
+        return True
+    if (
+        isinstance(body, ast.Tuple)
+        and body.elts
+        and isinstance(body.elts[-1], ast.Name)
+        and body.elts[-1].id == param
+    ):
+        return True
+    return False
+
+
+def _contains_break(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Break):
+                return True
+            # A break inside a nested loop belongs to that loop; but a
+            # syntactic walk is close enough for an audit rule — nested
+            # first-match loops are exactly what we want eyes on.
+    return False
+
+
+class _EngineVisitor:
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        self.types = _SetTypes(tree)
+        self.findings: list[Finding] = []
+
+    def _emit(
+        self, rule_id: str, node: ast.AST, message: str, severity: str | None = None
+    ) -> None:
+        rule = ENGINE_RULES[rule_id]
+        self.findings.append(
+            Finding(
+                rule=rule_id,
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset,
+                severity=severity or rule.severity,
+                message=message,
+                hint=rule.hint,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        # MRE101 needs per-function local inference; MRE102/103 are global.
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node)
+            elif isinstance(node, ast.ExceptHandler):
+                self._check_except(node)
+        self._check_module_level_iteration()
+        return self.findings
+
+    # -- MRE101 -----------------------------------------------------------
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        local = self.types.local_sets(fn)
+        for node in ast.walk(fn):
+            self._check_iteration_site(node, local)
+            if isinstance(node, ast.Call):
+                self._check_wall_clock(node)
+
+    def _check_module_level_iteration(self) -> None:
+        """Module-level statements (rare, but cheap to cover)."""
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                self._check_iteration_site(node, set())
+                if isinstance(node, ast.Call):
+                    self._check_wall_clock(node)
+
+    def _describe(self, node: ast.expr) -> str:
+        name = _dotted(node)
+        if name:
+            return name
+        return type(node).__name__.lower()
+
+    def _check_iteration_site(self, node: ast.AST, local: set[str]) -> None:
+        if isinstance(node, ast.For):
+            self._check_iterable(node.iter, local, loop=node)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                self._check_iterable(gen.iter, local, loop=None)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            fname = node.func.id
+            if fname in ("sorted", "min", "max") and node.args:
+                self._check_keyed_selection(fname, node, local)
+            elif (
+                fname == "next"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+                and isinstance(node.args[0].func, ast.Name)
+                and node.args[0].func.id == "iter"
+                and node.args[0].args
+            ):
+                inner = node.args[0].args[0]
+                if self.types.is_set_expr(inner, local):
+                    self._emit(
+                        "MRE101",
+                        node,
+                        f"next(iter({self._describe(inner)})) picks an "
+                        "arbitrary set element (hash order)",
+                    )
+                elif _is_dict_view_call(inner):
+                    self._emit(
+                        "MRE101",
+                        node,
+                        f"next(iter({self._describe(inner.func)}())) picks "
+                        "the first-inserted entry — sensitive to "
+                        "arrival/registration history",
+                        severity="warning",
+                    )
+            elif fname in ("list", "tuple") and node.args:
+                # list(some_set) preserves hash order into an ordered
+                # container — same leak, one step removed.
+                if self.types.is_set_expr(node.args[0], local):
+                    self._emit(
+                        "MRE101",
+                        node,
+                        f"{fname}({self._describe(node.args[0])}) freezes "
+                        "set hash order into an ordered sequence",
+                    )
+
+    def _check_iterable(
+        self, iterable: ast.expr, local: set[str], loop: ast.For | None
+    ) -> None:
+        if self.types.is_set_expr(iterable, local):
+            self._emit(
+                "MRE101",
+                iterable,
+                f"iterating {self._describe(iterable)} in hash order; "
+                "wrap in sorted(...) so the loop visits elements "
+                "deterministically",
+            )
+        elif (
+            loop is not None
+            and _is_dict_view_call(iterable)
+            and _contains_break(loop.body)
+        ):
+            self._emit(
+                "MRE101",
+                iterable,
+                f"first-match loop over {self._describe(iterable.func)}() "
+                "— dict insertion order is deterministic in-process but "
+                "depends on arrival/registration history; audit or sort",
+                severity="warning",
+            )
+
+    def _check_keyed_selection(
+        self, fname: str, node: ast.Call, local: set[str]
+    ) -> None:
+        target = node.args[0]
+        key = next((kw.value for kw in node.keywords if kw.arg == "key"), None)
+        over_set = self.types.is_set_expr(target, local)
+        over_view = _is_dict_view_call(target)
+        if not over_set and not over_view:
+            return
+        if key is None:
+            # sorted(set) totally orders by the elements themselves:
+            # deterministic.  min/max likewise.  Dict .keys() too;
+            # .values()/.items() may tie but then equal values are
+            # interchangeable for min/max and sorted() is stable on
+            # insertion order — accept.
+            return
+        if _key_is_tie_broken(key):
+            return
+        what = self._describe(target)
+        if over_set:
+            self._emit(
+                "MRE101",
+                node,
+                f"{fname}({what}, key=...) breaks ties by set hash order "
+                "— the PR 2 replication-sweep bug; end the key tuple "
+                "with the element itself",
+            )
+        else:
+            self._emit(
+                "MRE101",
+                node,
+                f"{fname}({what}, key=...) breaks ties by insertion "
+                "order — sensitive to arrival/registration history",
+                severity="warning",
+            )
+
+    # -- MRE102 -----------------------------------------------------------
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                self._emit(
+                    "MRE102",
+                    node,
+                    f"{name}() reads the host wall clock inside "
+                    "sim-clocked code",
+                )
+                return
+
+    # -- MRE103 -----------------------------------------------------------
+    def _check_except(self, handler: ast.ExceptHandler) -> None:
+        if handler.type is None:
+            self._emit(
+                "MRE103",
+                handler,
+                "bare 'except:' swallows everything, including FaultSite "
+                "escalations and KeyboardInterrupt",
+            )
+            return
+        names = []
+        types_ = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for t in types_:
+            name = _dotted(t)
+            if name:
+                names.append(name.rsplit(".", 1)[-1])
+        if not any(n in ("Exception", "BaseException") for n in names):
+            return
+        if self._handler_is_swallowing(handler):
+            self._emit(
+                "MRE103",
+                handler,
+                f"'except {'/'.join(names)}' discards the exception "
+                "without re-raising or recording it",
+            )
+
+    @staticmethod
+    def _handler_is_swallowing(handler: ast.ExceptHandler) -> bool:
+        """True when the handler neither re-raises nor does real work."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return False
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None or isinstance(stmt.value, ast.Constant)
+            ):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue
+            return False  # assignments, calls, logging: handled, not hidden
+        return True
+
+
+def check_engine_rules(path: str, tree: ast.Module) -> list[Finding]:
+    """Run all MRE1xx rules over one parsed module."""
+    return _EngineVisitor(path, tree).run()

@@ -1,0 +1,92 @@
+"""Structured lint findings: what "mrlint" reports and how it renders.
+
+A :class:`Finding` is one rule violation at one source location.  Rules
+attach a severity and a fix hint so the output teaches, not just nags —
+the same voice as the course's grading feedback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+#: Severities, in escalation order.  ``error`` findings are correctness
+#: bugs (wrong answers, run-to-run divergence); ``warning`` findings are
+#: the paper's performance anti-patterns (right answer, painful scale).
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Human-readable report, one block per finding plus a summary."""
+    findings = sort_findings(findings)
+    if not findings:
+        return "mrlint: clean (0 findings)"
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"mrlint: {len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    findings = sort_findings(findings)
+    payload = {
+        "findings": [f.as_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings if f.severity == "warning"),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule's identity card (the catalog entry DESIGN.md lists)."""
+
+    id: str
+    family: str  # "jobs" | "engine"
+    severity: str
+    title: str
+    hint: str = ""
+    #: Extra per-rule state threaded to the checker (unused by most).
+    extra: dict = field(default_factory=dict)

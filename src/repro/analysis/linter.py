@@ -1,0 +1,163 @@
+"""The mrlint driver: walk files, run rule families, apply suppressions.
+
+Entry points
+============
+
+- :func:`lint_paths` — lint explicit files/directories (default: the
+  student-facing job rules; pass ``families`` to change);
+- :func:`lint_jobs` — the reference jobs (``repro.jobs``) plus the
+  repository's ``examples/`` directory, job rules;
+- :func:`lint_self` — the engine auditing itself: ``repro.hdfs``,
+  ``repro.mapreduce``, ``repro.faults``, ``repro.sim``, engine rules;
+- :func:`lint_source` — one in-memory source string (tests, notebooks).
+
+Suppressions
+============
+
+A finding is suppressed by a comment on the flagged line, or on a
+comment-only line directly above it::
+
+    extras = sorted(meta.locations)  # repro: lint-ok[MRE101] audited: sorted
+
+    # repro: lint-ok[MRJ006] deliberate anti-pattern for the assignment
+    text = context.read_side_file(path)
+
+``lint-ok[*]`` suppresses every rule on that line.  The justification
+text after the bracket is required by convention (CI diffs review it),
+not enforced.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.engine_rules import ENGINE_RULES, check_engine_rules
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.job_rules import JOB_RULES, check_job_rules
+from repro.util.errors import ConfigError
+
+#: rule-id -> Rule, both families.
+ALL_RULES = {**JOB_RULES, **ENGINE_RULES}
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok\[([A-Za-z0-9*,\s]+)\]")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+_FAMILY_CHECKERS = {
+    "jobs": check_job_rules,
+    "engine": check_engine_rules,
+}
+
+#: The engine packages `--self` audits (relative to the repro package).
+SELF_AUDIT_PACKAGES = ("hdfs", "mapreduce", "faults", "sim")
+
+
+def _suppressions_by_line(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed *for that line*.
+
+    A marker covers its own line; a marker on a comment-only line also
+    covers the next non-comment line (so long multi-line suppression
+    blocks stack naturally).
+    """
+    covered: dict[int, set[str]] = {}
+    pending: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        rules_here: set[str] = set()
+        if match:
+            rules_here = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+        if _COMMENT_ONLY_RE.match(text):
+            pending |= rules_here
+            continue
+        applicable = rules_here | pending
+        if applicable:
+            covered[lineno] = applicable
+        pending = set()
+    return covered
+
+
+def _apply_suppressions(
+    findings: list[Finding], source: str
+) -> list[Finding]:
+    covered = _suppressions_by_line(source)
+    kept = []
+    for finding in findings:
+        rules = covered.get(finding.line, set())
+        if "*" in rules or finding.rule in rules:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    families: tuple[str, ...] = ("jobs",),
+) -> list[Finding]:
+    """Lint one source string; raises ConfigError on syntax errors."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise ConfigError(f"{path}: cannot lint, not valid Python: {exc}")
+    findings: list[Finding] = []
+    for family in families:
+        try:
+            checker = _FAMILY_CHECKERS[family]
+        except KeyError:
+            raise ConfigError(
+                f"unknown rule family {family!r} "
+                f"(choose from {sorted(_FAMILY_CHECKERS)})"
+            )
+        findings.extend(checker(path, tree))
+    return sort_findings(_apply_suppressions(findings, source))
+
+
+def _iter_python_files(target: Path):
+    if target.is_file():
+        yield target
+    elif target.is_dir():
+        yield from sorted(target.rglob("*.py"))
+    else:
+        raise ConfigError(f"lint target does not exist: {target}")
+
+
+def lint_paths(
+    paths: list[str | Path],
+    families: tuple[str, ...] = ("jobs",),
+) -> list[Finding]:
+    """Lint explicit files or directories with the given rule families."""
+    findings: list[Finding] = []
+    for raw in paths:
+        for file in _iter_python_files(Path(raw)):
+            source = file.read_text(encoding="utf-8")
+            findings.extend(lint_source(source, str(file), families))
+    return sort_findings(findings)
+
+
+def _repro_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_self() -> list[Finding]:
+    """Audit the engine itself with the MRE1xx rules."""
+    root = _repro_root()
+    targets = [root / pkg for pkg in SELF_AUDIT_PACKAGES]
+    return lint_paths(targets, families=("engine",))
+
+
+def lint_jobs() -> list[Finding]:
+    """Lint the reference jobs and the repository's examples/ directory."""
+    root = _repro_root()
+    targets: list[Path] = [root / "jobs"]
+    # src/repro -> repo root; examples/ only exists in a source checkout.
+    examples = root.parents[1] / "examples"
+    if examples.is_dir():
+        targets.append(examples)
+    return lint_paths(targets, families=("jobs",))

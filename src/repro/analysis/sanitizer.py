@@ -1,0 +1,287 @@
+"""The runtime sanitizer: catch dynamically what the AST cannot.
+
+Enabled by ``MapReduceConfig(sanitize=True)``.  Task execution
+(:mod:`repro.mapreduce.runtime`) then
+
+- deep-fingerprints every map/reduce *input* before and after the user
+  call, catching in-place mutation (MRJ002's dynamic twin);
+- snapshots every emitted pair at ``context.write`` time and re-checks
+  at drain, catching emitted-object aliasing (MRJ004's dynamic twin);
+- spot-checks the job's combiner on deterministically sampled key
+  groups by seeded re-execution on copies: commutativity (reversed
+  values), idempotence (re-combining its own output), and split-merge
+  associativity — the check that catches mean-of-means, which both
+  naive checks miss (MRJ007's dynamic twin).
+
+Violations surface through the existing counters machinery (group
+``"Sanitizer"``), so they ride the normal pooled-result merge into the
+job report, appear in chaos-drill timelines, and are visible to the
+graders.  The sanitizer never changes task *results*: checks run on
+deep copies with scratch contexts, add no simulated time, and increment
+no counters unless a violation is found — a sanitized clean run is
+bit-identical to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable
+
+from repro.mapreduce.api import Context, Reducer
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.types import Writable
+
+#: Spot-check at most this many key groups per task (evenly spaced over
+#: the sorted groups, so sampling is deterministic on every backend).
+MAX_COMBINER_GROUPS = 8
+
+#: Keep at most this many violation messages per task (counters always
+#: count all of them).
+MAX_MESSAGES = 25
+
+_MEMO_SLOTS = ("_size_memo", "_key_memo")
+
+
+def fingerprint(obj: Any, _depth: int = 0) -> tuple:
+    """A deep, order-insensitive-where-unordered structural hash key.
+
+    Recurses raw slot values on Writables — *never* ``sort_key()`` /
+    ``serialized_size()``, whose memos would hide mutations that happen
+    after the first call.
+    """
+    if _depth > 25:
+        return ("...",)
+    if isinstance(obj, Writable):
+        fields = []
+        for klass in type(obj).__mro__:
+            slots = getattr(klass, "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                if slot in _MEMO_SLOTS:
+                    continue
+                try:
+                    value = getattr(obj, slot)
+                except AttributeError:
+                    continue
+                fields.append((slot, fingerprint(value, _depth + 1)))
+        return ("writable", type(obj).__name__, tuple(fields))
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    (fingerprint(k, _depth + 1), fingerprint(v, _depth + 1))
+                    for k, v in obj.items()
+                )
+            ),
+        )
+    if isinstance(obj, (list, tuple)):
+        kind = "list" if isinstance(obj, list) else "tuple"
+        return (kind, tuple(fingerprint(x, _depth + 1) for x in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(fingerprint(x, _depth + 1) for x in obj)))
+    if isinstance(obj, bytearray):
+        return ("bytearray", bytes(obj))
+    return (type(obj).__name__, repr(obj))
+
+
+def _short(obj: Any, limit: int = 60) -> str:
+    text = repr(obj)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class SanitizingContext(Context):
+    """A Context that snapshots every emitted pair for aliasing checks."""
+
+    def __init__(self, sanitizer: "TaskSanitizer", **kwargs: Any):
+        super().__init__(**kwargs)
+        self._sanitizer = sanitizer
+        self._emit_log: list[tuple[Writable, Writable, tuple, tuple]] = []
+
+    def write(self, key: Any, value: Any) -> None:
+        super().write(key, value)
+        wk, wv = self._collected[-1]
+        self._emit_log.append((wk, wv, fingerprint(wk), fingerprint(wv)))
+
+    def drain(self):
+        pairs = super().drain()
+        log, self._emit_log = self._emit_log, []
+        self._sanitizer.verify_emits(log)
+        return pairs
+
+
+class TaskSanitizer:
+    """Per-task violation collector; one instance per task attempt."""
+
+    def __init__(self, conf: JobConf, counters: Counters, task: str):
+        self._conf = conf
+        self._counters = counters
+        self._task = task
+        self.violations: list[str] = []
+        self._total = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def make_context(self, **kwargs: Any) -> SanitizingContext:
+        return SanitizingContext(self, **kwargs)
+
+    def _record(self, counter: tuple[str, str], message: str) -> None:
+        self._counters.increment(counter, 1)
+        self._total += 1
+        if len(self.violations) < MAX_MESSAGES:
+            self.violations.append(f"{self._task}: {message}")
+
+    def finish(self) -> list[str]:
+        return list(self.violations)
+
+    # -- input mutation ---------------------------------------------------
+    def snapshot_inputs(self, *inputs: Any) -> tuple:
+        return tuple(fingerprint(x) for x in inputs)
+
+    def verify_inputs(
+        self, phase: str, snapshot: tuple, *inputs: Any
+    ) -> None:
+        for before, obj in zip(snapshot, inputs):
+            if fingerprint(obj) != before:
+                self._record(
+                    C.SANITIZER_INPUT_MUTATIONS,
+                    f"{phase}() mutated its input {_short(obj)} in place",
+                )
+
+    # -- emit aliasing ----------------------------------------------------
+    def verify_emits(
+        self, log: list[tuple[Writable, Writable, tuple, tuple]]
+    ) -> None:
+        for key, value, key_fp, value_fp in log:
+            if fingerprint(key) != key_fp:
+                self._record(
+                    C.SANITIZER_EMIT_ALIASING,
+                    f"emitted key {_short(key)} was mutated after "
+                    "context.write()",
+                )
+            if fingerprint(value) != value_fp:
+                self._record(
+                    C.SANITIZER_EMIT_ALIASING,
+                    f"emitted value {_short(value)} was mutated after "
+                    "context.write()",
+                )
+
+    # -- combiner contract ------------------------------------------------
+    def check_combiner(
+        self,
+        combiner_cls: type[Reducer],
+        partitions: dict[int, list[tuple[Writable, Writable]]],
+    ) -> None:
+        """Spot-check the combiner on sampled key groups of this task.
+
+        ``partitions`` holds the *uncombined*, key-sorted map output.
+        All re-executions run on deep copies with scratch contexts, so
+        neither the real pairs nor the task's counters are disturbed.
+        """
+        from repro.mapreduce.shuffle import group_by_key
+
+        groups: list[tuple[Writable, list[Writable]]] = []
+        for partition in sorted(partitions):
+            groups.extend(group_by_key(partitions[partition]))
+        if not groups:
+            return
+        if len(groups) > MAX_COMBINER_GROUPS:
+            n = len(groups)
+            step = (n - 1) / (MAX_COMBINER_GROUPS - 1)
+            indices = sorted({round(i * step) for i in range(MAX_COMBINER_GROUPS)})
+            groups = [groups[i] for i in indices]
+        for key, values in groups:
+            self._check_group(combiner_cls, key, values)
+
+    def _run_combiner_once(
+        self,
+        combiner_cls: type[Reducer],
+        key: Writable,
+        values: Iterable[Writable],
+    ) -> tuple[list[tuple[Writable, Writable]], list[tuple[tuple, tuple]]]:
+        """One scratch combiner run on copies.
+
+        Returns the emitted pairs (for re-feeding) and their sorted
+        fingerprints (for order-insensitive comparison).
+        """
+        context = Context(conf=self._conf, counters=Counters())
+        combiner = combiner_cls()
+        combiner.setup(context)
+        combiner.reduce(copy.deepcopy(key), copy.deepcopy(list(values)), context)
+        combiner.cleanup(context)
+        pairs = context.drain()
+        prints = sorted(
+            (fingerprint(k), fingerprint(v)) for k, v in pairs
+        )
+        return pairs, prints
+
+    def _check_group(
+        self,
+        combiner_cls: type[Reducer],
+        key: Writable,
+        values: list[Writable],
+    ) -> None:
+        name = combiner_cls.__name__
+        key_fp = fingerprint(key)
+        try:
+            base_pairs, base = self._run_combiner_once(
+                combiner_cls, key, values
+            )
+            # The contract: a combiner emits its own key (possibly many
+            # values), because its output re-enters the shuffle keyed.
+            if any(k != key_fp for k, _ in base):
+                self._record(
+                    C.SANITIZER_COMBINER_VIOLATIONS,
+                    f"{name} rewrote key {_short(key)}; combiner output "
+                    "must keep its input key",
+                )
+                return
+            _, reversed_out = self._run_combiner_once(
+                combiner_cls, key, list(reversed(values))
+            )
+            if reversed_out != base:
+                self._record(
+                    C.SANITIZER_COMBINER_VIOLATIONS,
+                    f"{name} is not commutative on key {_short(key)}: "
+                    "reversing the value order changed its output",
+                )
+                return
+            # Idempotence: re-combining its own output must not change it.
+            _, idem = self._run_combiner_once(
+                combiner_cls, key, [v for _, v in base_pairs]
+            )
+            if idem != base:
+                self._record(
+                    C.SANITIZER_COMBINER_VIOLATIONS,
+                    f"{name} is not idempotent on key {_short(key)}: "
+                    "re-combining its own output changed the answer",
+                )
+                return
+            # Split-merge associativity: combine(combine(a) ++ combine(b))
+            # must equal combine(a ++ b).  This is the check that catches
+            # averaging combiners — mean of means is not the mean.
+            if len(values) >= 2:
+                half = len(values) // 2
+                first, _ = self._run_combiner_once(
+                    combiner_cls, key, values[:half]
+                )
+                second, _ = self._run_combiner_once(
+                    combiner_cls, key, values[half:]
+                )
+                merged = [v for _, v in first] + [v for _, v in second]
+                _, split = self._run_combiner_once(combiner_cls, key, merged)
+                if split != base:
+                    self._record(
+                        C.SANITIZER_COMBINER_VIOLATIONS,
+                        f"{name} is not associative on key "
+                        f"{_short(key)}: combining in two rounds "
+                        "changed the answer (mean-of-means class)",
+                    )
+        except Exception as exc:  # noqa: BLE001 - user code under test
+            self._record(
+                C.SANITIZER_COMBINER_VIOLATIONS,
+                f"{name} raised {type(exc).__name__} while re-combining "
+                f"key {_short(key)}: its output does not round-trip "
+                "through itself",
+            )

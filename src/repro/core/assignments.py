@@ -311,3 +311,36 @@ def grade_all(seed: int = 0) -> list[GradeResult]:
     for assignment in ASSIGNMENTS.values():
         results.extend(assignment.run_reference(seed))
     return results
+
+
+def lint_reference_solutions() -> list[GradeResult]:
+    """mrlint the reference jobs and fold the result into grading terms.
+
+    The grader hook for the analysis subsystem: a submission (here, the
+    reference solutions in ``repro.jobs``) is expected to lint *clean* —
+    every unsuppressed MRJ0xx finding is one failed check.  Instructors
+    grading student code get the same shape: one GradeResult per
+    finding, plus a summary row asserting zero findings overall.
+    """
+    from repro.analysis import lint_jobs
+
+    findings = lint_jobs()
+    results = [
+        GradeResult(
+            assignment_id="mrlint",
+            check=f"{finding.rule}@{finding.path.rsplit('/', 1)[-1]}:{finding.line}",
+            expected="clean",
+            actual=finding.rule,
+            detail=finding.message,
+        )
+        for finding in findings
+    ]
+    results.append(
+        GradeResult(
+            assignment_id="mrlint",
+            check="reference jobs lint clean",
+            expected=0,
+            actual=len(findings),
+        )
+    )
+    return results

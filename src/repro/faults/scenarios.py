@@ -105,12 +105,16 @@ class ScenarioResult:
 # shared workload
 
 
-def _make_cluster(backend: str | None = None) -> MapReduceCluster:
+def _make_cluster(
+    backend: str | None = None, sanitize: bool = False
+) -> MapReduceCluster:
     return MapReduceCluster(
         num_workers=5,
         hdfs_config=HdfsConfig(block_size=2048, replication=2),
         mr_config=MapReduceConfig(
-            execution_backend=backend or "serial", backend_workers=2
+            execution_backend=backend or "serial",
+            backend_workers=2,
+            sanitize=sanitize,
         ),
         seed=CLUSTER_SEED,
     )
@@ -163,9 +167,10 @@ def _run_once(
     plan: FaultPlan | None,
     backend: str | None,
     checks: list[Check] | None = None,
+    sanitize: bool = False,
 ) -> tuple[JobReport, dict[str, bytes], list[str], list[str]]:
     """One full drill execution; returns (report, files, timeline, log)."""
-    with _make_cluster(backend) as mr:
+    with _make_cluster(backend, sanitize=sanitize) as mr:
         input_path = _load_corpus(mr)
         mr.sim.bus.record_history = True
         injector = (
@@ -191,7 +196,10 @@ def _run_once(
 
 
 def run_scenario(
-    name: str, seed: int = 0, backend: str | None = None
+    name: str,
+    seed: int = 0,
+    backend: str | None = None,
+    sanitize: bool = False,
 ) -> ScenarioResult:
     """Execute one drill: baseline, faulty run, and a replay.
 
@@ -205,7 +213,9 @@ def run_scenario(
     plan = scenario.plan(seed)
     result = ScenarioResult(name=scenario.name, seed=seed, plan=plan)
 
-    baseline_report, baseline_files, _, _ = _run_once(scenario, None, backend)
+    baseline_report, baseline_files, _, _ = _run_once(
+        scenario, None, backend, sanitize=sanitize
+    )
     result.baseline_report = baseline_report
     result.baseline_files = baseline_files
     result.check(
@@ -215,7 +225,7 @@ def run_scenario(
     )
 
     report, files, timeline, fault_log = _run_once(
-        scenario, plan, backend, checks=result.checks
+        scenario, plan, backend, checks=result.checks, sanitize=sanitize
     )
     result.report = report
     result.output_files = files
@@ -241,8 +251,21 @@ def run_scenario(
         _framework_counters(report) == _framework_counters(baseline_report),
         "counter drift outside 'Job Counters'",
     )
+    if sanitize:
+        sanitizer_groups = {
+            run: rep.counters.as_dict().get("Sanitizer", {})
+            for run, rep in (
+                ("baseline", baseline_report),
+                ("faulty", report),
+            )
+        }
+        result.check(
+            "runtime sanitizer found zero violations",
+            not any(sanitizer_groups.values()),
+            f"violations: {sanitizer_groups}",
+        )
 
-    _, _, _, replay_log = _run_once(scenario, plan, backend)
+    _, _, _, replay_log = _run_once(scenario, plan, backend, sanitize=sanitize)
     result.replay_fault_log = replay_log
     result.check(
         "replaying the seed reproduces the exact fault log",

@@ -291,6 +291,7 @@ class NameNode:
                 continue
             safe_replicas = sum(
                 1
+                # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
                 for d in meta.locations
                 if self._is_live(d)
                 and d != datanode
@@ -375,7 +376,9 @@ class NameNode:
         inode.blocks = [b for b in inode.blocks if b.block_id != block.block_id]
         meta = self.block_map.pop(block.block_id, None)
         if meta:
-            for dn in meta.locations:
+            # sorted(): keep _pending_commands keyed in a deterministic
+            # order regardless of set hash order (mrlint MRE101).
+            for dn in sorted(meta.locations):
                 self._pending_commands[dn].append(
                     InvalidateCommand(block_ids=(block.block_id,))
                 )
@@ -429,7 +432,8 @@ class NameNode:
             self.under_replicated.discard(block.block_id)
             self.over_replicated.discard(block.block_id)
             if meta:
-                for dn in meta.locations:
+                # sorted(): deterministic invalidate fan-out (MRE101).
+                for dn in sorted(meta.locations):
                     self._pending_commands[dn].append(
                         InvalidateCommand(block_ids=(block.block_id,))
                     )
@@ -551,6 +555,7 @@ class NameNode:
         # safe without them before the node can leave.
         live = sum(
             1
+            # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
             for d in meta.locations
             if self._is_live(d) and d not in self.decommissioning
         )
@@ -569,6 +574,7 @@ class NameNode:
         return sorted(
             block_id
             for block_id, meta in self.block_map.items()
+            # repro: lint-ok[MRE101] order-insensitive aggregate (any)
             if not any(self._is_live(d) for d in meta.locations)
         )
 
@@ -579,6 +585,7 @@ class NameNode:
         safe = sum(
             1
             for meta in self.block_map.values()
+            # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
             if sum(1 for d in meta.locations if self._is_live(d))
             >= self.config.min_replicas
         )

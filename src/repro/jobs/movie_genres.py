@@ -85,6 +85,8 @@ class GenreJoinMapper(Mapper):
     def _genres_of(self, movie_id: int, context: Context) -> list[str]:
         if self._strategy == "naive":
             # Re-open and re-parse the side file for every single record.
+            # repro: lint-ok[MRJ006] deliberate teaching anti-pattern: the
+            # assignment exists to measure exactly this slowdown
             table = parse_movies_file(context.read_side_file(self._side_path))
             return table.get(movie_id, [])
         assert self._table is not None

@@ -73,6 +73,12 @@ class MapReduceConfig:
     shuffle_retry_max: float = 20.0
     #: Jitter fraction applied to each backoff delay (0 = none).
     shuffle_retry_jitter: float = 0.25
+    #: Run the runtime sanitizer (``repro.analysis.sanitizer``) around
+    #: user task code: detect input mutation, emitted-object aliasing,
+    #: and non-monoid combiners dynamically.  Violations surface in the
+    #: job counters (group "Sanitizer"); clean runs are bit-identical
+    #: to unsanitized runs.
+    sanitize: bool = False
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

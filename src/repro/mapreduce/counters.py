@@ -31,6 +31,12 @@ class C:
     FILE_BYTES_READ = ("FileSystemCounters", "FILE_BYTES_READ")
     FILE_BYTES_WRITTEN = ("FileSystemCounters", "FILE_BYTES_WRITTEN")
 
+    # Runtime-sanitizer violations (MapReduceConfig.sanitize=True); zero
+    # on a clean run, so the group is absent unless something is wrong.
+    SANITIZER_INPUT_MUTATIONS = ("Sanitizer", "Input mutations")
+    SANITIZER_EMIT_ALIASING = ("Sanitizer", "Emitted-object aliasing")
+    SANITIZER_COMBINER_VIOLATIONS = ("Sanitizer", "Combiner contract violations")
+
     TOTAL_LAUNCHED_MAPS = ("Job Counters", "Launched map tasks")
     TOTAL_LAUNCHED_REDUCES = ("Job Counters", "Launched reduce tasks")
     DATA_LOCAL_MAPS = ("Job Counters", "Data-local map tasks")

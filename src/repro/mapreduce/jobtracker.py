@@ -550,6 +550,9 @@ class JobTracker:
             job.tracker_failures.get(tracker.name, 0) + 1
         )
         if job.tracker_failures[tracker.name] >= BLACKLIST_THRESHOLD:
+            # mrlint MRE101 audit: dict-view iteration, but the result is
+            # an order-insensitive count — not sensitive to the
+            # registration order trackers reach after restarts.
             live = sum(
                 1
                 for info in self.trackers.values()
@@ -593,6 +596,10 @@ class JobTracker:
         job.state = JobState.FAILED
         job.finish_time = self.sim.now
         job.failure_reason = reason
+        # mrlint MRE101 audit: dict-view iteration with no early exit —
+        # every matching attempt on every tracker is killed, so the
+        # visit order (registration order, which changes after tracker
+        # restarts) cannot affect the outcome.
         for info in self.trackers.values():
             for attempt_id, running in list(info.tracker.running.items()):
                 if running.assignment.job_id == job.job_id:

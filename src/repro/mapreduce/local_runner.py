@@ -50,6 +50,9 @@ class LocalJobResult:
     simulated_seconds: float
     num_splits: int
     pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: Runtime-sanitizer violation messages, in task order (empty
+    #: unless the runner's MapReduceConfig enables ``sanitize``).
+    sanitizer_violations: list[str] = field(default_factory=list)
 
     def output_dict(self) -> dict[str, str]:
         return dict(self.pairs)
@@ -68,12 +71,17 @@ class LocalJobRunner:
         split_size: int | None = None,
         local_disk_bw: float = 100 * 1024 * 1024,
         backend: ExecutionBackend | None = None,
+        mr_config: MapReduceConfig | None = None,
     ):
         self.localfs = localfs or LinuxFileSystem()
-        self.cost = cost or CostModel()
+        if mr_config is not None:
+            self.mr_config = mr_config
+            self.cost = cost or mr_config.cost
+        else:
+            self.cost = cost or CostModel()
+            self.mr_config = MapReduceConfig(cost=self.cost)
         self.split_size = split_size or self.DEFAULT_SPLIT_SIZE
         self.local_disk_bw = local_disk_bw
-        self.mr_config = MapReduceConfig(cost=self.cost)
         self.backend = resolve_backend(backend)
 
     def close(self) -> None:
@@ -164,6 +172,7 @@ class LocalJobRunner:
         )
 
         map_outputs: list[MapOutput] = []
+        violations: list[str] = []
 
         def map_done(index: int, handle) -> None:
             nonlocal elapsed
@@ -171,6 +180,7 @@ class LocalJobRunner:
             execution.output.task_index = index
             counters.merge(execution.counters)
             elapsed += execution.duration
+            violations.extend(execution.violations)
             map_outputs.append(execution.output)
 
         for index, split in enumerate(splits):
@@ -213,6 +223,7 @@ class LocalJobRunner:
             execution, text = handle.result()
             counters.merge(execution.counters)
             elapsed += execution.duration
+            violations.extend(execution.violations)
             part_path = f"{output_path}/{part_file_name(partition)}"
             self.localfs.write_file(part_path, text)
             elapsed += len(text) / self.local_disk_bw
@@ -227,6 +238,7 @@ class LocalJobRunner:
                     partition,
                     self.cost,
                     "local",
+                    self.mr_config,
                 )
             else:
                 def work(partition=partition):
@@ -238,6 +250,7 @@ class LocalJobRunner:
                         side_reader=self._side_reader,
                         node_cache=node_cache,
                         task_node="local",
+                        mr_config=self.mr_config,
                     )
                     return execution, TextOutputFormat.render(execution.pairs)
 
@@ -257,4 +270,5 @@ class LocalJobRunner:
             simulated_seconds=elapsed,
             num_splits=len(splits),
             pairs=all_pairs,
+            sanitizer_violations=violations,
         )

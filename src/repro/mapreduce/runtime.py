@@ -62,6 +62,9 @@ class MapExecution:
     input_records: int = 0
     input_bytes: int = 0
     spills: int = 0
+    #: Runtime-sanitizer violation messages (empty unless
+    #: ``MapReduceConfig.sanitize`` found something).
+    violations: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -72,12 +75,35 @@ class ReduceExecution:
     counters: Counters
     duration: float  # merge + user code; shuffle/write priced by caller
     input_records: int = 0
+    #: Runtime-sanitizer violation messages (empty unless
+    #: ``MapReduceConfig.sanitize`` found something).
+    violations: list[str] = field(default_factory=list)
 
 
 def _wrap_user_error(phase: str, exc: Exception) -> TaskFailedError:
     if isinstance(exc, TaskFailedError):
         return exc
     return TaskFailedError(f"{phase} raised {type(exc).__name__}: {exc}")
+
+
+def _make_sanitizer(
+    mr_config: MapReduceConfig | None,
+    conf: JobConf,
+    counters: Counters,
+    task: str,
+):
+    """A TaskSanitizer when ``sanitize`` is on, else None.
+
+    Imported lazily so the analysis package (and its import of this
+    package) only loads when the feature is enabled — no cycle, no
+    overhead on the default path.  Violation counts land in ``counters``
+    (group "Sanitizer"), riding the normal per-task merge into the job.
+    """
+    if mr_config is None or not mr_config.sanitize:
+        return None
+    from repro.analysis.sanitizer import TaskSanitizer
+
+    return TaskSanitizer(conf=conf, counters=counters, task=task)
 
 
 @dataclass
@@ -128,12 +154,20 @@ def execute_map(
     """
     counters = Counters()
     conf: JobConf = job.conf
-    context = Context(
+    sanitizer = _make_sanitizer(
+        mr_config, conf, counters, f"map[{split.path}#{split.block_index}]"
+    )
+    context_kwargs = dict(
         conf=conf,
         counters=counters,
         side_reader=side_reader,
         node_cache=node_cache,
         task_node=task_node,
+    )
+    context = (
+        sanitizer.make_context(**context_kwargs)
+        if sanitizer is not None
+        else Context(**context_kwargs)
     )
     input_format = job_input_format(job)
     if prefetched is not None:
@@ -148,9 +182,16 @@ def execute_map(
     input_bytes_seen = 0
     try:
         mapper.setup(context)
-        for key, value in records:
-            records_in += 1
-            mapper.map(key, value, context)
+        if sanitizer is not None:
+            for key, value in records:
+                records_in += 1
+                snapshot = sanitizer.snapshot_inputs(key, value)
+                mapper.map(key, value, context)
+                sanitizer.verify_inputs("map", snapshot, key, value)
+        else:
+            for key, value in records:
+                records_in += 1
+                mapper.map(key, value, context)
         mapper.cleanup(context)
     except Exception as exc:  # noqa: BLE001 - user code boundary
         raise _wrap_user_error("map", exc) from exc
@@ -171,6 +212,10 @@ def execute_map(
 
     combine_time = 0.0
     if job.combiner is not None:
+        if sanitizer is not None:
+            # Spot-check the combiner contract on the *uncombined*,
+            # key-sorted output before the real combine consumes it.
+            sanitizer.check_combiner(job.combiner, partitions)
         combined: dict[int, list[Pair]] = {}
         combine_records = 0
         for partition, ppairs in partitions.items():
@@ -216,6 +261,7 @@ def execute_map(
         input_records=records_in,
         input_bytes=input_bytes_seen,
         spills=spills,
+        violations=sanitizer.finish() if sanitizer is not None else [],
     )
 
 
@@ -241,15 +287,25 @@ def execute_reduce(
     node_cache: dict[str, Any] | None = None,
     task_node: str | None = None,
     already_sorted: bool = True,
+    mr_config: MapReduceConfig | None = None,
 ) -> ReduceExecution:
     """Run one reduce task over its merged, key-sorted partition."""
     counters = Counters()
-    context = Context(
-        conf=job.conf,
+    conf = job.conf
+    sanitizer = _make_sanitizer(
+        mr_config, conf, counters, f"reduce[{task_node or 'local'}]"
+    )
+    context_kwargs = dict(
+        conf=conf,
         counters=counters,
         side_reader=side_reader,
         node_cache=node_cache,
         task_node=task_node,
+    )
+    context = (
+        sanitizer.make_context(**context_kwargs)
+        if sanitizer is not None
+        else Context(**context_kwargs)
     )
     pairs = merged_pairs if already_sorted else sort_pairs(merged_pairs)
     reducer_cls = job.reducer if job.reducer is not None else IdentityReducer
@@ -257,9 +313,16 @@ def execute_reduce(
     groups = 0
     try:
         reducer.setup(context)
-        for key, values in group_by_key(pairs):
-            groups += 1
-            reducer.reduce(key, values, context)
+        if sanitizer is not None:
+            for key, values in group_by_key(pairs):
+                groups += 1
+                snapshot = sanitizer.snapshot_inputs(key, values)
+                reducer.reduce(key, values, context)
+                sanitizer.verify_inputs("reduce", snapshot, key, values)
+        else:
+            for key, values in group_by_key(pairs):
+                groups += 1
+                reducer.reduce(key, values, context)
         reducer.cleanup(context)
     except Exception as exc:  # noqa: BLE001 - user code boundary
         raise _wrap_user_error("reduce", exc) from exc
@@ -281,6 +344,7 @@ def execute_reduce(
         counters=counters,
         duration=duration,
         input_records=len(pairs),
+        violations=sanitizer.finish() if sanitizer is not None else [],
     )
 
 
@@ -325,6 +389,7 @@ def reduce_attempt_work(
     partition: int,
     cost: CostModel,
     task_node: str | None,
+    mr_config: MapReduceConfig | None = None,
 ) -> tuple[ReduceExecution, str]:
     """The share-nothing portion of one reduce attempt (pool-safe).
 
@@ -339,6 +404,7 @@ def reduce_attempt_work(
         merged_pairs=merged,
         cost=cost,
         task_node=task_node,
+        mr_config=mr_config,
     )
     text = TextOutputFormat.render(execution.pairs)
     return execution, text

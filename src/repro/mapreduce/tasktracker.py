@@ -332,6 +332,7 @@ class TaskTracker:
         def finalize(execution):
             execution.output.node = self.name
             execution.output.task_index = assignment.task_index
+            self._publish_violations(assignment, execution)
             return execution, execution.duration
 
         return work, finalize, inline
@@ -394,6 +395,7 @@ class TaskTracker:
                     side_reader=self._side_reader,
                     node_cache=self.node_cache,
                     task_node=self.name,
+                    mr_config=self.mr_config,
                 )
                 return execution, TextOutputFormat.render(execution.pairs)
 
@@ -406,6 +408,7 @@ class TaskTracker:
                 partition,
                 self.mr_config.cost,
                 self.name,
+                self.mr_config,
             ), False
 
         def finalize(payload):
@@ -420,9 +423,26 @@ class TaskTracker:
             execution.counters.increment(C.HDFS_BYTES_WRITTEN, write.length)
             duration = execution.duration + shuffle_time + write.elapsed
             execution.duration = duration
+            self._publish_violations(assignment, execution)
             return execution, duration
 
         return work, finalize, inline
+
+    def _publish_violations(self, assignment, execution) -> None:
+        """Surface runtime-sanitizer findings on the event bus.
+
+        Published under ``mr.task.sanitizer`` so chaos-drill timelines
+        (which subscribe to the ``mr.task`` prefix) show them inline
+        with the task lifecycle.  Runs in the simulation thread.
+        """
+        for message in execution.violations:
+            self.sim.bus.publish(
+                "mr.task.sanitizer",
+                self.sim.now,
+                tracker=self.name,
+                attempt=assignment.attempt_id,
+                violation=message,
+            )
 
     #: Parallel copier threads per reduce (mapred.reduce.parallel.copies).
     PARALLEL_COPIES = 5

@@ -1,0 +1,18 @@
+"""MRJ001 fixture: unseeded randomness inside map().
+
+Sampling looks harmless on one laptop run; under speculative execution
+or failure recovery the re-executed attempt samples *different* records
+and the job's output changes between runs.
+"""
+
+import random
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+class RandomSampleMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        for token in value.value.split():
+            if random.random() < 0.1:
+                context.write(token, 1)

@@ -1,0 +1,16 @@
+"""MRJ002 fixture: reduce() sorts its input value list in place.
+
+The framework owns the ``values`` list (it may re-serve it to a
+combiner pass or re-sort the run); editing it in place corrupts the
+framework's view of the shuffle data.
+"""
+
+from repro.mapreduce.api import Context, Reducer
+from repro.mapreduce.types import Writable
+
+
+class MedianReducer(Reducer):
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        values.sort(key=lambda w: w.value)
+        median = values[len(values) // 2].value
+        context.write(key, median)

@@ -1,0 +1,16 @@
+"""MRJ003 fixture: emits a list as the shuffle key.
+
+The partitioner hashes keys and the sort orders them; a list is
+neither hashable nor comparable against the other keys, so the job
+dies in the shuffle — far from this line.
+"""
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+class BigramMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        tokens = value.value.split()
+        for first, second in zip(tokens, tokens[1:]):
+            context.write([first, second], 1)

@@ -1,0 +1,21 @@
+"""MRJ004 fixture: emits an accumulator it keeps mutating.
+
+``context.write`` stores a *reference*; every append after the write
+rewrites the already-emitted value, so all emitted pairs end up
+aliasing the same final list.
+"""
+
+from repro.mapreduce.api import Context, Reducer
+from repro.mapreduce.types import Writable
+
+
+class RunningHistoryReducer(Reducer):
+    def setup(self, context: Context) -> None:
+        self._window = []
+
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        self._window.append(len(list(values)))
+        context.write(key, self._window)
+
+    def cleanup(self, context: Context) -> None:
+        self._window.clear()

@@ -1,0 +1,18 @@
+"""MRJ005 fixture: cross-call state with no cleanup() flush.
+
+A classic half-remembered in-mapper-combining attempt: the counts dict
+grows across map() calls but nothing ever emits it — on a real cluster
+every map task silently discards its accumulated state.
+"""
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+class ForgetfulCountingMapper(Mapper):
+    def setup(self, context: Context) -> None:
+        self._counts = {}
+
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        for token in value.value.split():
+            self._counts[token] = self._counts.get(token, 0) + 1

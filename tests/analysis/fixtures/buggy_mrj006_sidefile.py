@@ -1,0 +1,17 @@
+"""MRJ006 fixture: re-reads the side file on every map() call.
+
+The movie-genres anti-pattern: a full stream + open overhead per input
+record, which the paper's assignment measures as an order-of-magnitude
+slowdown against the load-once-in-setup version.
+"""
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+class LookupEveryCallMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        table = context.read_side_file("/data/lookup.txt")
+        movie_id = value.value.split(",")[0]
+        if movie_id in table:
+            context.write(movie_id, 1)

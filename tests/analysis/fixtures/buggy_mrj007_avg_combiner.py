@@ -1,0 +1,28 @@
+"""MRJ007 fixture: an averaging combiner (mean of means is not the mean).
+
+The combiner contract is a monoid: associative, same emit type.  A
+combiner that divides turns partial results into ratios, and a second
+combine round averages the averages — the answer now depends on how
+many times the combiner happened to run.
+"""
+
+from repro.mapreduce.api import Context, Job, Mapper, Reducer
+from repro.mapreduce.types import Writable
+
+
+class DelayMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        airline, delay = value.value.split(",")
+        context.write(airline, float(delay))
+
+
+class AverageCombiner(Reducer):
+    def reduce(self, key: Writable, values, context: Context) -> None:
+        delays = [v.value for v in values]
+        context.write(key, sum(delays) / len(delays))
+
+
+class AverageDelayJob(Job):
+    mapper = DelayMapper
+    reducer = AverageCombiner
+    combiner = AverageCombiner

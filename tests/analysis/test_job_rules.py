@@ -1,0 +1,63 @@
+"""MRJ0xx job rules: each buggy fixture trips exactly its own rule.
+
+The fixtures under ``fixtures/`` are the "student submissions" of the
+lint story — one deliberately-planted bug class per file.  Precision
+matters as much as recall: a fixture that also trips a *neighbouring*
+rule means the rules overlap and the diagnostic would confuse the
+student it is aimed at.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import JOB_RULES, lint_jobs, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FIXTURE_RULES = {
+    "buggy_mrj001_random.py": "MRJ001",
+    "buggy_mrj002_input_mutation.py": "MRJ002",
+    "buggy_mrj003_unhashable_key.py": "MRJ003",
+    "buggy_mrj004_emit_alias.py": "MRJ004",
+    "buggy_mrj005_stateful.py": "MRJ005",
+    "buggy_mrj006_sidefile.py": "MRJ006",
+    "buggy_mrj007_avg_combiner.py": "MRJ007",
+}
+
+
+class TestFixtureCatalog:
+    def test_one_fixture_per_job_rule(self):
+        assert sorted(FIXTURE_RULES.values()) == sorted(JOB_RULES)
+
+    def test_fixture_files_exist(self):
+        on_disk = {p.name for p in FIXTURES.glob("buggy_*.py")}
+        assert on_disk == set(FIXTURE_RULES)
+
+
+class TestEachFixtureTripsExactlyItsRule:
+    @pytest.mark.parametrize(
+        "filename,rule",
+        sorted(FIXTURE_RULES.items()),
+        ids=[rule for _, rule in sorted(FIXTURE_RULES.items())],
+    )
+    def test_fixture(self, filename, rule):
+        findings = lint_paths([str(FIXTURES / filename)], families=("jobs",))
+        assert findings, f"{filename} produced no findings"
+        assert {f.rule for f in findings} == {rule}
+
+    def test_findings_carry_location_and_hint(self):
+        findings = lint_paths(
+            [str(FIXTURES / "buggy_mrj001_random.py")], families=("jobs",)
+        )
+        (finding,) = findings
+        assert finding.line > 0
+        assert finding.path.endswith("buggy_mrj001_random.py")
+        assert finding.hint
+        assert finding.severity in ("error", "warning")
+
+
+class TestReferenceJobsAreClean:
+    def test_lint_jobs_is_clean(self):
+        """Every shipped job in repro.jobs and examples/ passes mrlint."""
+        assert lint_jobs() == []

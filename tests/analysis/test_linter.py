@@ -1,0 +1,102 @@
+"""Linter plumbing: suppressions, error handling, and output formats."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source, render_findings, render_json
+from repro.util.errors import ConfigError
+
+BUGGY = """
+class BlockMeta:
+    locations: set[str]
+
+def fanout(meta, commands):
+    for dn in meta.locations:
+        commands.append(dn)
+"""
+
+
+def engine_lint(source: str):
+    return lint_source(source, "snippet.py", families=("engine",))
+
+
+class TestSuppressions:
+    def test_unsuppressed_finding_fires(self):
+        assert {f.rule for f in engine_lint(BUGGY)} == {"MRE101"}
+
+    def test_same_line_suppression(self):
+        src = BUGGY.replace(
+            "for dn in meta.locations:",
+            "for dn in meta.locations:  # repro: lint-ok[MRE101] audited",
+        )
+        assert engine_lint(src) == []
+
+    def test_comment_line_above_suppression(self):
+        src = BUGGY.replace(
+            "    for dn in meta.locations:",
+            "    # repro: lint-ok[MRE101] order-insensitive here\n"
+            "    for dn in meta.locations:",
+        )
+        assert engine_lint(src) == []
+
+    def test_star_suppresses_any_rule(self):
+        src = BUGGY.replace(
+            "for dn in meta.locations:",
+            "for dn in meta.locations:  # repro: lint-ok[*] legacy",
+        )
+        assert engine_lint(src) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = BUGGY.replace(
+            "for dn in meta.locations:",
+            "for dn in meta.locations:  # repro: lint-ok[MRE999] wishful",
+        )
+        assert {f.rule for f in engine_lint(src)} == {"MRE101"}
+
+    def test_suppression_covers_only_its_line(self):
+        src = (
+            BUGGY
+            + """
+def fanout2(meta, commands):
+    # repro: lint-ok[MRE101] only this one
+    for dn in meta.locations:
+        commands.append(dn)
+"""
+        )
+        findings = engine_lint(src)
+        # The original, unsuppressed loop still fires.
+        assert len(findings) == 1 and findings[0].rule == "MRE101"
+
+
+class TestErrorHandling:
+    def test_syntax_error_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            lint_source("def broken(:\n", "broken.py")
+
+    def test_missing_path_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            lint_paths(["/no/such/dir/anywhere"])
+
+
+class TestRendering:
+    def test_clean_render(self):
+        assert "clean" in render_findings([])
+
+    def test_findings_render_counts_severities(self):
+        findings = engine_lint(BUGGY)
+        text = render_findings(findings)
+        assert "MRE101" in text
+        assert "1 finding" in text
+        assert "1 error" in text
+
+    def test_json_shape(self):
+        findings = engine_lint(BUGGY)
+        payload = json.loads(render_json(findings))
+        assert payload["summary"] == {"total": 1, "errors": 1, "warnings": 0}
+        (item,) = payload["findings"]
+        assert item["rule"] == "MRE101"
+        assert item["path"] == "snippet.py"
+        assert item["line"] > 0
+        assert item["severity"] == "error"
+        assert item["hint"]

@@ -1,0 +1,36 @@
+"""Property: the sanitizer observes chaos without perturbing it.
+
+Satellite of the mrlint PR: every chaos drill run with
+``sanitize=True`` must (a) still heal — all scenario checks pass,
+including the new "zero sanitizer violations" check — and (b) produce
+output files bit-identical to the unsanitized drill at the same seed.
+The engine watching itself must not change what it sees.
+"""
+
+import pytest
+
+from repro.faults.scenarios import SCENARIOS, run_scenario
+
+ALL_DRILLS = tuple(SCENARIOS)
+
+
+class TestSanitizedChaosDrills:
+    @pytest.mark.parametrize("name", ALL_DRILLS)
+    def test_drill_heals_with_zero_violations(self, name):
+        result = run_scenario(name, seed=0, sanitize=True)
+        assert result.ok, result.summary()
+        sanitizer_checks = [
+            (label, passed)
+            for label, passed, _ in result.checks
+            if "sanitizer" in label
+        ]
+        assert sanitizer_checks, "sanitize=True must add a sanitizer check"
+        assert all(passed for _, passed in sanitizer_checks)
+
+    @pytest.mark.parametrize("name", ALL_DRILLS)
+    def test_sanitized_drill_is_bit_identical(self, name):
+        plain = run_scenario(name, seed=0)
+        sanitized = run_scenario(name, seed=0, sanitize=True)
+        assert sanitized.output_files == plain.output_files
+        assert sanitized.baseline_files == plain.baseline_files
+        assert sanitized.fault_log == plain.fault_log

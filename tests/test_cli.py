@@ -51,3 +51,79 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+from pathlib import Path
+
+FIXTURES = str(Path(__file__).parent / "analysis" / "fixtures")
+
+
+class TestExitCodes:
+    """The CLI contract: 0 clean/healed, 1 findings/failed drill, 2 usage."""
+
+    def test_lint_without_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_lint_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "/no/such/path.py"]) == 2
+        assert "lint:" in capsys.readouterr().err
+
+    def test_lint_buggy_fixture_exits_one(self, capsys):
+        path = f"{FIXTURES}/buggy_mrj001_random.py"
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "MRJ001" in out
+
+    def test_lint_clean_file_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "clean_job.py"
+        clean.write_text("def helper(x):\n    return x + 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_self_and_jobs_are_clean(self, capsys):
+        assert main(["lint", "--self", "--jobs"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_json_output_parses(self, capsys):
+        import json
+
+        path = f"{FIXTURES}/buggy_mrj007_avg_combiner.py"
+        assert main(["lint", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] == 1
+        assert payload["findings"][0]["rule"] == "MRJ007"
+
+    def test_lint_engine_family_on_path(self, capsys, tmp_path):
+        snippet = tmp_path / "engine_snippet.py"
+        snippet.write_text(
+            "def f(live: set):\n    return next(iter(live))\n"
+        )
+        assert main(["lint", str(snippet), "--family", "engine"]) == 1
+        assert "MRE101" in capsys.readouterr().out
+
+    def test_chaos_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["chaos", "no_such_drill"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown chaos scenario" in err
+        assert "Traceback" not in err
+
+    def test_chaos_failed_drill_exits_one(self, capsys, monkeypatch):
+        import repro.faults as faults_mod
+
+        real = faults_mod.run_scenario
+
+        def sabotaged(name, **kwargs):
+            result = real(name, **kwargs)
+            result.check("planted failure", False, "sabotaged by the test")
+            return result
+
+        monkeypatch.setattr(faults_mod, "run_scenario", sabotaged)
+        assert main(["chaos", "kill_datanode"]) == 1
+        assert "verdict: FAILED" in capsys.readouterr().out
+
+    def test_chaos_sanitize_flag_healed(self, capsys):
+        assert main(["chaos", "kill_datanode", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: HEALED" in out
+        assert "sanitizer" in out
