@@ -2,55 +2,62 @@
 
 Unlike the other benchmarks (which reproduce *simulated* results from
 the paper), this one measures the reproduction itself: real wall-clock
-of an identical WordCount over a Zipf corpus under the serial backend
-and the pooled (process) backend at 1/2/4 workers.  The pooled runs
-must produce bit-identical output pairs and simulated seconds — the
-determinism contract — while finishing faster on multi-core hosts.
+of an identical WordCount over a Zipf corpus under the serial backend,
+the pooled (process) backend at 1/2/4 workers, and the ``auto``
+backend.  The pooled runs must produce bit-identical output pairs and
+simulated seconds — the determinism contract — while finishing faster
+on multi-core hosts.  Map/reduce payloads cross the pool boundary as
+binary wire frames (``repro.mapreduce.wire``); the per-stage host
+timings (serialize / decode / merge) are recorded per run.
 
 Writes ``BENCH_parallelism.json`` next to the repo root with the raw
 timings, so perf trajectories across PRs are machine-readable.  The
 >=1.5x speedup assertion is gated on the host actually having >=2
-usable cores: on a single-core (or affinity-pinned) host, parallel
-speedup is physically impossible and only the identity checks apply.
+usable cores (``usable_cores`` respects cgroup/affinity limits — the
+number the pool can really use, not what ``os.cpu_count`` brags): on a
+single-core host, parallel speedup is physically impossible and only
+the identity checks apply — plus the check that ``auto`` notices and
+stays within 10% of serial.
+
+Quick mode (``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the corpus
+and skips repetition: identity checks at CI-smoke cost, no timing
+assertions.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
-from benchmarks.conftest import banner, show
+from benchmarks.conftest import banner, quick_mode, show
 from repro.datasets.zipf_text import ZipfTextGenerator
 from repro.hdfs.localfs import LinuxFileSystem
 from repro.jobs.wordcount import WordCountWithCombinerJob
-from repro.mapreduce.backend import create_backend
-from repro.mapreduce.config import JobConf
+from repro.mapreduce.backend import create_backend, usable_cores
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.counters import C, perf_stats
 from repro.mapreduce.local_runner import LocalJobRunner
 from repro.util.rng import RngStream
 
 CORPUS_BYTES = 2 * 1024 * 1024
-SPLIT_SIZE = 128 * 1024  # 16 map tasks
+QUICK_CORPUS_BYTES = 256 * 1024
+SPLIT_SIZE = 128 * 1024  # 16 map tasks at full size
 NUM_REDUCES = 4
 WORKER_COUNTS = (1, 2, 4)
 ROUNDS = 2  # best-of to damp scheduler noise
 RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_parallelism.json"
 
 
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
-
-
-def _run_once(corpus: str, backend_name: str, workers: int):
+def _run_once(corpus: str, backend_name: str, workers: int, transport: str):
     fs = LinuxFileSystem()
     fs.write_file("/data/corpus.txt", corpus)
     backend = create_backend(backend_name, workers)
+    config = MapReduceConfig(shuffle_transport=transport)
+    perf = perf_stats()
+    perf.reset()
     with LocalJobRunner(
-        localfs=fs, backend=backend, split_size=SPLIT_SIZE
+        localfs=fs, backend=backend, mr_config=config, split_size=SPLIT_SIZE
     ) as runner:
         job = WordCountWithCombinerJob(
             JobConf(name="bench-wc", num_reduces=NUM_REDUCES)
@@ -58,68 +65,124 @@ def _run_once(corpus: str, backend_name: str, workers: int):
         start = time.perf_counter()
         result = runner.run(job, "/data/corpus.txt", "/out")
         wall = time.perf_counter() - start
-    return wall, tuple(sorted(result.pairs)), result.simulated_seconds
+        chosen = getattr(runner.backend, "chosen", backend_name)
+    return {
+        "wall": wall,
+        "pairs": tuple(sorted(result.pairs)),
+        "sim_seconds": result.simulated_seconds,
+        "shuffled_bytes": result.counters.get(C.MAP_OUTPUT_BYTES),
+        "perf": perf.as_dict(),
+        "chosen": chosen,
+    }
 
 
-def _measure(corpus: str, backend_name: str, workers: int):
+def _measure(corpus: str, backend_name: str, workers: int, rounds: int,
+             transport: str = "framed"):
     best = None
-    for _ in range(ROUNDS):
-        wall, pairs, sim_seconds = _run_once(corpus, backend_name, workers)
-        if best is None or wall < best[0]:
-            best = (wall, pairs, sim_seconds)
+    for _ in range(rounds):
+        run = _run_once(corpus, backend_name, workers, transport)
+        if best is None or run["wall"] < best["wall"]:
+            best = run
     return best
 
 
-def _experiment() -> dict:
+def _experiment(quick: bool) -> dict:
+    corpus_bytes = QUICK_CORPUS_BYTES if quick else CORPUS_BYTES
+    rounds = 1 if quick else ROUNDS
+    worker_counts = (2,) if quick else WORKER_COUNTS
     corpus = ZipfTextGenerator(RngStream(23).child("bench")).text_of_bytes(
-        CORPUS_BYTES
+        corpus_bytes
     )
-    serial_wall, serial_pairs, serial_sim = _measure(corpus, "serial", 0)
-    runs = {"serial": {"wall_seconds": serial_wall, "workers": 0}}
-    for workers in WORKER_COUNTS:
-        wall, pairs, sim_seconds = _measure(corpus, "pooled", workers)
-        assert pairs == serial_pairs, "pooled output differs from serial"
-        assert sim_seconds == serial_sim, "pooled simulated time differs"
+    serial = _measure(corpus, "serial", 0, rounds)
+    runs = {
+        "serial": {"wall_seconds": serial["wall"], "workers": 0},
+    }
+    for workers in worker_counts:
+        pooled = _measure(corpus, "pooled", workers, rounds)
+        assert pooled["pairs"] == serial["pairs"], (
+            "pooled output differs from serial"
+        )
+        assert pooled["sim_seconds"] == serial["sim_seconds"], (
+            "pooled simulated time differs"
+        )
         runs[f"pooled-{workers}"] = {
-            "wall_seconds": wall,
+            "wall_seconds": pooled["wall"],
             "workers": workers,
-            "speedup_vs_serial": serial_wall / wall if wall else float("inf"),
+            "speedup_vs_serial": (
+                serial["wall"] / pooled["wall"] if pooled["wall"] else float("inf")
+            ),
+            "perf": pooled["perf"],
         }
+    auto = _measure(corpus, "auto", 0, rounds)
+    assert auto["pairs"] == serial["pairs"], "auto output differs from serial"
+    assert auto["sim_seconds"] == serial["sim_seconds"]
+    runs["auto"] = {
+        "wall_seconds": auto["wall"],
+        "workers": 0,
+        "chose": auto["chosen"],
+        "speedup_vs_serial": (
+            serial["wall"] / auto["wall"] if auto["wall"] else float("inf")
+        ),
+    }
     payload = {
         "benchmark": "parallelism_wordcount",
-        "corpus_bytes": CORPUS_BYTES,
+        "quick": quick,
+        "corpus_bytes": corpus_bytes,
         "split_size": SPLIT_SIZE,
         "num_reduces": NUM_REDUCES,
-        "host_cores": _usable_cores(),
+        "host_cores": usable_cores(),
+        "shuffle_transport": "framed",
+        "bytes_shuffled": serial["shuffled_bytes"],
         "outputs_identical": True,
-        "simulated_seconds": serial_sim,
+        "simulated_seconds": serial["sim_seconds"],
         "runs": runs,
     }
-    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    if not quick:
+        RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
 
-def bench_perf_wordcount(benchmark):
-    payload = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+def bench_perf_wordcount(benchmark, request):
+    quick = quick_mode(request)
+    payload = benchmark.pedantic(
+        _experiment, args=(quick,), rounds=1, iterations=1
+    )
     banner("Execution-backend parallelism: WordCount on a Zipf corpus")
     cores = payload["host_cores"]
     serial_wall = payload["runs"]["serial"]["wall_seconds"]
     show(f"host cores: {cores}; corpus: {payload['corpus_bytes']} bytes; "
-         f"16 maps / {NUM_REDUCES} reduces")
+         f"{NUM_REDUCES} reduces; transport: framed"
+         + ("; QUICK" if quick else ""))
     show(f"serial        {serial_wall * 1000:8.1f} ms   1.00x")
-    for workers in WORKER_COUNTS:
-        run = payload["runs"][f"pooled-{workers}"]
+    for key, run in payload["runs"].items():
+        if key == "serial":
+            continue
+        extra = f"  chose={run['chose']}" if "chose" in run else ""
         show(
-            f"pooled w={workers}    {run['wall_seconds'] * 1000:8.1f} ms   "
-            f"{run['speedup_vs_serial']:.2f}x"
+            f"{key:12s}  {run['wall_seconds'] * 1000:8.1f} ms   "
+            f"{run['speedup_vs_serial']:.2f}x{extra}"
         )
     show(f"\noutputs + simulated clocks identical across backends: "
          f"{payload['outputs_identical']}")
-    show(f"results written to {RESULT_FILE.name}")
+    if not quick:
+        show(f"results written to {RESULT_FILE.name}")
+
+    # ``auto`` must never make things worse: on a single-core host it
+    # selects serial and lands within 10% of the serial wall-clock.
+    auto_run = payload["runs"]["auto"]
+    if cores < 2:
+        assert auto_run["chose"] == "serial"
+        if not quick:
+            assert auto_run["wall_seconds"] <= serial_wall * 1.10, (
+                f"auto (serial) took {auto_run['wall_seconds']:.2f}s vs "
+                f"serial {serial_wall:.2f}s"
+            )
 
     # Parallel speedup needs parallel hardware; the determinism checks
-    # above always apply.
-    if cores >= 2:
+    # above always apply.  Quick mode never asserts timings.
+    if quick:
+        show("quick mode: timing assertions skipped (identity only)")
+    elif cores >= 2:
         at4 = payload["runs"]["pooled-4"]["speedup_vs_serial"]
         assert at4 >= 1.5, f"expected >=1.5x at 4 workers, got {at4:.2f}x"
     else:

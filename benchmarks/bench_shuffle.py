@@ -1,0 +1,191 @@
+"""Shuffle-transport benchmark — framed wire blobs vs pickled objects.
+
+The pooled backends' historical bottleneck was IPC: shipping map output
+as a pickled list of per-record Writables cost more than the map work
+itself.  The framed transport packs each partition into one binary
+blob (``repro.mapreduce.wire``).  This benchmark measures both
+transports end-to-end (same WordCount, pooled backend) at three corpus
+sizes, plus the raw codec-vs-pickle byte and time ratios on the actual
+map-output payload shape.
+
+Outputs are asserted bit-identical between transports at every size —
+that check runs on every host.  The framed-beats-object wall-clock
+assertion (>=1.3x at the largest corpus) is gated on >=2 usable cores:
+on one core both transports are pure overhead over serial and only
+their relative byte costs are meaningful.
+
+Writes ``BENCH_shuffle.json`` at the repo root.  Quick mode
+(``--quick`` / ``REPRO_BENCH_QUICK=1``) runs the smallest corpus only.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from benchmarks.conftest import banner, quick_mode, show
+from repro.datasets.zipf_text import ZipfTextGenerator
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.wordcount import WordCountWithCombinerJob
+from repro.mapreduce import wire
+from repro.mapreduce.backend import create_backend, usable_cores
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.counters import perf_stats
+from repro.mapreduce.local_runner import LocalJobRunner
+from repro.mapreduce.types import IntWritable, Text
+from repro.util.rng import RngStream
+
+CORPUS_SIZES = (256 * 1024, 1024 * 1024, 2 * 1024 * 1024)
+SPLIT_SIZE = 128 * 1024
+NUM_REDUCES = 4
+WORKERS = 4
+ROUNDS = 2
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_shuffle.json"
+
+
+def _run_job(corpus: str, transport: str):
+    fs = LinuxFileSystem()
+    fs.write_file("/data/corpus.txt", corpus)
+    config = MapReduceConfig(shuffle_transport=transport)
+    perf = perf_stats()
+    perf.reset()
+    with LocalJobRunner(
+        localfs=fs,
+        backend=create_backend("pooled", WORKERS),
+        mr_config=config,
+        split_size=SPLIT_SIZE,
+    ) as runner:
+        job = WordCountWithCombinerJob(
+            JobConf(name="bench-shuffle", num_reduces=NUM_REDUCES)
+        )
+        start = time.perf_counter()
+        result = runner.run(job, "/data/corpus.txt", "/out")
+        wall = time.perf_counter() - start
+    return {
+        "wall": wall,
+        "pairs": tuple(sorted(result.pairs)),
+        "sim_seconds": result.simulated_seconds,
+        "perf": perf.as_dict(),
+    }
+
+
+def _best(corpus: str, transport: str, rounds: int):
+    best = None
+    for _ in range(rounds):
+        run = _run_job(corpus, transport)
+        if best is None or run["wall"] < best["wall"]:
+            best = run
+    return best
+
+
+def _codec_vs_pickle(corpus: str) -> dict:
+    """Byte/time cost of both transports on the map-output payload shape
+    ((Text(word), IntWritable(1)) per token, the pre-combine stream)."""
+    pairs = [(Text(w), IntWritable(1)) for w in corpus.split()]
+    t0 = time.perf_counter()
+    blob, _ = wire.encode_pairs(pairs)
+    encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    decoded = wire.decode_pair_list(blob)
+    decode_s = time.perf_counter() - t0
+    assert len(decoded) == len(pairs)
+    t0 = time.perf_counter()
+    pickled = pickle.dumps(pairs, pickle.HIGHEST_PROTOCOL)
+    pickle_dump_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pickle.loads(pickled)
+    pickle_load_s = time.perf_counter() - t0
+    return {
+        "records": len(pairs),
+        "framed_bytes": len(blob),
+        "pickled_bytes": len(pickled),
+        "bytes_ratio_pickle_over_framed": len(pickled) / len(blob),
+        "encode_seconds": encode_s,
+        "decode_seconds": decode_s,
+        "pickle_dump_seconds": pickle_dump_s,
+        "pickle_load_seconds": pickle_load_s,
+    }
+
+
+def _experiment(quick: bool) -> dict:
+    sizes = CORPUS_SIZES[:1] if quick else CORPUS_SIZES
+    rounds = 1 if quick else ROUNDS
+    gen = ZipfTextGenerator(RngStream(29).child("bench-shuffle"))
+    by_size = {}
+    for corpus_bytes in sizes:
+        corpus = gen.text_of_bytes(corpus_bytes)
+        framed = _best(corpus, "framed", rounds)
+        plain = _best(corpus, "object", rounds)
+        assert framed["pairs"] == plain["pairs"], (
+            f"transport changed job output at {corpus_bytes} bytes"
+        )
+        assert framed["sim_seconds"] == plain["sim_seconds"], (
+            f"transport changed simulated time at {corpus_bytes} bytes"
+        )
+        by_size[str(corpus_bytes)] = {
+            "outputs_identical": True,
+            "framed_wall_seconds": framed["wall"],
+            "object_wall_seconds": plain["wall"],
+            "framed_speedup_vs_object": (
+                plain["wall"] / framed["wall"] if framed["wall"] else float("inf")
+            ),
+            "framed_perf": framed["perf"],
+            "codec_vs_pickle": _codec_vs_pickle(corpus),
+        }
+    payload = {
+        "benchmark": "shuffle_transport",
+        "quick": quick,
+        "host_cores": usable_cores(),
+        "workers": WORKERS,
+        "split_size": SPLIT_SIZE,
+        "num_reduces": NUM_REDUCES,
+        "outputs_identical": all(
+            entry["outputs_identical"] for entry in by_size.values()
+        ),
+        "by_corpus_bytes": by_size,
+    }
+    if not quick:
+        RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def bench_shuffle_transport(benchmark, request):
+    quick = quick_mode(request)
+    payload = benchmark.pedantic(
+        _experiment, args=(quick,), rounds=1, iterations=1
+    )
+    banner("Shuffle transport: binary wire frames vs pickled objects")
+    cores = payload["host_cores"]
+    show(f"host cores: {cores}; pooled w={WORKERS}; {NUM_REDUCES} reduces"
+         + ("; QUICK" if quick else ""))
+    for size, entry in payload["by_corpus_bytes"].items():
+        ratio = entry["codec_vs_pickle"]
+        show(
+            f"{int(size) // 1024:5d} KiB   object {entry['object_wall_seconds'] * 1000:8.1f} ms"
+            f"   framed {entry['framed_wall_seconds'] * 1000:8.1f} ms"
+            f"   {entry['framed_speedup_vs_object']:.2f}x"
+            f"   wire/pickle bytes {ratio['framed_bytes']}/{ratio['pickled_bytes']}"
+            f" ({ratio['bytes_ratio_pickle_over_framed']:.2f}x smaller)"
+        )
+    show(f"\noutputs identical across transports: {payload['outputs_identical']}")
+    assert payload["outputs_identical"]
+    if not quick:
+        show(f"results written to {RESULT_FILE.name}")
+
+    # The codec must beat pickle on bytes regardless of host shape.
+    for entry in payload["by_corpus_bytes"].values():
+        assert entry["codec_vs_pickle"]["bytes_ratio_pickle_over_framed"] > 1.0
+
+    if quick:
+        show("quick mode: timing assertions skipped (identity only)")
+    elif cores >= 2:
+        biggest = payload["by_corpus_bytes"][str(CORPUS_SIZES[-1])]
+        speedup = biggest["framed_speedup_vs_object"]
+        assert speedup >= 1.3, (
+            f"expected framed >=1.3x over object at "
+            f"{CORPUS_SIZES[-1]} bytes, got {speedup:.2f}x"
+        )
+    else:
+        show("single-core host: transport speedup assertion skipped")

@@ -210,11 +210,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "pooled", "pooled-threads"),
+        choices=("serial", "pooled", "pooled-threads", "auto"),
         default=None,
         help="where task attempts' real work runs (default: serial); "
         "pooled backends parallelise share-nothing work while keeping "
-        "simulated results bit-identical",
+        "simulated results bit-identical; 'auto' picks serial or "
+        "pooled per job from the host's core count and the input size",
     )
     parser.add_argument(
         "--workers",

@@ -106,7 +106,9 @@ class ScenarioResult:
 
 
 def _make_cluster(
-    backend: str | None = None, sanitize: bool = False
+    backend: str | None = None,
+    sanitize: bool = False,
+    transport: str = "framed",
 ) -> MapReduceCluster:
     return MapReduceCluster(
         num_workers=5,
@@ -115,6 +117,7 @@ def _make_cluster(
             execution_backend=backend or "serial",
             backend_workers=2,
             sanitize=sanitize,
+            shuffle_transport=transport,
         ),
         seed=CLUSTER_SEED,
     )
@@ -168,9 +171,10 @@ def _run_once(
     backend: str | None,
     checks: list[Check] | None = None,
     sanitize: bool = False,
+    transport: str = "framed",
 ) -> tuple[JobReport, dict[str, bytes], list[str], list[str]]:
     """One full drill execution; returns (report, files, timeline, log)."""
-    with _make_cluster(backend, sanitize=sanitize) as mr:
+    with _make_cluster(backend, sanitize=sanitize, transport=transport) as mr:
         input_path = _load_corpus(mr)
         mr.sim.bus.record_history = True
         injector = (
@@ -200,6 +204,7 @@ def run_scenario(
     seed: int = 0,
     backend: str | None = None,
     sanitize: bool = False,
+    transport: str = "framed",
 ) -> ScenarioResult:
     """Execute one drill: baseline, faulty run, and a replay.
 
@@ -214,7 +219,7 @@ def run_scenario(
     result = ScenarioResult(name=scenario.name, seed=seed, plan=plan)
 
     baseline_report, baseline_files, _, _ = _run_once(
-        scenario, None, backend, sanitize=sanitize
+        scenario, None, backend, sanitize=sanitize, transport=transport
     )
     result.baseline_report = baseline_report
     result.baseline_files = baseline_files
@@ -225,7 +230,12 @@ def run_scenario(
     )
 
     report, files, timeline, fault_log = _run_once(
-        scenario, plan, backend, checks=result.checks, sanitize=sanitize
+        scenario,
+        plan,
+        backend,
+        checks=result.checks,
+        sanitize=sanitize,
+        transport=transport,
     )
     result.report = report
     result.output_files = files
@@ -265,7 +275,9 @@ def run_scenario(
             f"violations: {sanitizer_groups}",
         )
 
-    _, _, _, replay_log = _run_once(scenario, plan, backend, sanitize=sanitize)
+    _, _, _, replay_log = _run_once(
+        scenario, plan, backend, sanitize=sanitize, transport=transport
+    )
     result.replay_fault_log = replay_log
     result.check(
         "replaying the seed reproduces the exact fault log",

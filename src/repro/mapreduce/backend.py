@@ -54,7 +54,26 @@ from repro.util.errors import ConfigError
 OnDone = Callable[["WorkHandle"], None]
 
 #: Backend names accepted by :func:`create_backend` and the CLI.
-BACKEND_NAMES = ("serial", "pooled", "pooled-threads")
+BACKEND_NAMES = ("serial", "pooled", "pooled-threads", "auto")
+
+#: Below this much estimated input, :class:`AutoExecutionBackend` keeps
+#: work serial: pool startup + IPC overwhelm any parallel win on small
+#: jobs (the parallelism benchmark's small corpus is the evidence).
+AUTO_MIN_PARALLEL_BYTES = 1 << 20
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores; under cgroup/affinity
+    limits (CI runners, containers) the schedulable set is smaller and
+    is what parallel speedup is bounded by.  The original benchmark
+    harness recorded ``host_cores: 1`` from exactly this confusion.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
 
 #: Resubmits attempted on a fresh pool after a worker death before the
 #: backend gives up on pooling and runs the work inline.
@@ -304,6 +323,104 @@ class PooledExecutionBackend(ExecutionBackend):
             self._executor = None
 
 
+class AutoExecutionBackend(ExecutionBackend):
+    """Pick serial or pooled per job, based on the host and the input.
+
+    Pooling pays a fixed tax (pool startup, payload pickling/framing)
+    that a small job never earns back, and buys nothing on a one-core
+    host.  ``auto`` starts serial and lets the runner/JobTracker call
+    :meth:`decide` with the job's estimated input bytes before tasks
+    are scheduled: parallel only when the schedulable core count is
+    >= 2 **and** the input clears :data:`AUTO_MIN_PARALLEL_BYTES`.
+
+    The decision is observable via :attr:`chosen` (benchmarks and tests
+    read it); work submitted between jobs follows the latest decision.
+    Determinism is unaffected either way — both inner backends honour
+    the bit-identical contract, so ``auto`` may flip between jobs
+    without changing any job's counters or outputs.
+    """
+
+    name = "auto"
+
+    def __init__(self, workers: int | None = None, mode: str = "process"):
+        self._workers = workers
+        self._mode = mode
+        self._serial = SerialExecutionBackend()
+        self._pooled: PooledExecutionBackend | None = None
+        self._active: ExecutionBackend = self._serial
+        self._chaos_hook: Callable[[int], bool] | None = None
+
+    @property
+    def _chaos(self) -> Callable[[int], bool] | None:
+        """Worker-crash fault hook, forwarded to the pooled inner
+        backend (the fault injector arms ``backend._chaos`` directly)."""
+        return self._chaos_hook
+
+    @_chaos.setter
+    def _chaos(self, hook: Callable[[int], bool] | None) -> None:
+        self._chaos_hook = hook
+        if self._pooled is not None:
+            self._pooled._chaos = hook
+
+    @property
+    def worker_crash_recoveries(self) -> int:
+        return 0 if self._pooled is None else self._pooled.worker_crash_recoveries
+
+    @property
+    def parallel(self) -> bool:  # type: ignore[override]
+        return self._active.parallel
+
+    @property
+    def chosen(self) -> str:
+        """The currently active inner backend's name."""
+        return self._active.name
+
+    def decide(self, estimated_bytes: int | None) -> str:
+        """Choose the inner backend for the next job; returns its name.
+
+        ``estimated_bytes`` is the job's input size (sum of split
+        lengths); ``None`` means unknown, which is treated as large —
+        the caller had no cheap estimate, so only the core count gates.
+        """
+        cores = usable_cores()
+        small = (
+            estimated_bytes is not None
+            and estimated_bytes < AUTO_MIN_PARALLEL_BYTES
+        )
+        if cores < 2 or small:
+            self._active = self._serial
+        else:
+            if self._pooled is None:
+                self._pooled = PooledExecutionBackend(
+                    workers=self._workers, mode=self._mode
+                )
+                self._pooled._chaos = self._chaos_hook
+            self._active = self._pooled
+        return self._active.name
+
+    def submit(self, fn, on_done, *, submit_time=0.0, inline=False):
+        return self._active.submit(
+            fn, on_done, submit_time=submit_time, inline=inline
+        )
+
+    # -- WorkJoiner protocol --------------------------------------------
+    def pending_since(self) -> float | None:
+        # Only the pooled inner backend ever holds in-flight work.
+        if self._pooled is not None:
+            return self._pooled.pending_since()
+        return None
+
+    def join_all(self) -> None:
+        if self._pooled is not None:
+            self._pooled.join_all()
+
+    def shutdown(self) -> None:
+        if self._pooled is not None:
+            self._pooled.shutdown()
+            self._pooled = None
+        self._active = self._serial
+
+
 class _InjectedWorkerCrash(Exception):
     """A fault-injected worker death: the result is treated as lost, but
     the pool itself is healthy, so recovery skips the pool rebuild."""
@@ -367,13 +484,15 @@ def default_backend_spec() -> tuple[str, int]:
 
 
 def create_backend(name: str, workers: int = 0) -> ExecutionBackend:
-    """Instantiate a backend by name ("serial", "pooled", "pooled-threads")."""
+    """Instantiate a backend by name (one of :data:`BACKEND_NAMES`)."""
     if name == "serial":
         return SerialExecutionBackend()
     if name == "pooled":
         return PooledExecutionBackend(workers=workers or None, mode="process")
     if name == "pooled-threads":
         return PooledExecutionBackend(workers=workers or None, mode="thread")
+    if name == "auto":
+        return AutoExecutionBackend(workers=workers or None, mode="process")
     raise ConfigError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
     )

@@ -9,6 +9,8 @@ DATA_LOCAL/RACK_LOCAL/OFF_RACK map counters in the job report.
 
 from __future__ import annotations
 
+import mmap
+import tempfile
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,6 +23,45 @@ from repro.util.errors import (
     DataNodeDownError,
     HdfsError,
 )
+
+
+class SpillFile:
+    """One IFile-style spill run on host-local disk.
+
+    Map-side external sorts (``MapReduceConfig.spill_record_limit``)
+    write each sorted run as a wire blob through this class and read it
+    back as a zero-copy ``memoryview`` over an ``mmap``, so only one
+    run's records are ever held as Python objects at a time.  These are
+    host temp files (the task's scratch disk), not simulated HDFS
+    blocks; the simulated cost of spilling is priced separately by the
+    CostModel.
+    """
+
+    __slots__ = ("_file", "_mmap")
+
+    def __init__(self, file, mapped: mmap.mmap):
+        self._file = file
+        self._mmap = mapped
+
+    @classmethod
+    def write(cls, blob: bytes) -> "SpillFile":
+        """Persist one sorted run; the file vanishes on close/GC."""
+        file = tempfile.TemporaryFile(prefix="repro-spill-")
+        file.write(blob)
+        file.flush()
+        mapped = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+        return cls(file, mapped)
+
+    def view(self) -> memoryview:
+        """The run's bytes, zero-copy."""
+        return memoryview(self._mmap)
+
+    def __len__(self) -> int:
+        return len(self._mmap)
+
+    def close(self) -> None:
+        self._mmap.close()
+        self._file.close()
 
 
 @dataclass

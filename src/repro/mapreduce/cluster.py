@@ -66,6 +66,7 @@ class MapReduceCluster:
             mr_config=self.mr_config,
             output_client_factory=self._output_client,
             rng=self.rng.child("jobtracker"),
+            backend=self.backend,
         )
         self.tasktrackers: dict[str, TaskTracker] = {}
         for node in self.hdfs.topology.nodes():

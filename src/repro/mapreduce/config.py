@@ -64,6 +64,20 @@ class MapReduceConfig:
     execution_backend: str | None = None
     #: Pool size for pooled backends; 0 means one worker per host CPU.
     backend_workers: int = 0
+    #: How pooled task payloads/results cross the process boundary:
+    #: "framed" packs Writable pairs into binary wire blobs
+    #: (``repro.mapreduce.wire``) — one ``bytes`` per partition instead
+    #: of per-record pickled objects; "object" keeps the historical
+    #: pickled-list transport.  Results are bit-identical either way
+    #: (property-tested); framed is just faster.  Serial backends never
+    #: frame — nothing crosses a process boundary.
+    shuffle_transport: str = "framed"
+    #: Map-side external-sort threshold: when a map task emits more
+    #: than this many records, its sort spills IFile-style sorted runs
+    #: to host-local disk and heap-merges them (bounding the in-memory
+    #: sort working set), instead of one big in-memory sort.  ``None``
+    #: disables spilling (the historical behaviour).
+    spill_record_limit: int | None = None
     #: Transient shuffle-fetch retries before a reduce escalates to
     #: ``map_output_lost`` (Hadoop: mapreduce.reduce.shuffle.maxfetchfailures).
     shuffle_fetch_retries: int = 3
@@ -88,6 +102,13 @@ class MapReduceConfig:
             raise ConfigError("tasktracker_heartbeat must be positive")
         if self.backend_workers < 0:
             raise ConfigError("backend_workers must be >= 0")
+        if self.shuffle_transport not in ("framed", "object"):
+            raise ConfigError(
+                f"shuffle_transport must be 'framed' or 'object', "
+                f"got {self.shuffle_transport!r}"
+            )
+        if self.spill_record_limit is not None and self.spill_record_limit < 1:
+            raise ConfigError("spill_record_limit must be >= 1 (or None)")
         if self.shuffle_fetch_retries < 0:
             raise ConfigError("shuffle_fetch_retries must be >= 0")
         if self.shuffle_retry_base <= 0 or self.shuffle_retry_max <= 0:

@@ -24,6 +24,7 @@ from typing import Callable
 from repro.cluster.topology import ClusterTopology
 from repro.hdfs.namenode import NameNode
 from repro.mapreduce.api import Job
+from repro.mapreduce.backend import ExecutionBackend
 from repro.mapreduce.blockio import BlockFetcher
 from repro.mapreduce.config import MapReduceConfig
 from repro.mapreduce.counters import C
@@ -80,6 +81,7 @@ class JobTracker:
         mr_config: MapReduceConfig,
         output_client_factory: Callable[[str | None], object],
         rng: RngStream | None = None,
+        backend: "ExecutionBackend | None" = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -87,6 +89,9 @@ class JobTracker:
         self.fetcher = fetcher
         self.mr_config = mr_config
         self.output_client_factory = output_client_factory
+        #: The cluster's execution backend, when it wants per-job
+        #: sizing decisions (``auto``) made at submission time.
+        self.backend = backend
         self.rng = rng or RngStream(seed=0).child("jobtracker")
         self.trackers: dict[str, TrackerInfo] = {}
         self.jobs: dict[str, RunningJob] = {}
@@ -204,6 +209,9 @@ class JobTracker:
         for path in files:
             lengths, locations = self.fetcher.block_layout(path)
             splits.extend(input_format.splits_for_file(path, lengths, locations))
+        if self.backend is not None and hasattr(self.backend, "decide"):
+            # "auto" backend: pick serial vs pooled for this job's size.
+            self.backend.decide(sum(split.length for split in splits))
         self._seq += 1
         job_id = f"job_{self._seq:04d}"
         running = RunningJob(

@@ -21,7 +21,7 @@ from repro.hdfs.localfs import LinuxFileSystem
 from repro.mapreduce.api import Job
 from repro.mapreduce.backend import ExecutionBackend, resolve_backend
 from repro.mapreduce.config import CostModel, MapReduceConfig
-from repro.mapreduce.counters import Counters
+from repro.mapreduce.counters import PERF, Counters
 from repro.mapreduce.inputformat import InputSplit
 from repro.mapreduce.outputformat import TextOutputFormat, part_file_name
 from repro.mapreduce.runtime import (
@@ -157,6 +157,8 @@ class LocalJobRunner:
             raise OutputExistsError(f"output {output_path} already exists")
 
         splits = self._splits_for(job, files)
+        if hasattr(self.backend, "decide"):  # "auto": size the job first
+            self.backend.decide(sum(split.length for split in splits))
         counters = Counters()
         node_cache: dict = {}  # one workstation == one shared "JVM"
         elapsed = 0.0
@@ -182,6 +184,8 @@ class LocalJobRunner:
             elapsed += execution.duration
             violations.extend(execution.violations)
             map_outputs.append(execution.output)
+            if execution.perf:
+                PERF.merge(execution.perf)
 
         for index, split in enumerate(splits):
             if pooled:
@@ -222,6 +226,8 @@ class LocalJobRunner:
             nonlocal elapsed
             execution, text = handle.result()
             counters.merge(execution.counters)
+            if execution.perf:
+                PERF.merge(execution.perf)
             elapsed += execution.duration
             violations.extend(execution.violations)
             part_path = f"{output_path}/{part_file_name(partition)}"
@@ -231,10 +237,14 @@ class LocalJobRunner:
 
         for partition in range(job.conf.num_reduces):
             if pooled:
+                # Frozen outputs slim to this partition's blob before
+                # crossing the process boundary (slice_for is a no-op —
+                # returns self — on unframed object-form outputs).
+                shipped = [out.slice_for(partition) for out in map_outputs]
                 work = functools.partial(
                     reduce_attempt_work,
                     job,
-                    map_outputs,
+                    shipped,
                     partition,
                     self.cost,
                     "local",

@@ -25,12 +25,14 @@ from repro.mapreduce.inputformat import (
     PrefetchedSplit,
     TextInputFormat,
 )
-from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.counters import C, Counters, PerfStats, _perf_clock
 from repro.mapreduce.outputformat import TextOutputFormat
 from repro.mapreduce.partitioner import HashPartitioner, Partitioner
 from repro.mapreduce.shuffle import (
     MapOutput,
     Pair,
+    external_sorted,
+    framed_merge_for_reduce,
     group_by_key,
     merge_for_reduce,
     partition_pairs,
@@ -39,7 +41,8 @@ from repro.mapreduce.shuffle import (
     sort_pairs,
 )
 from repro.mapreduce.types import Writable
-from repro.util.errors import MapReduceError, TaskFailedError
+from repro.mapreduce.wire import FramedPairs
+from repro.util.errors import MapReduceError, TaskFailedError, WireFormatError
 
 SideReader = Callable[[str], tuple[str, float]]
 
@@ -65,25 +68,59 @@ class MapExecution:
     #: Runtime-sanitizer violation messages (empty unless
     #: ``MapReduceConfig.sanitize`` found something).
     violations: list[str] = field(default_factory=list)
+    #: Worker-side host-timing breakdown (PerfStats.as_dict()), merged
+    #: into the process-wide PERF by the caller.  Never part of the
+    #: deterministic result surface.
+    perf: dict | None = field(default=None, compare=False)
 
 
 @dataclass
 class ReduceExecution:
-    """A finished reduce task's output pairs plus accounting."""
+    """A finished reduce task's output pairs plus accounting.
 
-    pairs: list[Pair]
+    ``pairs`` is a list on the serial/object paths and a
+    :class:`~repro.mapreduce.wire.FramedPairs` blob on the framed pooled
+    path — both support ``len()`` and iteration identically.
+    """
+
+    pairs: "list[Pair] | FramedPairs"
     counters: Counters
     duration: float  # merge + user code; shuffle/write priced by caller
     input_records: int = 0
     #: Runtime-sanitizer violation messages (empty unless
     #: ``MapReduceConfig.sanitize`` found something).
     violations: list[str] = field(default_factory=list)
+    #: Worker-side host-timing breakdown (see MapExecution.perf).
+    perf: dict | None = field(default=None, compare=False)
 
 
 def _wrap_user_error(phase: str, exc: Exception) -> TaskFailedError:
     if isinstance(exc, TaskFailedError):
         return exc
     return TaskFailedError(f"{phase} raised {type(exc).__name__}: {exc}")
+
+
+class _PairTally:
+    """Pass-through pair iterator tallying records and payload bytes.
+
+    Lets the map task stream its (possibly externally merged) sorted
+    output straight into partitioning while still producing the record/
+    byte counters the in-memory path computed from the full list —
+    same sums, one pass, no second materialisation.
+    """
+
+    __slots__ = ("source", "records", "nbytes")
+
+    def __init__(self, source):
+        self.source = source
+        self.records = 0
+        self.nbytes = 0
+
+    def __iter__(self):
+        for kv in self.source:
+            self.records += 1
+            self.nbytes += kv[0].serialized_size() + kv[1].serialized_size()
+            yield kv
 
 
 def _make_sanitizer(
@@ -144,6 +181,7 @@ def execute_map(
     task_node: str | None = None,
     disk_write_bw: float = 100 * 1024 * 1024,
     prefetched: "PrefetchedInput | None" = None,
+    perf: PerfStats | None = None,
 ) -> MapExecution:
     """Run one map task over one split.
 
@@ -200,15 +238,33 @@ def execute_map(
     # Sort once, before partitioning: partitions are key-determined, so
     # a stable bucketing of sorted pairs leaves every bucket key-sorted
     # — the per-partition re-sort the combiner used to pay disappears.
-    pairs = sort_pairs(context.drain())
-    output_bytes = serialized_bytes(pairs)
+    # Past ``spill_record_limit`` the sort goes external: emission-order
+    # chunks spill as sorted framed runs and heap-merge back, yielding
+    # the exact same sequence with a bounded in-memory working set.
+    drained = context.drain()
+    spill_limit = mr_config.spill_record_limit
+    partitioner = job_partitioner(job)
+    spill_runs = 1
+    if spill_limit is not None and len(drained) > spill_limit:
+        tally = _PairTally(external_sorted(drained, spill_limit, perf))
+        try:
+            partitions = partition_pairs(tally, partitioner, conf.num_reduces)
+        except WireFormatError:
+            # Unframeable pairs cannot spill as wire runs; sort in
+            # memory instead (the error fires before anything yields,
+            # so nothing was partitioned or tallied yet).
+            tally = _PairTally(sort_pairs(drained))
+            partitions = partition_pairs(tally, partitioner, conf.num_reduces)
+        else:
+            spill_runs = -(-len(drained) // spill_limit)  # ceil
+    else:
+        tally = _PairTally(sort_pairs(drained))
+        partitions = partition_pairs(tally, partitioner, conf.num_reduces)
+    records_out, output_bytes = tally.records, tally.nbytes
     counters.increment(C.MAP_INPUT_RECORDS, records_in)
-    counters.increment(C.MAP_OUTPUT_RECORDS, len(pairs))
+    counters.increment(C.MAP_OUTPUT_RECORDS, records_out)
     counters.increment(C.MAP_OUTPUT_BYTES, output_bytes)
     counters.increment(C.HDFS_BYTES_READ, stats.bytes_read)
-
-    partitioner = job_partitioner(job)
-    partitions = partition_pairs(pairs, partitioner, conf.num_reduces)
 
     combine_time = 0.0
     if job.combiner is not None:
@@ -234,10 +290,15 @@ def execute_map(
     final_bytes = sum(serialized_bytes(p) for p in partitions.values())
     counters.increment(C.FILE_BYTES_WRITTEN, final_bytes)
 
-    # Spill accounting: every sort-buffer overflow is an extra disk pass.
-    spills = max(1, math.ceil(output_bytes / mr_config.sort_buffer_bytes))
+    # Spill accounting: every sort-buffer overflow is an extra disk
+    # pass, and so is every real external-sort run past the first.
+    spills = max(
+        1,
+        math.ceil(output_bytes / mr_config.sort_buffer_bytes),
+        spill_runs,
+    )
     counters.increment(
-        C.SPILLED_RECORDS, len(pairs) if spills == 1 else len(pairs) * spills
+        C.SPILLED_RECORDS, records_out if spills == 1 else records_out * spills
     )
     spill_time = (spills - 1) * (output_bytes / disk_write_bw)
 
@@ -246,7 +307,7 @@ def execute_map(
         + stats.elapsed
         + cost.cpu_time(records_in, input_bytes_seen)
         + context.extra_time
-        + cost.sort_time(len(pairs))
+        + cost.sort_time(records_out)
         + combine_time
         + spill_time
         + final_bytes / disk_write_bw  # write map output to local disk
@@ -361,6 +422,13 @@ def _no_fetch(path: str, block_index: int, max_bytes: int | None):
     )
 
 
+def _framed_transport(mr_config: MapReduceConfig | None) -> bool:
+    return (
+        mr_config is not None
+        and getattr(mr_config, "shuffle_transport", "object") == "framed"
+    )
+
+
 def map_attempt_work(
     job: Job,
     split: InputSplit,
@@ -370,8 +438,16 @@ def map_attempt_work(
     task_node: str | None,
     disk_write_bw: float,
 ) -> MapExecution:
-    """The share-nothing portion of one map attempt (pool-safe)."""
-    return execute_map(
+    """The share-nothing portion of one map attempt (pool-safe).
+
+    With the framed transport the partitioned output is frozen into
+    wire blobs *here*, inside the worker, so what pickles back to the
+    simulation thread is a handful of ``bytes`` objects — not a list of
+    per-record Writables.  The result is bit-identical either way; only
+    the representation in transit differs.
+    """
+    perf = PerfStats()
+    execution = execute_map(
         job=job,
         split=split,
         fetch=_no_fetch,
@@ -380,7 +456,15 @@ def map_attempt_work(
         task_node=task_node,
         disk_write_bw=disk_write_bw,
         prefetched=prefetched,
+        perf=perf,
     )
+    if _framed_transport(mr_config):
+        # An output that cannot be framed simply ships in object form
+        # (freeze reports False); the backend's pickle fallback remains
+        # the safety net behind that.
+        execution.output.freeze(perf)
+    execution.perf = perf.as_dict()
+    return execution
 
 
 def reduce_attempt_work(
@@ -397,8 +481,20 @@ def reduce_attempt_work(
     reducer, and renders the output file text; the caller prices the
     shuffle network time and performs the HDFS write (both touch
     simulation state, so they stay in the simulation thread).
+
+    Framed inputs (frozen map outputs) decode lazily per map and
+    heap-merge — a stable k-way merge of pre-sorted runs, identical in
+    sequence to the object path's concatenate-and-stable-sort.  Framed
+    runs also frame the reduce's own output pairs for the trip back.
     """
-    merged = merge_for_reduce(map_outputs, partition)
+    framed = _framed_transport(mr_config) and all(
+        output.frozen for output in map_outputs
+    )
+    perf = PerfStats()
+    if framed:
+        merged = framed_merge_for_reduce(map_outputs, partition, perf)
+    else:
+        merged = merge_for_reduce(map_outputs, partition)
     execution = execute_reduce(
         job=job,
         merged_pairs=merged,
@@ -407,4 +503,16 @@ def reduce_attempt_work(
         mr_config=mr_config,
     )
     text = TextOutputFormat.render(execution.pairs)
+    if framed:
+        t0 = _perf_clock()
+        try:
+            framed_out = FramedPairs.from_pairs(execution.pairs)
+        except WireFormatError:
+            pass  # unframeable output pairs ride back as objects
+        else:
+            execution.pairs = framed_out
+            perf.bytes_framed += len(framed_out.blob)
+            perf.blobs_encoded += 1
+        perf.reduce_serialize_ms += (_perf_clock() - t0) * 1e3
+    execution.perf = perf.as_dict()
     return execution, text

@@ -15,13 +15,16 @@ map task sorts its output exactly once.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.mapreduce import wire
 from repro.mapreduce.api import Context, Reducer
-from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.counters import C, Counters, PerfStats, _perf_clock
 from repro.mapreduce.partitioner import Partitioner
 from repro.mapreduce.types import Writable
+from repro.util.errors import WireFormatError
 
 Pair = tuple[Writable, Writable]
 
@@ -127,32 +130,163 @@ def run_combiner(
 class MapOutput:
     """One completed map task's partitioned, (optionally) combined output.
 
-    Partition pair lists are immutable once the map task finishes, so
-    per-partition byte totals are memoised: the JobTracker and every
-    reduce's shuffle pricing re-read them repeatedly, and recomputing
-    meant re-walking every pair list per reduce per map.
+    Two representations share this class:
+
+    - **object form** (``partitions``): partition -> pair list, the
+      historical shape, used by the serial path and the pooled
+      ``shuffle_transport="object"`` baseline;
+    - **framed form** (``frames``): partition -> wire blob, produced by
+      :meth:`freeze` inside pool workers so a map result crosses the
+      process boundary as a few ``bytes`` objects instead of thousands
+      of pickled Writables.
+
+    Partition contents are immutable once the map task finishes, so
+    per-partition byte/record totals are memoised: the JobTracker and
+    every reduce's shuffle pricing re-read them repeatedly.  Byte
+    totals are *payload* bytes (identical between the two forms — the
+    codec's frame payload width equals ``serialized_size()``), which is
+    what keeps framed and object runs' counters bit-identical.
     """
 
     task_index: int
     node: str
-    partitions: dict[int, list[Pair]] = field(default_factory=dict)
-    #: partition -> serialized bytes, filled lazily.
+    #: Object form; ``None`` once frozen into frames.
+    partitions: dict[int, list[Pair]] | None = field(default_factory=dict)
+    #: Framed form; ``None`` until :meth:`freeze`.
+    frames: dict[int, bytes] | None = None
+    #: partition -> serialized payload bytes, filled lazily.
     _bytes_memo: dict[int, int] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: partition -> record count (filled at freeze time).
+    _records_memo: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def frozen(self) -> bool:
+        return self.frames is not None
+
+    def freeze(self, perf: PerfStats | None = None) -> bool:
+        """Encode every partition into a wire blob and drop the lists.
+
+        Returns ``True`` on success.  A partition that cannot be framed
+        (a Writable subclass whose class reference does not round-trip)
+        leaves the output in object form — the object path ships it
+        instead, mirroring the backend's pickling-error fallback — and
+        returns ``False``.  Byte/record memos are filled from the
+        encoder's own accounting, so later pricing never re-encodes.
+        """
+        if self.frames is not None:
+            return True
+        assert self.partitions is not None
+        t0 = _perf_clock() if perf is not None else 0.0
+        frames: dict[int, bytes] = {}
+        try:
+            for partition, pairs in self.partitions.items():
+                blob, payload_bytes = wire.encode_pairs(pairs)
+                frames[partition] = blob
+                self._bytes_memo[partition] = payload_bytes
+                self._records_memo[partition] = len(pairs)
+        except WireFormatError:
+            self._records_memo.clear()
+            return False
+        self.frames = frames
+        self.partitions = None
+        if perf is not None:
+            perf.map_serialize_ms += (_perf_clock() - t0) * 1e3
+            perf.blobs_encoded += len(frames)
+            perf.bytes_framed += sum(len(b) for b in frames.values())
+        return True
+
+    def partition_ids(self) -> list[int]:
+        """Sorted ids of non-empty partitions (either form)."""
+        source = self.frames if self.frames is not None else self.partitions
+        return sorted(source)
+
+    def pairs_for(self, partition: int, perf: PerfStats | None = None) -> list[Pair]:
+        """This partition's pairs as a list, decoding when framed.
+
+        Callers must treat the result as read-only: in object form it
+        is the partition's own list, not a copy.
+        """
+        if self.frames is not None:
+            blob = self.frames.get(partition)
+            if blob is None:
+                return []
+            pairs = wire.decode_pair_list(blob)
+            if perf is not None:
+                perf.blobs_decoded += 1
+            return pairs
+        return self.partitions.get(partition, [])
+
+    def iter_partition(self, partition: int) -> Iterator[Pair]:
+        """Lazily iterate one partition's pairs (either form)."""
+        if self.frames is not None:
+            blob = self.frames.get(partition)
+            return iter(()) if blob is None else wire.decode_pairs(blob)
+        return iter(self.partitions.get(partition, ()))
+
+    def partition_key_sorted(self, partition: int) -> bool:
+        """Is this partition non-descending by key?  O(1) when framed
+        (the codec records the flag at encode time)."""
+        if self.frames is not None:
+            blob = self.frames.get(partition)
+            return True if blob is None else wire.blob_key_sorted(blob)
+        return is_key_sorted(self.partitions.get(partition, []))
+
+    def slice_for(self, partition: int) -> "MapOutput":
+        """A slim copy carrying only one partition's frames.
+
+        Framed reduce dispatch ships these so a reduce attempt's IPC
+        payload holds just its own partition, not every partition of
+        every map.  Only meaningful on frozen outputs; an unfrozen
+        output is returned whole (the object path keeps its historical
+        full-ship behaviour).
+        """
+        if self.frames is None:
+            return self
+        sliced = MapOutput(
+            task_index=self.task_index, node=self.node, partitions=None
+        )
+        blob = self.frames.get(partition)
+        sliced.frames = {} if blob is None else {partition: blob}
+        if partition in self._bytes_memo:
+            sliced._bytes_memo[partition] = self._bytes_memo[partition]
+        if partition in self._records_memo:
+            sliced._records_memo[partition] = self._records_memo[partition]
+        return sliced
+
+    def partition_records(self, partition: int) -> int:
+        count = self._records_memo.get(partition)
+        if count is None:
+            if self.frames is not None:
+                blob = self.frames.get(partition)
+                count = 0 if blob is None else wire.blob_record_count(blob)
+            else:
+                count = len(self.partitions.get(partition, ()))
+            self._records_memo[partition] = count
+        return count
 
     def partition_bytes(self, partition: int) -> int:
         size = self._bytes_memo.get(partition)
         if size is None:
-            size = serialized_bytes(self.partitions.get(partition, ()))
+            if self.frames is not None:
+                # Freeze always fills the memo; a miss means an absent
+                # (empty) partition.
+                size = 0 if self.frames.get(partition) is None else None
+                if size is None:
+                    size = serialized_bytes(self.pairs_for(partition))
+            else:
+                size = serialized_bytes(self.partitions.get(partition, ()))
             self._bytes_memo[partition] = size
         return size
 
     def total_bytes(self) -> int:
-        return sum(self.partition_bytes(p) for p in self.partitions)
+        return sum(self.partition_bytes(p) for p in self.partition_ids())
 
     def total_records(self) -> int:
-        return sum(len(v) for v in self.partitions.values())
+        return sum(self.partition_records(p) for p in self.partition_ids())
 
 
 def merge_for_reduce(
@@ -167,5 +301,90 @@ def merge_for_reduce(
     """
     merged: list[Pair] = []
     for output in outputs:
-        merged.extend(output.partitions.get(partition, ()))
+        merged.extend(output.pairs_for(partition))
     return sort_pairs(merged)
+
+
+def framed_merge_for_reduce(
+    outputs: Iterable[MapOutput], partition: int, perf: PerfStats | None = None
+) -> list[Pair]:
+    """Merge one partition from framed map outputs, k-way.
+
+    Each map's blob decodes to an already key-sorted run (the map task
+    sorted before partitioning; the codec recorded the flag), so the
+    runs heap-merge without re-sorting.  ``heapq.merge`` is stable and
+    prefers earlier iterables on equal keys — map order, the exact
+    sequence :func:`merge_for_reduce`'s concatenate-and-stable-sort
+    produces — so framed and object reduces see identical input.  Any
+    unsorted run (custom partitioner games) falls back to the full
+    sort.
+    """
+    t0 = _perf_clock() if perf is not None else 0.0
+    runs: list[list[Pair]] = []
+    all_sorted = True
+    for output in outputs:
+        pairs = output.pairs_for(partition, perf)
+        if pairs:
+            runs.append(pairs)
+            all_sorted = all_sorted and output.partition_key_sorted(partition)
+    if perf is not None:
+        t1 = _perf_clock()
+        perf.shuffle_decode_ms += (t1 - t0) * 1e3
+        t0 = t1
+    if not runs:
+        return []
+    if len(runs) == 1:
+        merged = runs[0] if all_sorted else sort_pairs(runs[0])
+    elif all_sorted:
+        merged = list(heapq.merge(*runs, key=_pair_sort_key))
+    else:
+        concat: list[Pair] = []
+        for run in runs:
+            concat.extend(run)
+        merged = sort_pairs(concat)
+    if perf is not None:
+        perf.merge_ms += (_perf_clock() - t0) * 1e3
+    return merged
+
+
+def external_sorted(
+    pairs: list[Pair], spill_limit: int, perf: PerfStats | None = None
+) -> Iterator[Pair]:
+    """Key-sort via IFile-style spill runs + heap merge.
+
+    Emission-order chunks of ``spill_limit`` records are each stably
+    sorted, framed, and written to host-local disk
+    (:class:`~repro.mapreduce.blockio.SpillFile`); the runs are then
+    k-way merged from zero-copy mmap views, so only one run's records
+    are materialised as Python objects at a time during the merge.
+
+    Determinism: the chunks partition emission order, each chunk sort
+    is stable, and ``heapq.merge`` is stable preferring earlier
+    iterables (= earlier chunks = earlier emission) on equal keys — so
+    the yielded sequence is *exactly* ``sort_pairs(pairs)``, which the
+    spill property tests assert.
+    """
+    from repro.mapreduce.blockio import SpillFile
+
+    t0 = _perf_clock() if perf is not None else 0.0
+    spills: list[SpillFile] = []
+    runs: list[Iterator[Pair]] = []
+    try:
+        for start in range(0, len(pairs), spill_limit):
+            chunk = sort_pairs(pairs[start : start + spill_limit])
+            blob, _ = wire.encode_pairs(chunk)
+            spills.append(SpillFile.write(blob))
+        if perf is not None:
+            perf.spill_ms += (_perf_clock() - t0) * 1e3
+            perf.spill_runs += len(spills)
+        runs = [wire.decode_pairs(spill.view()) for spill in spills]
+        yield from heapq.merge(*runs, key=_pair_sort_key)
+    finally:
+        # Release the decode generators' memoryview exports before
+        # closing the mmaps underneath them (else mmap.close raises
+        # BufferError when the caller abandons the iterator early).
+        for run in runs:
+            run.close()
+        runs.clear()
+        for spill in spills:
+            spill.close()

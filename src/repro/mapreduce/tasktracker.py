@@ -24,7 +24,7 @@ from repro.mapreduce.backend import (
 )
 from repro.mapreduce.blockio import BlockFetcher
 from repro.mapreduce.config import MapReduceConfig
-from repro.mapreduce.counters import C
+from repro.mapreduce.counters import C, PERF
 from repro.mapreduce.inputformat import FetchStats
 from repro.mapreduce.outputformat import TextOutputFormat, part_file_name
 from repro.mapreduce.runtime import (
@@ -332,6 +332,8 @@ class TaskTracker:
         def finalize(execution):
             execution.output.node = self.name
             execution.output.task_index = assignment.task_index
+            if execution.perf:
+                PERF.merge(execution.perf)
             self._publish_violations(assignment, execution)
             return execution, execution.duration
 
@@ -401,10 +403,14 @@ class TaskTracker:
 
             work, inline = work_inline, True
         else:
+            # Frozen (framed) map outputs slim to this partition's blob
+            # before pickling into the pool; object-form outputs pass
+            # through unchanged (slice_for returns self).
+            shipped = [output.slice_for(partition) for output in outputs]
             work, inline = functools.partial(
                 reduce_attempt_work,
                 job.job,
-                outputs,
+                shipped,
                 partition,
                 self.mr_config.cost,
                 self.name,
@@ -413,6 +419,8 @@ class TaskTracker:
 
         def finalize(payload):
             execution, text = payload
+            if execution.perf:
+                PERF.merge(execution.perf)
             execution.counters.increment(C.REDUCE_SHUFFLE_BYTES, shuffle_bytes)
             # Write this partition's output file to HDFS from this node.
             client = self.output_client_factory(self.name)

@@ -21,6 +21,12 @@ from typing import Any, Callable
 
 from repro.util.errors import InvalidWritableError
 
+#: Fixed-width integer ranges shared with the binary shuffle codec
+#: (``repro.mapreduce.wire``): serialized sizes below must agree with
+#: the codec's frame payload widths byte-for-byte.
+INT32_MIN, INT32_MAX = -(2**31), 2**31 - 1
+INT64_MIN, INT64_MAX = -(2**63), 2**63 - 1
+
 
 class Writable:
     """Base contract: serializable to/from UTF-8 text, totally ordered.
@@ -132,7 +138,16 @@ class IntWritable(Writable):
         return self.value
 
     def serialized_size(self) -> int:
-        return 4  # Hadoop writes ints as 4 bytes on the wire
+        # Hadoop writes ints as 4 bytes on the wire; Python ints are
+        # unbounded, so values past 32 bits widen to a long (8 bytes)
+        # and past 64 bits to their decimal text — keeping this number
+        # equal to the bytes the binary shuffle codec actually emits
+        # (asserted by tests/mapreduce/test_wire.py).
+        if INT32_MIN <= self.value <= INT32_MAX:
+            return 4
+        if INT64_MIN <= self.value <= INT64_MAX:
+            return 8
+        return len(str(self.value))
 
 
 class LongWritable(IntWritable):
@@ -141,7 +156,9 @@ class LongWritable(IntWritable):
     __slots__ = ()
 
     def serialized_size(self) -> int:
-        return 8
+        if INT64_MIN <= self.value <= INT64_MAX:
+            return 8
+        return len(str(self.value))
 
 
 class FloatWritable(Writable):

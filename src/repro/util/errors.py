@@ -96,6 +96,16 @@ class InvalidWritableError(MapReduceError):
     """A key or value did not conform to the Writable contract."""
 
 
+class WireFormatError(MapReduceError):
+    """A binary shuffle frame could not be encoded or decoded.
+
+    Raised with a human-readable position/reason instead of letting
+    ``struct.error`` or ``UnicodeDecodeError`` noise escape — truncated
+    or corrupt frames are an expected failure mode (spill files, IPC),
+    and callers fall back to the object path on encode-side failures.
+    """
+
+
 class OutputExistsError(MapReduceError):
     """The job output directory already exists (Hadoop refuses this)."""
 

@@ -103,7 +103,7 @@ class TestRegistry:
         for name in BACKEND_NAMES:
             backend = create_backend(name, workers=1)
             try:
-                assert backend.name in ("serial", "pooled")
+                assert backend.name in ("serial", "pooled", "auto")
             finally:
                 backend.shutdown()
         with pytest.raises(ConfigError):

@@ -1,0 +1,131 @@
+"""Property: the framed shuffle transport is invisible to results.
+
+The binary wire codec (``repro.mapreduce.wire``) only changes how
+pooled task payloads cross the process boundary.  Everything the
+simulation can observe — counters, output pairs, simulated clocks,
+event counts — must be bit-identical between
+``shuffle_transport="framed"`` and ``"object"``, on the local runner
+and the cluster, with spilling on, and under every chaos drill with
+the runtime sanitizer watching.
+"""
+
+import warnings
+
+import pytest
+
+from repro.faults.scenarios import SCENARIOS, run_scenario
+from repro.hdfs.localfs import LinuxFileSystem
+from repro.jobs.wordcount import WordCountJob, WordCountWithCombinerJob
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.local_runner import LocalJobRunner
+
+ALL_DRILLS = tuple(SCENARIOS)
+
+CORPUS = (
+    "the quick brown fox jumps over the lazy dog\n" * 300
+    + "pack my box with five dozen liquor jugs\n" * 200
+)
+
+
+def _mr_config(transport, backend="pooled", spill=None):
+    return MapReduceConfig(
+        execution_backend=backend,
+        backend_workers=2,
+        shuffle_transport=transport,
+        spill_record_limit=spill,
+    )
+
+
+def _local_fingerprint(mr_config, job_cls=WordCountWithCombinerJob):
+    fs = LinuxFileSystem()
+    fs.write_file("/data/corpus.txt", CORPUS)
+    with LocalJobRunner(
+        localfs=fs, mr_config=mr_config, split_size=8 * 1024
+    ) as runner:
+        job = job_cls(JobConf(name="wc", num_reduces=3))
+        result = runner.run(job, "/data/corpus.txt", "/out")
+        return (
+            result.simulated_seconds,
+            result.counters.as_dict(),
+            tuple(sorted(result.pairs)),
+            result.num_splits,
+        )
+
+
+def _cluster_fingerprint(mr_config):
+    with MapReduceCluster(num_workers=4, seed=11, mr_config=mr_config) as mr:
+        mr.client().put_text("/in/corpus.txt", CORPUS)
+        job = WordCountWithCombinerJob(JobConf(name="wc", num_reduces=3))
+        report = mr.run_job(job, "/in", "/out", require_success=True)
+        return (
+            report.elapsed,
+            report.counters.as_dict(),
+            tuple(sorted(mr.read_output("/out"))),
+            mr.sim.now,
+            mr.sim.events_processed,
+        )
+
+
+class TestFramedEqualsObject:
+    @pytest.mark.parametrize("job_cls", [WordCountJob, WordCountWithCombinerJob])
+    def test_local_runner_bit_identical(self, job_cls):
+        with warnings.catch_warnings():
+            # an inline/pickle fallback would mask a broken framed path
+            warnings.simplefilter("error", RuntimeWarning)
+            framed = _local_fingerprint(_mr_config("framed"), job_cls)
+            plain = _local_fingerprint(_mr_config("object"), job_cls)
+        assert framed == plain
+
+    def test_local_runner_matches_serial(self):
+        framed = _local_fingerprint(_mr_config("framed"))
+        serial = _local_fingerprint(_mr_config("framed", backend="serial"))
+        assert framed == serial
+
+    def test_cluster_bit_identical(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            framed = _cluster_fingerprint(_mr_config("framed"))
+            plain = _cluster_fingerprint(_mr_config("object"))
+        assert framed == plain
+
+    def test_cluster_framed_matches_serial(self):
+        framed = _cluster_fingerprint(_mr_config("framed"))
+        serial = _cluster_fingerprint(_mr_config("framed", backend="serial"))
+        assert framed == serial
+
+    def test_framed_with_spill_bit_identical(self):
+        """Spilling and framing compose: still equal to the plain
+        object run, with only spill accounting allowed to move."""
+        framed = _local_fingerprint(_mr_config("framed", spill=128))
+        plain = _local_fingerprint(_mr_config("object"))
+        assert framed[2] == plain[2]  # identical output pairs
+        fc, pc = framed[1], plain[1]
+        for group in pc:
+            for name in pc[group]:
+                if name == "Spilled Records":
+                    continue
+                assert fc[group][name] == pc[group][name], (group, name)
+
+
+class TestChaosDrillsFramed:
+    """The five drills, pooled + framed + sanitizer: heal and match."""
+
+    @pytest.mark.parametrize("name", ALL_DRILLS)
+    def test_drill_heals_framed(self, name):
+        result = run_scenario(
+            name, seed=0, backend="pooled", sanitize=True, transport="framed"
+        )
+        assert result.ok, result.summary()
+
+    @pytest.mark.parametrize("name", ALL_DRILLS)
+    def test_framed_drill_matches_object_drill(self, name):
+        framed = run_scenario(
+            name, seed=0, backend="pooled", sanitize=True, transport="framed"
+        )
+        plain = run_scenario(
+            name, seed=0, backend="pooled", sanitize=True, transport="object"
+        )
+        assert framed.output_files == plain.output_files
+        assert framed.baseline_files == plain.baseline_files
+        assert framed.fault_log == plain.fault_log
