@@ -109,10 +109,14 @@ def _make_cluster(
     backend: str | None = None,
     sanitize: bool = False,
     transport: str = "framed",
+    block_cache_bytes: int | None = None,
 ) -> MapReduceCluster:
+    hdfs_config = HdfsConfig(block_size=2048, replication=2)
+    if block_cache_bytes is not None:
+        hdfs_config.block_cache_bytes = block_cache_bytes
     return MapReduceCluster(
         num_workers=5,
-        hdfs_config=HdfsConfig(block_size=2048, replication=2),
+        hdfs_config=hdfs_config,
         mr_config=MapReduceConfig(
             execution_backend=backend or "serial",
             backend_workers=2,
@@ -172,9 +176,15 @@ def _run_once(
     checks: list[Check] | None = None,
     sanitize: bool = False,
     transport: str = "framed",
+    block_cache_bytes: int | None = None,
 ) -> tuple[JobReport, dict[str, bytes], list[str], list[str]]:
     """One full drill execution; returns (report, files, timeline, log)."""
-    with _make_cluster(backend, sanitize=sanitize, transport=transport) as mr:
+    with _make_cluster(
+        backend,
+        sanitize=sanitize,
+        transport=transport,
+        block_cache_bytes=block_cache_bytes,
+    ) as mr:
         input_path = _load_corpus(mr)
         mr.sim.bus.record_history = True
         injector = (
@@ -205,6 +215,7 @@ def run_scenario(
     backend: str | None = None,
     sanitize: bool = False,
     transport: str = "framed",
+    block_cache_bytes: int | None = None,
 ) -> ScenarioResult:
     """Execute one drill: baseline, faulty run, and a replay.
 
@@ -212,14 +223,21 @@ def run_scenario(
     (faulty output is bit-identical to the fault-free baseline, with
     framework/user counters intact), and the chaos itself is
     *reproducible* (replaying the same plan seed yields an identical
-    fault log).
+    fault log).  ``block_cache_bytes`` overrides the DataNode block
+    cache (0 disables it) so the data-path property tests can prove
+    drills are bit-identical cache-on vs cache-off.
     """
     scenario = get_scenario(name)
     plan = scenario.plan(seed)
     result = ScenarioResult(name=scenario.name, seed=seed, plan=plan)
 
     baseline_report, baseline_files, _, _ = _run_once(
-        scenario, None, backend, sanitize=sanitize, transport=transport
+        scenario,
+        None,
+        backend,
+        sanitize=sanitize,
+        transport=transport,
+        block_cache_bytes=block_cache_bytes,
     )
     result.baseline_report = baseline_report
     result.baseline_files = baseline_files
@@ -236,6 +254,7 @@ def run_scenario(
         checks=result.checks,
         sanitize=sanitize,
         transport=transport,
+        block_cache_bytes=block_cache_bytes,
     )
     result.report = report
     result.output_files = files
@@ -276,7 +295,12 @@ def run_scenario(
         )
 
     _, _, _, replay_log = _run_once(
-        scenario, plan, backend, sanitize=sanitize, transport=transport
+        scenario,
+        plan,
+        backend,
+        sanitize=sanitize,
+        transport=transport,
+        block_cache_bytes=block_cache_bytes,
     )
     result.replay_fault_log = replay_log
     result.check(

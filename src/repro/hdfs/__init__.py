@@ -22,9 +22,10 @@ Hadoop 1.2.1):
 
 from repro.hdfs.config import HdfsConfig
 from repro.hdfs.block import Block, StoredBlock
+from repro.hdfs.blockcache import BlockCache
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.datanode import DataNode
-from repro.hdfs.client import DFSClient
+from repro.hdfs.client import DFSClient, DFSInputStream
 from repro.hdfs.shell import FsShell
 from repro.hdfs.fsck import fsck
 from repro.hdfs.cluster import HdfsCluster
@@ -34,10 +35,12 @@ __all__ = [
     "Balancer",
     "HdfsConfig",
     "Block",
+    "BlockCache",
     "StoredBlock",
     "NameNode",
     "DataNode",
     "DFSClient",
+    "DFSInputStream",
     "FsShell",
     "fsck",
     "HdfsCluster",

@@ -110,10 +110,11 @@ class Balancer:
                     if not target.write_block(stored.block, stored.data):
                         continue
                     # Commit: target gains the replica, source loses it.
+                    # drop_block keeps the source's byte counter and
+                    # block cache consistent with the removal.
                     namenode.block_received(target_name, stored.block)
                     meta.locations.discard(source_name)
-                    source.blocks.pop(block_id)
-                    source.node.disk.release(stored.length)
+                    source.drop_block(block_id)
                     namenode._check_replication(meta)
                     # Charge the transfer to the network model.
                     self.cluster.network.transfer_time(

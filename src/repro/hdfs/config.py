@@ -49,6 +49,22 @@ class HdfsConfig:
     namenode_bytes_per_block: int = 150
     #: Permitted percentage of disk used before a DataNode refuses writes.
     datanode_full_fraction: float = 0.95
+    #: io.bytes.per.checksum — bytes covered by one CRC32 entry.  Hadoop
+    #: ships 512; we default to 64 KB so production-scale 64 MB blocks
+    #: keep their CRC arrays small, and shrink it alongside ``block_size``
+    #: in :meth:`for_teaching` so classroom blocks still span many chunks
+    #: (ranged reads then verify only the chunks they touch).
+    checksum_chunk_size: int = 64 * 1024
+    #: Verified-read memo: once a chunk's CRC has been checked it is not
+    #: re-checked until the replica mutates (``StoredBlock.corrupt``).
+    #: ``False`` restores the pre-memo re-CRC-on-every-read behaviour
+    #: (and the scan-everything restart model) — kept so benchmarks can
+    #: price the old data path.
+    checksum_memo: bool = True
+    #: Capacity of each DataNode's verified-block cache (LRU, keyed by
+    #: (block_id, generation)).  0 disables the cache.  Cache state is
+    #: host-side only: hits and misses charge identical simulated time.
+    block_cache_bytes: int = 64 * MB
 
     def __post_init__(self) -> None:
         self.block_size = parse_size(self.block_size)
@@ -66,6 +82,12 @@ class HdfsConfig:
             raise ConfigError("min_replicas must be >= 1")
         if not (0.0 < self.datanode_full_fraction <= 1.0):
             raise ConfigError("datanode_full_fraction must be in (0, 1]")
+        self.checksum_chunk_size = parse_size(self.checksum_chunk_size)
+        if self.checksum_chunk_size <= 0:
+            raise ConfigError("checksum_chunk_size must be positive")
+        self.block_cache_bytes = parse_size(self.block_cache_bytes)
+        if self.block_cache_bytes < 0:
+            raise ConfigError("block_cache_bytes must be >= 0")
 
     @property
     def dead_node_timeout(self) -> float:
@@ -73,9 +95,15 @@ class HdfsConfig:
         return self.heartbeat_interval * self.heartbeat_miss_limit
 
     def for_teaching(self, block_size: int | str = 64 * 1024) -> "HdfsConfig":
-        """A copy with a classroom-scale block size (default 64 KB)."""
+        """A copy with a classroom-scale block size (default 64 KB).
+
+        The checksum chunk shrinks with the block (1/16th, floor 512 —
+        Hadoop's io.bytes.per.checksum) so classroom blocks still span
+        many chunks and ranged reads exercise partial verification.
+        """
+        small_block = parse_size(block_size)
         return HdfsConfig(
-            block_size=parse_size(block_size),
+            block_size=small_block,
             replication=self.replication,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_miss_limit=self.heartbeat_miss_limit,
@@ -87,4 +115,7 @@ class HdfsConfig:
             min_replicas=self.min_replicas,
             namenode_bytes_per_block=self.namenode_bytes_per_block,
             datanode_full_fraction=self.datanode_full_fraction,
+            checksum_chunk_size=max(512, small_block // 16),
+            checksum_memo=self.checksum_memo,
+            block_cache_bytes=self.block_cache_bytes,
         )

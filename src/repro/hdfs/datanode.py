@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.hardware import Node
 from repro.hdfs.block import Block, StoredBlock
+from repro.hdfs.blockcache import BlockCache
 from repro.hdfs.config import HdfsConfig
 from repro.hdfs.protocol import (
     BlockReport,
@@ -58,6 +59,14 @@ class DataNode:
         self.peer_lookup = peer_lookup
         self.state = DataNodeState.STOPPED
         self.blocks: dict[int, StoredBlock] = {}
+        #: Running byte total of live replicas — kept in lock-step with
+        #: ``blocks`` by write_block/drop_block so every heartbeat's
+        #: ``info()`` is O(1) instead of an O(#blocks) sum.
+        self._used_bytes = 0
+        #: Host-side cache of fully-attested replicas (LRU, keyed by
+        #: (block_id, generation)).  Hits skip the per-read memo walk;
+        #: simulated time and counters are charged identically either way.
+        self.cache = BlockCache(config.block_cache_bytes)
         #: Pre-existing on-disk data (other tenants' blocks, staged
         #: course datasets) that the startup integrity scan must verify
         #: but that is not modeled as live block objects.  This is what
@@ -82,7 +91,7 @@ class DataNode:
 
     @property
     def used_bytes(self) -> int:
-        return sum(b.length for b in self.blocks.values())
+        return self._used_bytes
 
     def info(self) -> DatanodeInfo:
         return DatanodeInfo(
@@ -110,9 +119,14 @@ class DataNode:
             return 0.0
         self.restarts += 1
         self.state = DataNodeState.STARTING
-        scan_time = (
-            self.used_bytes + self.ballast_bytes
-        ) / self.config.startup_scan_bw
+        # The integrity scan only has to CRC bytes whose chunk memos
+        # hold no verdict; attested replicas re-register at disk-walk
+        # cost (modeled as free next to the CRC work).  Ballast is
+        # never attested — it is other tenants' data.
+        scan_bytes = self.ballast_bytes + sum(
+            stored.unverified_bytes for stored in self.blocks.values()
+        )
+        scan_time = scan_bytes / self.config.startup_scan_bw
         self.sim.bus.publish(
             "hdfs.datanode.starting",
             self.sim.now,
@@ -169,9 +183,7 @@ class DataNode:
     def _execute(self, command) -> None:
         if isinstance(command, InvalidateCommand):
             for block_id in command.block_ids:
-                stored = self.blocks.pop(block_id, None)
-                if stored is not None:
-                    self.node.disk.release(stored.length)
+                self.drop_block(block_id)
             self.sim.bus.publish(
                 "hdfs.datanode.invalidated",
                 self.sim.now,
@@ -203,6 +215,8 @@ class DataNode:
             )
 
     def send_block_report(self) -> None:
+        # verify() is memoised per chunk: a report over clean, already
+        # attested replicas costs a memo walk, not a full re-CRC.
         good, corrupt = [], []
         for block_id, stored in self.blocks.items():
             (good if stored.verify() else corrupt).append(block_id)
@@ -214,8 +228,13 @@ class DataNode:
         self.namenode.process_block_report(report)
 
     # -- data path ---------------------------------------------------------
-    def write_block(self, block: Block, data: bytes) -> bool:
-        """Store one replica; False if down or out of space."""
+    def write_block(self, block: Block, data) -> bool:
+        """Store one replica; False if down or out of space.
+
+        ``data`` may be any bytes-like object (``memoryview`` slices
+        from the client split loop land here); the ``StoredBlock``
+        constructor is the single copy boundary.
+        """
         if not self.is_serving:
             return False
         if block.block_id in self.blocks:
@@ -224,19 +243,72 @@ class DataNode:
             return False
         if not self.node.disk.allocate(block.length):
             return False
-        self.blocks[block.block_id] = StoredBlock(block, data)
+        # A re-arriving id (re-replication after an earlier invalidate)
+        # must not serve stale cached bytes for any generation.
+        self.cache.invalidate(block.block_id)
+        self.blocks[block.block_id] = StoredBlock(
+            block,
+            data,
+            chunk_size=self.config.checksum_chunk_size,
+            memo=self.config.checksum_memo,
+        )
+        self._used_bytes += block.length
         return True
 
+    def drop_block(self, block_id: int) -> StoredBlock | None:
+        """Remove a replica: blocks dict, disk, byte counter, cache.
+
+        The one sanctioned removal path — invalidate commands and the
+        balancer both use it so ``used_bytes`` and the cache can never
+        drift from ``blocks``.
+        """
+        stored = self.blocks.pop(block_id, None)
+        if stored is not None:
+            self.node.disk.release(stored.length)
+            self._used_bytes -= stored.length
+        self.cache.invalidate(block_id)
+        return stored
+
     def read_block(self, block_id: int) -> bytes:
-        """Read and checksum-verify one replica."""
+        """Read and checksum-verify one replica.
+
+        A cache hit returns the attested bytes without walking the
+        chunk memos; entries are admitted only after a fully verified
+        read and evicted on any mutation, so hits occur exactly when a
+        cold read would have found every memo already OK — the memo
+        trajectory is bit-identical cache-on vs cache-off.
+        """
         if not self.is_serving:
             raise DataNodeDownError(f"{self.name} is {self.state.value}")
         stored = self.blocks.get(block_id)
         if stored is None:
             raise BlockNotFoundError(f"blk_{block_id} not on {self.name}")
+        cached = self.cache.get(block_id, stored.generation)
+        if cached is not None:
+            self.blocks_served += 1
+            return cached.data
         data = stored.read()  # raises CorruptBlockError on bad checksum
         self.blocks_served += 1
+        if stored.memo_enabled:
+            self.cache.put(stored)
         return data
+
+    def read_block_range(self, block_id: int, offset: int, length: int | None) -> memoryview:
+        """Ranged read: verify and return only the touched chunks.
+
+        Zero-copy — the caller gets a ``memoryview`` into the replica.
+        Ranged reads skip the cache: partial verification is already
+        proportional to the range, and partially-read replicas are not
+        admitted.
+        """
+        if not self.is_serving:
+            raise DataNodeDownError(f"{self.name} is {self.state.value}")
+        stored = self.blocks.get(block_id)
+        if stored is None:
+            raise BlockNotFoundError(f"blk_{block_id} not on {self.name}")
+        view = stored.read_range(offset, length)  # raises CorruptBlockError
+        self.blocks_served += 1
+        return view
 
     def has_block(self, block_id: int) -> bool:
         return block_id in self.blocks
@@ -247,9 +319,13 @@ class DataNode:
         if stored is None:
             raise BlockNotFoundError(f"blk_{block_id} not on {self.name}")
         stored.corrupt()
+        self.cache.invalidate(block_id)
 
     def verify_all(self) -> list[int]:
-        """Run the block scanner; returns ids of corrupt replicas."""
+        """Run the block scanner; returns ids of corrupt replicas.
+
+        Memoised: only chunks with no remembered verdict are re-CRC'd.
+        """
         bad = [bid for bid, stored in self.blocks.items() if not stored.verify()]
         for bid in bad:
             self.namenode.report_bad_block(bid, self.name)

@@ -630,6 +630,10 @@ class NameNode:
         return len(self.block_map) * self.config.namenode_bytes_per_block
 
     def capacity_report(self) -> dict[str, int]:
+        # Audited for the per-heartbeat O(#blocks) pattern fixed in
+        # DataNode.used_bytes: these sums are over per-node info records
+        # already maintained by heartbeats (O(#datanodes)), and the
+        # report is built on demand — nothing to precompute here.
         live = [d for d in self.datanodes.values() if d.alive]
         return {
             "capacity": sum(d.info.capacity for d in live),

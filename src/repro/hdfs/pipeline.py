@@ -40,7 +40,7 @@ class PipelineResult:
 
 def pipeline_write(
     block: Block,
-    data: bytes,
+    data,
     targets: list[str],
     dn_lookup: Callable[[str], "DataNode"],
     network: NetworkModel,
@@ -49,9 +49,16 @@ def pipeline_write(
 ) -> PipelineResult:
     """Write one block's bytes through the replica pipeline.
 
+    ``data`` may be a ``memoryview`` slice of the client's buffer; it
+    is materialised to ``bytes`` exactly once here, and every replica
+    in the chain shares that one immutable object (``StoredBlock``
+    keeps a reference; ``corrupt()`` copies-on-write per replica).
+
     Every replica that lands is confirmed to the NameNode via
     ``block_received`` (in Hadoop the receiving DataNode sends this).
     """
+    if not isinstance(data, bytes):
+        data = bytes(data)
     locations: list[str] = []
     failed: list[str] = []
     hop_times: list[float] = []

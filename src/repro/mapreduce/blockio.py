@@ -96,20 +96,40 @@ class BlockFetcher:
         return lengths, locations
 
     def read_block(
-        self, path: str, block_index: int, node: str | None, max_bytes: int | None = None
+        self,
+        path: str,
+        block_index: int,
+        node: str | None,
+        max_bytes: int | None = None,
+        offset: int = 0,
     ) -> BlockRead:
-        """Read one block (or its prefix) from the nearest live replica."""
+        """Read one block — or the range ``[offset, offset+max_bytes)``
+        of it — from the nearest live replica.
+
+        Ranged reads verify only the checksum chunks the range touches
+        and move only the range's bytes over the simulated network, so
+        record-continuation probes stop paying for block prefixes the
+        task already holds.  Whole-block reads (``offset == 0``,
+        ``max_bytes is None``) keep the DataNode's verified-block cache
+        in play.
+        """
         located = self.namenode.get_block_locations(path, client_node=node)
         if block_index >= len(located):
             raise IndexError(
                 f"{path} has {len(located)} blocks, asked for {block_index}"
             )
         lb = located[block_index]
+        whole_block = offset == 0 and max_bytes is None
         errors: list[str] = []
         for dn_name in lb.locations:
             try:
                 datanode = self.dn_lookup(dn_name)
-                data = datanode.read_block(lb.block.block_id)
+                if whole_block:
+                    data = datanode.read_block(lb.block.block_id)
+                else:
+                    data = bytes(
+                        datanode.read_block_range(lb.block.block_id, offset, max_bytes)
+                    )
             except CorruptBlockError:
                 self.namenode.report_bad_block(lb.block.block_id, dn_name)
                 errors.append(f"{dn_name}: corrupt")
@@ -117,8 +137,6 @@ class BlockFetcher:
             except (DataNodeDownError, BlockNotFoundError, KeyError) as exc:
                 errors.append(f"{dn_name}: {exc}")
                 continue
-            if max_bytes is not None:
-                data = data[:max_bytes]
             elapsed = datanode.node.disk.read_time(len(data)) * datanode.disk_slow_factor
             locality = self._classify(node, dn_name)
             if locality != "node_local":
@@ -146,8 +164,8 @@ class BlockFetcher:
         """Adapt to the :data:`~repro.mapreduce.inputformat.BlockFetch`
         signature, optionally tallying locality per call."""
 
-        def fetch(path: str, block_index: int, max_bytes: int | None):
-            read = self.read_block(path, block_index, node, max_bytes)
+        def fetch(path: str, block_index: int, max_bytes: int | None, offset: int = 0):
+            read = self.read_block(path, block_index, node, max_bytes, offset)
             if tally is not None:
                 tally[read.locality] = tally.get(read.locality, 0) + 1
             return read.data, read.elapsed

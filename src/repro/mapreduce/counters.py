@@ -155,6 +155,12 @@ class PerfStats:
     blobs_decoded: int = 0
     #: Spill runs written by external sorts.
     spill_runs: int = 0
+    #: HDFS data-path sidecar (merged from per-DataNode BlockCache
+    #: tallies by benchmarks — the hdfs package stays import-free of
+    #: mapreduce, so it never writes these itself).
+    hdfs_cache_hits: int = 0
+    hdfs_cache_misses: int = 0
+    hdfs_cache_evictions: int = 0
 
     def merge(self, other: "PerfStats | dict") -> None:
         data = other.as_dict() if isinstance(other, PerfStats) else other

@@ -17,10 +17,13 @@ from typing import Callable, Iterator
 from repro.mapreduce.types import LongWritable, Text, Writable
 from repro.util.errors import MapReduceError
 
-#: ``fetch(path, block_index, max_bytes) -> (data, elapsed_seconds)``.
-#: ``max_bytes=None`` reads the whole block.  Implementations charge the
-#: correct disk/network cost for the bytes actually moved.
-BlockFetch = Callable[[str, int, int | None], tuple[bytes, float]]
+#: ``fetch(path, block_index, max_bytes, offset=0) -> (data, elapsed_seconds)``.
+#: Reads the range ``[offset, offset+max_bytes)`` of one block;
+#: ``max_bytes=None`` reads from ``offset`` to the block's end, and
+#: ``offset`` must default to 0 so whole-block callers can omit it.
+#: Implementations charge the correct disk/network cost for the bytes
+#: actually moved (ranged reads pay only for their range).
+BlockFetch = Callable[..., tuple[bytes, float]]
 
 
 @dataclass
@@ -170,32 +173,41 @@ class TextInputFormat:
     ) -> bytes:
         """Read from the next block(s) until the trailing line completes.
 
-        ``fetch`` reads block *prefixes*, so probing deeper re-reads the
-        prefix — the small redundancy Hadoop's remote continuation reads
-        pay too.  A line can span any number of whole blocks.
+        Probes are *ranged*: each deeper probe resumes at the offset
+        where the last one ended, so a long boundary line never re-reads
+        block prefixes it already holds (the redundancy the historical
+        prefix-read fetch paid).  A line can span any number of whole
+        blocks.
         """
-        extra = b""
+        pieces: list[bytes] = []
         block_index = split.block_index + 1
         while block_index - split.block_index <= 4096:  # defensive bound
+            offset = 0
             budget = cls.CONTINUATION_CHUNK
             while True:
                 try:
-                    chunk, elapsed = fetch(split.path, block_index, budget)
+                    chunk, elapsed = fetch(split.path, block_index, budget, offset)
                 except IndexError:
-                    return extra  # no further blocks
+                    return b"".join(pieces)  # no further blocks
+                chunk = bytes(chunk)  # ranged fetches may hand back views
                 stats.bytes_read += len(chunk)
                 stats.elapsed += elapsed
                 if not chunk:
-                    return extra
+                    if offset == 0:
+                        return b"".join(pieces)  # zero-length block
+                    block_index += 1
+                    break  # block ended exactly at the probe boundary
                 newline = chunk.find(b"\n")
                 if newline != -1:
-                    return extra + chunk[: newline + 1]
+                    pieces.append(chunk[: newline + 1])
+                    return b"".join(pieces)
+                pieces.append(chunk)
+                offset += len(chunk)
                 if len(chunk) < budget:
-                    # This whole block is mid-line: keep it and move on.
-                    extra += chunk
+                    # Block exhausted mid-line: move to the next block.
                     block_index += 1
                     break
-                # Line longer than the probe: read deeper into the block.
+                # Line longer than the probe: continue where we stopped.
                 budget *= 4
         raise MapReduceError(
             f"unterminated record spanning blocks in {split.path}"

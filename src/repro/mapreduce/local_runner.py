@@ -114,12 +114,16 @@ class LocalJobRunner:
             )
         return splits
 
-    def _fetch(self, path: str, block_index: int, max_bytes: int | None):
+    def _fetch(
+        self, path: str, block_index: int, max_bytes: int | None, offset: int = 0
+    ):
         data = self.localfs.read_file(path)
         start = block_index * self.split_size
         if start >= len(data) and block_index > 0:
             raise IndexError(block_index)
         chunk = data[start : start + self.split_size]
+        if offset:
+            chunk = chunk[offset:]
         if max_bytes is not None:
             chunk = chunk[:max_bytes]
         return chunk, len(chunk) / self.local_disk_bw

@@ -416,7 +416,7 @@ def execute_reduce(
 # fetch closures, no side readers, no node caches, no simulation state.
 
 
-def _no_fetch(path: str, block_index: int, max_bytes: int | None):
+def _no_fetch(*_args, **_kwargs):
     raise MapReduceError(
         "pooled map work must consume prefetched input, not call fetch()"
     )

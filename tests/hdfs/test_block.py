@@ -52,3 +52,81 @@ class TestStoredBlock:
     def test_checksum_is_stable(self):
         assert checksum(b"abc") == checksum(b"abc")
         assert checksum(b"abc") != checksum(b"abd")
+
+
+class TestChunkedChecksums:
+    def test_chunk_count(self):
+        stored = StoredBlock(Block(1, 1, 10), b"0123456789", chunk_size=4)
+        assert stored.n_chunks == 3  # 4 + 4 + 2
+
+    def test_empty_block_has_no_chunks(self):
+        stored = StoredBlock(Block(1, 1, 0), b"", chunk_size=4)
+        assert stored.n_chunks == 0
+        assert stored.verify()
+        assert bytes(stored.read_range(0, 10)) == b""
+
+    def test_born_verified(self):
+        stored = StoredBlock(Block(1, 1, 8), b"abcdefgh", chunk_size=4)
+        assert stored.unverified_bytes == 0
+
+    def test_corrupt_invalidates_only_touched_chunk(self):
+        stored = StoredBlock(Block(1, 1, 12), b"abcdefghijkl", chunk_size=4)
+        stored.corrupt(offset=5)  # chunk 1
+        assert stored.unverified_bytes == 4
+        # Untouched chunks still read clean via ranges.
+        assert bytes(stored.read_range(0, 4)) == b"abcd"
+        assert bytes(stored.read_range(8, 4)) == b"ijkl"
+        # The damaged chunk raises, whole reads raise.
+        with pytest.raises(CorruptBlockError):
+            stored.read_range(4, 4)
+        with pytest.raises(CorruptBlockError):
+            stored.read()
+
+    def test_range_straddling_corrupt_chunk_raises(self):
+        stored = StoredBlock(Block(1, 1, 12), b"abcdefghijkl", chunk_size=4)
+        stored.corrupt(offset=5)
+        with pytest.raises(CorruptBlockError):
+            stored.read_range(2, 4)  # touches chunks 0 and 1
+
+    def test_verdicts_are_memoised_both_ways(self):
+        stored = StoredBlock(Block(1, 1, 8), b"abcdefgh", chunk_size=4)
+        stored.corrupt(offset=0)
+        assert stored.unverified_bytes == 4
+        assert not stored.verify()
+        # The BAD verdict is remembered: nothing left to scan either.
+        assert stored.unverified_bytes == 0
+        assert not stored.verify()
+
+    def test_memo_disabled_scans_everything(self):
+        stored = StoredBlock(Block(1, 1, 8), b"abcdefgh", chunk_size=4, memo=False)
+        assert not stored.memo_enabled
+        assert stored.unverified_bytes == 8
+        assert stored.verify()
+        assert stored.unverified_bytes == 8  # never attested
+
+    def test_read_range_clamps_and_validates(self):
+        stored = StoredBlock(Block(1, 1, 10), b"0123456789", chunk_size=4)
+        assert bytes(stored.read_range(8)) == b"89"  # to end
+        assert bytes(stored.read_range(9, 100)) == b"9"  # clamped
+        assert bytes(stored.read_range(10, 1)) == b""  # at end
+        assert bytes(stored.read_range(99, 1)) == b""  # past end
+        with pytest.raises(ValueError):
+            stored.read_range(-1, 1)
+        with pytest.raises(ValueError):
+            stored.read_range(0, -1)
+
+    def test_read_range_is_zero_copy(self):
+        stored = StoredBlock(Block(1, 1, 8), b"abcdefgh", chunk_size=4)
+        view = stored.read_range(2, 4)
+        assert isinstance(view, memoryview)
+        assert view.obj is stored.data
+
+    def test_constructor_copies_views_once(self):
+        buffer = bytearray(b"abcdefgh")
+        stored = StoredBlock(Block(1, 1, 4), memoryview(buffer)[2:6])
+        buffer[3] = 0  # mutating the source must not reach the replica
+        assert stored.read() == b"cdef"
+
+    def test_whole_block_crc_still_exposed(self):
+        stored = StoredBlock(Block(1, 1, 4), b"data")
+        assert stored.crc == checksum(b"data")

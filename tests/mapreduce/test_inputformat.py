@@ -12,11 +12,13 @@ from repro.mapreduce.inputformat import (
 def chunked_fetch(data: bytes, block_size: int):
     """A fetch over an in-memory file chopped into pseudo-blocks."""
 
-    def fetch(path: str, block_index: int, max_bytes):
+    def fetch(path: str, block_index: int, max_bytes, offset: int = 0):
         start = block_index * block_size
         if start >= len(data) and block_index > 0:
             raise IndexError(block_index)
         chunk = data[start : start + block_size]
+        if offset:
+            chunk = chunk[offset:]
         if max_bytes is not None:
             chunk = chunk[:max_bytes]
         return chunk, 0.001

@@ -12,11 +12,13 @@ LINE = st.text(alphabet="abcXYZ 09", min_size=0, max_size=30)
 
 
 def chunked_fetch(data: bytes, block_size: int):
-    def fetch(path, block_index, max_bytes):
+    def fetch(path, block_index, max_bytes, offset=0):
         start = block_index * block_size
         if start >= len(data) and block_index > 0:
             raise IndexError(block_index)
         chunk = data[start : start + block_size]
+        if offset:
+            chunk = chunk[offset:]
         if max_bytes is not None:
             chunk = chunk[:max_bytes]
         return chunk, 0.0
