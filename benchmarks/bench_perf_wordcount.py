@@ -3,25 +3,31 @@
 Unlike the other benchmarks (which reproduce *simulated* results from
 the paper), this one measures the reproduction itself: real wall-clock
 of an identical WordCount over a Zipf corpus under the serial backend,
-the pooled (process) backend at 1/2/4 workers, and the ``auto``
-backend.  The pooled runs must produce bit-identical output pairs and
-simulated seconds — the determinism contract — while finishing faster
-on multi-core hosts.  Map/reduce payloads cross the pool boundary as
-binary wire frames (``repro.mapreduce.wire``); the per-stage host
-timings (serialize / decode / merge) are recorded per run.
+the pooled (process) backend at 1/2/4 workers — once with the framed
+transport (blobs pickled across the pool) and once with the
+shared-memory transport (only descriptors cross; blobs live in shm
+segments) — and the ``auto`` backend.  Every pooled run must produce
+bit-identical output pairs and simulated seconds — the determinism
+contract — while finishing faster on multi-core hosts.  Per-stage
+host timings (serialize / decode / merge / shm accounting) are
+recorded per run.
 
 Writes ``BENCH_parallelism.json`` next to the repo root with the raw
 timings, so perf trajectories across PRs are machine-readable.  The
->=1.5x speedup assertion is gated on the host actually having >=2
-usable cores (``usable_cores`` respects cgroup/affinity limits — the
-number the pool can really use, not what ``os.cpu_count`` brags): on a
-single-core host, parallel speedup is physically impossible and only
-the identity checks apply — plus the check that ``auto`` notices and
-stays within 10% of serial.
+numbers carry an explicit ``speedup_meaningful`` flag: timing ratios
+only mean something when the host actually has >=2 usable cores
+(``usable_cores`` respects cgroup/affinity limits — the number the
+pool can really use, not what ``os.cpu_count`` brags).  Speedup
+assertions are tiered accordingly — >=4 cores demands shm pooled-4
+>= 2.0x and framed pooled-4 >= 1.5x, 2-3 cores demands shm pooled-2
+>= 1.2x, and below that only the identity checks apply — plus the
+check that ``auto`` notices a single core and stays within 10% of
+serial.  On a single-core host the recorded ratios are just scheduler
+noise around 1.0x and must be read as such.
 
 Quick mode (``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the corpus
-and skips repetition: identity checks at CI-smoke cost, no timing
-assertions.
+and skips repetition: identity checks (including an shm pass — the CI
+bench-smoke shm identity gate) at CI-smoke cost, no timing assertions.
 """
 
 from __future__ import annotations
@@ -98,21 +104,30 @@ def _experiment(quick: bool) -> dict:
         "serial": {"wall_seconds": serial["wall"], "workers": 0},
     }
     for workers in worker_counts:
-        pooled = _measure(corpus, "pooled", workers, rounds)
-        assert pooled["pairs"] == serial["pairs"], (
-            "pooled output differs from serial"
-        )
-        assert pooled["sim_seconds"] == serial["sim_seconds"], (
-            "pooled simulated time differs"
-        )
-        runs[f"pooled-{workers}"] = {
-            "wall_seconds": pooled["wall"],
-            "workers": workers,
-            "speedup_vs_serial": (
-                serial["wall"] / pooled["wall"] if pooled["wall"] else float("inf")
-            ),
-            "perf": pooled["perf"],
-        }
+        for transport in ("framed", "shm"):
+            pooled = _measure(corpus, "pooled", workers, rounds, transport)
+            assert pooled["pairs"] == serial["pairs"], (
+                f"pooled/{transport} output differs from serial"
+            )
+            assert pooled["sim_seconds"] == serial["sim_seconds"], (
+                f"pooled/{transport} simulated time differs"
+            )
+            key = (
+                f"pooled-{workers}"
+                if transport == "framed"
+                else f"pooled-{workers}-shm"
+            )
+            runs[key] = {
+                "wall_seconds": pooled["wall"],
+                "workers": workers,
+                "transport": transport,
+                "speedup_vs_serial": (
+                    serial["wall"] / pooled["wall"]
+                    if pooled["wall"]
+                    else float("inf")
+                ),
+                "perf": pooled["perf"],
+            }
     auto = _measure(corpus, "auto", 0, rounds)
     assert auto["pairs"] == serial["pairs"], "auto output differs from serial"
     assert auto["sim_seconds"] == serial["sim_seconds"]
@@ -131,7 +146,8 @@ def _experiment(quick: bool) -> dict:
         "split_size": SPLIT_SIZE,
         "num_reduces": NUM_REDUCES,
         "host_cores": usable_cores(),
-        "shuffle_transport": "framed",
+        "speedup_meaningful": usable_cores() >= 2,
+        "shuffle_transports": ["framed", "shm"],
         "bytes_shuffled": serial["shuffled_bytes"],
         "outputs_identical": True,
         "simulated_seconds": serial["sim_seconds"],
@@ -151,19 +167,21 @@ def bench_perf_wordcount(benchmark, request):
     cores = payload["host_cores"]
     serial_wall = payload["runs"]["serial"]["wall_seconds"]
     show(f"host cores: {cores}; corpus: {payload['corpus_bytes']} bytes; "
-         f"{NUM_REDUCES} reduces; transport: framed"
+         f"{NUM_REDUCES} reduces; transports: framed + shm"
          + ("; QUICK" if quick else ""))
-    show(f"serial        {serial_wall * 1000:8.1f} ms   1.00x")
+    if not payload["speedup_meaningful"]:
+        show("(single usable core: speedups below are scheduler noise)")
+    show(f"serial          {serial_wall * 1000:8.1f} ms   1.00x")
     for key, run in payload["runs"].items():
         if key == "serial":
             continue
         extra = f"  chose={run['chose']}" if "chose" in run else ""
         show(
-            f"{key:12s}  {run['wall_seconds'] * 1000:8.1f} ms   "
+            f"{key:14s}  {run['wall_seconds'] * 1000:8.1f} ms   "
             f"{run['speedup_vs_serial']:.2f}x{extra}"
         )
-    show(f"\noutputs + simulated clocks identical across backends: "
-         f"{payload['outputs_identical']}")
+    show(f"\noutputs + simulated clocks identical across backends and "
+         f"transports: {payload['outputs_identical']}")
     if not quick:
         show(f"results written to {RESULT_FILE.name}")
 
@@ -179,11 +197,19 @@ def bench_perf_wordcount(benchmark, request):
             )
 
     # Parallel speedup needs parallel hardware; the determinism checks
-    # above always apply.  Quick mode never asserts timings.
+    # above always apply.  Quick mode never asserts timings, and hosts
+    # below the tier's core floor skip (never fail) the timing bar.
     if quick:
         show("quick mode: timing assertions skipped (identity only)")
+    elif cores >= 4:
+        shm4 = payload["runs"]["pooled-4-shm"]["speedup_vs_serial"]
+        framed4 = payload["runs"]["pooled-4"]["speedup_vs_serial"]
+        assert shm4 >= 2.0, f"expected shm >=2.0x at 4 workers, got {shm4:.2f}x"
+        assert framed4 >= 1.5, (
+            f"expected framed >=1.5x at 4 workers, got {framed4:.2f}x"
+        )
     elif cores >= 2:
-        at4 = payload["runs"]["pooled-4"]["speedup_vs_serial"]
-        assert at4 >= 1.5, f"expected >=1.5x at 4 workers, got {at4:.2f}x"
+        shm2 = payload["runs"]["pooled-2-shm"]["speedup_vs_serial"]
+        assert shm2 >= 1.2, f"expected shm >=1.2x at 2 workers, got {shm2:.2f}x"
     else:
-        show("single-core host: speedup assertion skipped (identity only)")
+        show("single-core host: speedup assertions skipped (identity only)")

@@ -1,17 +1,22 @@
-"""Shuffle-transport benchmark — framed wire blobs vs pickled objects.
+"""Shuffle-transport benchmark — shm descriptors vs framed blobs vs pickle.
 
 The pooled backends' historical bottleneck was IPC: shipping map output
 as a pickled list of per-record Writables cost more than the map work
 itself.  The framed transport packs each partition into one binary
-blob (``repro.mapreduce.wire``).  This benchmark measures both
+blob (``repro.mapreduce.wire``); the shm transport goes one step
+further and leaves the blob in a shared-memory segment, shipping only
+a ``(segment, offset, length)`` descriptor across the pool
+(``repro.mapreduce.shm``).  This benchmark measures all three
 transports end-to-end (same WordCount, pooled backend) at three corpus
-sizes, plus the raw codec-vs-pickle byte and time ratios on the actual
-map-output payload shape.
+sizes, surfaces the shm PerfStats (``shm_bytes``, ``segments_created``,
+``segments_attached``, ``copy_avoided_bytes``), plus the raw
+codec-vs-pickle byte and time ratios on the actual map-output payload
+shape.
 
 Outputs are asserted bit-identical between transports at every size —
 that check runs on every host.  The framed-beats-object wall-clock
 assertion (>=1.3x at the largest corpus) is gated on >=2 usable cores:
-on one core both transports are pure overhead over serial and only
+on one core all transports are pure overhead over serial and only
 their relative byte costs are meaningful.
 
 Writes ``BENCH_shuffle.json`` at the repo root.  Quick mode
@@ -117,21 +122,36 @@ def _experiment(quick: bool) -> dict:
     for corpus_bytes in sizes:
         corpus = gen.text_of_bytes(corpus_bytes)
         framed = _best(corpus, "framed", rounds)
+        shared = _best(corpus, "shm", rounds)
         plain = _best(corpus, "object", rounds)
-        assert framed["pairs"] == plain["pairs"], (
+        assert framed["pairs"] == plain["pairs"] == shared["pairs"], (
             f"transport changed job output at {corpus_bytes} bytes"
         )
-        assert framed["sim_seconds"] == plain["sim_seconds"], (
-            f"transport changed simulated time at {corpus_bytes} bytes"
-        )
+        assert (
+            framed["sim_seconds"]
+            == plain["sim_seconds"]
+            == shared["sim_seconds"]
+        ), f"transport changed simulated time at {corpus_bytes} bytes"
+        shm_perf = shared["perf"]
         by_size[str(corpus_bytes)] = {
             "outputs_identical": True,
             "framed_wall_seconds": framed["wall"],
+            "shm_wall_seconds": shared["wall"],
             "object_wall_seconds": plain["wall"],
             "framed_speedup_vs_object": (
                 plain["wall"] / framed["wall"] if framed["wall"] else float("inf")
             ),
+            "shm_speedup_vs_object": (
+                plain["wall"] / shared["wall"] if shared["wall"] else float("inf")
+            ),
             "framed_perf": framed["perf"],
+            "shm_perf": shm_perf,
+            "shm_accounting": {
+                "shm_bytes": shm_perf["shm_bytes"],
+                "segments_created": shm_perf["segments_created"],
+                "segments_attached": shm_perf["segments_attached"],
+                "copy_avoided_bytes": shm_perf["copy_avoided_bytes"],
+            },
             "codec_vs_pickle": _codec_vs_pickle(corpus),
         }
     payload = {
@@ -156,16 +176,25 @@ def bench_shuffle_transport(benchmark, request):
     payload = benchmark.pedantic(
         _experiment, args=(quick,), rounds=1, iterations=1
     )
-    banner("Shuffle transport: binary wire frames vs pickled objects")
+    banner("Shuffle transport: shm descriptors vs wire frames vs pickle")
     cores = payload["host_cores"]
     show(f"host cores: {cores}; pooled w={WORKERS}; {NUM_REDUCES} reduces"
          + ("; QUICK" if quick else ""))
     for size, entry in payload["by_corpus_bytes"].items():
         ratio = entry["codec_vs_pickle"]
+        acct = entry["shm_accounting"]
         show(
             f"{int(size) // 1024:5d} KiB   object {entry['object_wall_seconds'] * 1000:8.1f} ms"
             f"   framed {entry['framed_wall_seconds'] * 1000:8.1f} ms"
-            f"   {entry['framed_speedup_vs_object']:.2f}x"
+            f" ({entry['framed_speedup_vs_object']:.2f}x)"
+            f"   shm {entry['shm_wall_seconds'] * 1000:8.1f} ms"
+            f" ({entry['shm_speedup_vs_object']:.2f}x)"
+        )
+        show(
+            f"            shm: {acct['segments_created']} segments, "
+            f"{acct['shm_bytes']} bytes shared, "
+            f"{acct['segments_attached']} attaches, "
+            f"{acct['copy_avoided_bytes']} copy bytes avoided"
             f"   wire/pickle bytes {ratio['framed_bytes']}/{ratio['pickled_bytes']}"
             f" ({ratio['bytes_ratio_pickle_over_framed']:.2f}x smaller)"
         )
@@ -174,9 +203,13 @@ def bench_shuffle_transport(benchmark, request):
     if not quick:
         show(f"results written to {RESULT_FILE.name}")
 
-    # The codec must beat pickle on bytes regardless of host shape.
+    # The codec must beat pickle on bytes regardless of host shape, and
+    # the shm rows must show the descriptor path actually ran.
     for entry in payload["by_corpus_bytes"].values():
         assert entry["codec_vs_pickle"]["bytes_ratio_pickle_over_framed"] > 1.0
+        acct = entry["shm_accounting"]
+        assert acct["segments_created"] > 0, "shm run never published"
+        assert acct["copy_avoided_bytes"] > 0, "reducers never read descriptors"
 
     if quick:
         show("quick mode: timing assertions skipped (identity only)")

@@ -144,6 +144,7 @@ def _cmd_chaos(args) -> int:
                 seed=args.seed,
                 backend=args.backend,
                 sanitize=args.sanitize,
+                transport=args.transport,
             )
         except ConfigError as exc:
             print(f"chaos: {exc}", file=sys.stderr)
@@ -260,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--sanitize", action="store_true",
                        help="run the drill with the runtime sanitizer on "
                        "(MapReduceConfig.sanitize=True)")
+    chaos.add_argument("--transport", default="framed",
+                       choices=("framed", "object", "shm"),
+                       help="shuffle transport for the drill (results are "
+                       "bit-identical; default framed)")
     chaos.set_defaults(fn=_cmd_chaos)
     lint = sub.add_parser(
         "lint",

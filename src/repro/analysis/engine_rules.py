@@ -19,6 +19,12 @@ un-landable:
 ``MRE103``  bare/blanket ``except`` that swallows everything — it
             would also swallow ``FaultSite`` escalations and cancel
             injected faults silently
+``MRE104``  shared-memory/mmap allocation with no guaranteed cleanup
+            path — a ``SharedMemory``/``mmap.mmap`` call outside a
+            ``with`` item, in a function with no try/finally (or
+            handler) releasing it, in a class that does not own a
+            ``close``/``release``/``unlink`` — the shuffle-plane
+            segment-leak class (PR 6)
 ==========  ==========================================================
 
 Set-typedness is inferred syntactically: set literals/comprehensions,
@@ -63,7 +69,36 @@ ENGINE_RULES = {
         "blanket handler also eats FaultSite escalations, silently "
         "cancelling injected faults",
     ),
+    "MRE104": Rule(
+        id="MRE104",
+        family="engine",
+        severity="error",
+        title="shared-memory allocation without a cleanup path",
+        hint="guarantee close/unlink on every exit path: allocate inside "
+        "a with-statement, or in a try whose finally/except calls "
+        "close()/unlink(), or own the handle in a class that defines "
+        "close()/release()/unlink()",
+    ),
 }
+
+#: Calls MRE104 treats as shared-memory/arena allocations.
+_SHM_ALLOCATORS = ("SharedMemory",)
+_SHM_ALLOCATOR_DOTTED = ("mmap.mmap",)
+
+#: Method names that count as releasing an MRE104 allocation when they
+#: appear in a finally/except block of the allocating function.
+_SHM_CLEANUP_METHODS = {
+    "close",
+    "unlink",
+    "release",
+    "rmtree",
+    "shutdown",
+    "terminate",
+}
+
+#: Methods whose presence on the enclosing class marks it as the
+#: allocation's owner (lifetime managed by the instance, RAII-style).
+_SHM_OWNER_METHODS = {"close", "release", "unlink"}
 
 _WALL_CLOCK_SUFFIXES = {
     "time.time",
@@ -261,6 +296,7 @@ class _EngineVisitor:
             elif isinstance(node, ast.ExceptHandler):
                 self._check_except(node)
         self._check_module_level_iteration()
+        self._check_shm_lifecycle()
         return self.findings
 
     # -- MRE101 -----------------------------------------------------------
@@ -396,6 +432,57 @@ class _EngineVisitor:
                 severity="warning",
             )
 
+    # -- MRE104 -----------------------------------------------------------
+    def _check_shm_lifecycle(self) -> None:
+        """Flag SharedMemory/mmap allocations with no cleanup path.
+
+        An allocation is considered owned (and passes) when any of:
+
+        1. it is the context expression of a ``with`` item — the
+           ``__exit__`` releases it;
+        2. the allocating function contains a ``try`` whose ``finally``
+           or exception handlers call one of
+           :data:`_SHM_CLEANUP_METHODS` — every exit path releases;
+        3. the enclosing class defines one of :data:`_SHM_OWNER_METHODS`
+           — the instance owns the handle's lifetime (RAII-style, like
+           ``blockio.SpillFile``).
+        """
+        owners: dict[ast.AST, ast.ClassDef] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        owners[stmt] = node
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_shm_function(node, owners.get(node))
+
+    def _check_shm_function(
+        self, fn: ast.FunctionDef, klass: ast.ClassDef | None
+    ) -> None:
+        allocations = [
+            node
+            for node in _walk_own_body(fn)
+            if isinstance(node, ast.Call) and _is_shm_allocation(node)
+        ]
+        if not allocations:
+            return
+        if klass is not None and _class_owns_cleanup(klass):
+            return
+        if _has_cleanup_guard(fn):
+            return
+        with_guarded = _with_item_nodes(fn)
+        for call in allocations:
+            if call in with_guarded:
+                continue
+            name = _dotted(call.func) or "SharedMemory"
+            self._emit(
+                "MRE104",
+                call,
+                f"{name}(...) allocates a shared-memory/mmap handle with "
+                "no guaranteed close/unlink on every exit path",
+            )
+
     # -- MRE102 -----------------------------------------------------------
     def _check_wall_clock(self, node: ast.Call) -> None:
         name = _dotted(node.func)
@@ -458,6 +545,74 @@ class _EngineVisitor:
                 continue
             return False  # assignments, calls, logging: handled, not hidden
         return True
+
+
+# -- MRE104 helpers ---------------------------------------------------------
+
+
+def _is_shm_allocation(call: ast.Call) -> bool:
+    name = _dotted(call.func)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    if last in _SHM_ALLOCATORS:
+        return True
+    return any(
+        name == dotted or name.endswith("." + dotted)
+        for dotted in _SHM_ALLOCATOR_DOTTED
+    )
+
+
+def _walk_own_body(fn: ast.FunctionDef):
+    """Walk a function's nodes, excluding nested function/lambda bodies
+    (those are audited as their own functions)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _class_owns_cleanup(klass: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _SHM_OWNER_METHODS
+        for stmt in klass.body
+    )
+
+
+def _has_cleanup_guard(fn: ast.FunctionDef) -> bool:
+    """Does ``fn`` contain a try whose finally/handlers release a handle?"""
+    for node in _walk_own_body(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        blocks: list[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            blocks.extend(handler.body)
+        for stmt in blocks:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _SHM_CLEANUP_METHODS
+                ):
+                    return True
+    return False
+
+
+def _with_item_nodes(fn: ast.FunctionDef) -> set[ast.AST]:
+    """Every node appearing inside a ``with`` item's context expression."""
+    guarded: set[ast.AST] = set()
+    for node in _walk_own_body(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                guarded.update(ast.walk(item.context_expr))
+    return guarded
 
 
 def check_engine_rules(path: str, tree: ast.Module) -> list[Finding]:

@@ -40,6 +40,7 @@ assert exactly this.
 from __future__ import annotations
 
 import os
+import sys
 import warnings
 from concurrent.futures import (
     Executor,
@@ -321,6 +322,22 @@ class PooledExecutionBackend(ExecutionBackend):
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        # In-flight work is drained and the pool is gone, so no worker
+        # can still read a shuffle segment: unlink anything the shm
+        # plane has live.  (Per-job scopes release earlier, at job end;
+        # this is the backstop for interrupted runs.)  Crashed-worker
+        # orphans — segments published but never returned — are caught
+        # by the scopes' glob purge; never sweep them at
+        # _discard_executor time, because completed futures from a
+        # broken pool may hold descriptors the parent has yet to adopt.
+        _release_shm_scopes()
+
+
+def _release_shm_scopes() -> None:
+    """Release live shm scopes, if the shm plane was ever imported."""
+    shm = sys.modules.get("repro.mapreduce.shm")
+    if shm is not None:
+        shm.release_all_scopes()
 
 
 class AutoExecutionBackend(ExecutionBackend):

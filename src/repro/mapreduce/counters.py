@@ -155,6 +155,15 @@ class PerfStats:
     blobs_decoded: int = 0
     #: Spill runs written by external sorts.
     spill_runs: int = 0
+    #: Shuffle-plane shared memory: bytes published into segments.
+    shm_bytes: int = 0
+    #: Segments created (one per published map output).
+    segments_created: int = 0
+    #: First-time attaches (per process; cache hits don't count).
+    segments_attached: int = 0
+    #: Blob bytes decoded straight from a shared view instead of being
+    #: pickled/copied across the pool — the zero-copy win.
+    copy_avoided_bytes: int = 0
     #: HDFS data-path sidecar (merged from per-DataNode BlockCache
     #: tallies by benchmarks — the hdfs package stays import-free of
     #: mapreduce, so it never writes these itself).

@@ -73,6 +73,17 @@ class RunningJob:
         self.blacklist: set[str] = set()
         self.tracker_failures: dict[str, int] = {}
         self.events: list[tuple[float, str]] = []
+        #: Shared-memory shuffle scope (``repro.mapreduce.shm.ShmScope``)
+        #: when this job runs pooled with ``shuffle_transport="shm"``;
+        #: the JobTracker creates it at submit and releases it on the
+        #: job-finish/-fail paths (see :meth:`release_shm`).
+        self.shm_scope = None
+
+    def release_shm(self) -> None:
+        """Unlink this job's shuffle segments (idempotent, safe to call
+        from every teardown path)."""
+        if self.shm_scope is not None:
+            self.shm_scope.release()
 
     # ------------------------------------------------------------------
     @property

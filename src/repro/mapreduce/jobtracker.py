@@ -222,6 +222,17 @@ class JobTracker:
             splits=splits,
             submit_time=self.sim.now,
         )
+        if (
+            self.backend is not None
+            and self.backend.parallel
+            and self.mr_config.shuffle_transport == "shm"
+        ):
+            # Per-job shuffle scope: map workers publish under its
+            # token; released on the job finish/fail paths (and by
+            # backend shutdown / atexit as backstops).
+            from repro.mapreduce import shm
+
+            running.shm_scope = shm.ShmScope(self.mr_config.shm_arena)
         self.jobs[job_id] = running
         self._job_order.append(job_id)
         client = self.output_client_factory(None)
@@ -593,6 +604,9 @@ class JobTracker:
     def _finish_job(self, job: RunningJob) -> None:
         job.state = JobState.SUCCEEDED
         job.finish_time = self.sim.now
+        # All reduces have consumed their input: unlink the job's
+        # shuffle segments now rather than at cluster teardown.
+        job.release_shm()
         client = self.output_client_factory(None)
         client.put_bytes(f"{job.output_path}/_SUCCESS", b"", overwrite=True)
         job.log(self.sim.now, "job succeeded")
@@ -617,6 +631,9 @@ class JobTracker:
                 attempt.state = AttemptState.KILLED
                 attempt.finish_time = self.sim.now
         job.log(self.sim.now, f"job failed: {reason}")
+        # After every attempt is killed nothing will read the job's
+        # shuffle segments again; unlink them.
+        job.release_shm()
         self.sim.bus.publish(
             "mr.jobtracker.failed",
             self.sim.now,

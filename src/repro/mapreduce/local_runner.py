@@ -82,7 +82,11 @@ class LocalJobRunner:
             self.mr_config = MapReduceConfig(cost=self.cost)
         self.split_size = split_size or self.DEFAULT_SPLIT_SIZE
         self.local_disk_bw = local_disk_bw
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend(
+            backend,
+            self.mr_config.execution_backend,
+            self.mr_config.backend_workers,
+        )
 
     def close(self) -> None:
         """Release backend resources (worker pools, if any)."""
@@ -176,7 +180,35 @@ class LocalJobRunner:
             and not job.shares_node_state
             and getattr(job_input_format(job), "supports_prefetch", False)
         )
+        # One shm scope per run: the parent mints the token, workers
+        # publish segments under it, and the finally below guarantees
+        # every segment is unlinked even when the run raises (including
+        # KeyboardInterrupt surfacing through join_all).
+        shm_scope = None
+        if pooled and self.mr_config.shuffle_transport == "shm":
+            from repro.mapreduce import shm
 
+            shm_scope = shm.ShmScope(self.mr_config.shm_arena)
+        try:
+            return self._run_tasks(
+                job, splits, output_path, counters, node_cache,
+                elapsed, pooled, shm_scope,
+            )
+        finally:
+            if shm_scope is not None:
+                shm_scope.release()
+
+    def _run_tasks(
+        self,
+        job: Job,
+        splits: list[InputSplit],
+        output_path: str,
+        counters: Counters,
+        node_cache: dict,
+        elapsed: float,
+        pooled: bool,
+        shm_scope,
+    ) -> LocalJobResult:
         map_outputs: list[MapOutput] = []
         violations: list[str] = []
 
@@ -187,6 +219,8 @@ class LocalJobRunner:
             counters.merge(execution.counters)
             elapsed += execution.duration
             violations.extend(execution.violations)
+            if shm_scope is not None:
+                shm_scope.adopt_output(execution.output)
             map_outputs.append(execution.output)
             if execution.perf:
                 PERF.merge(execution.perf)
@@ -203,6 +237,7 @@ class LocalJobRunner:
                     self.mr_config,
                     "local",
                     self.local_disk_bw,
+                    shm_token=None if shm_scope is None else shm_scope.token,
                 )
             else:
                 work = functools.partial(

@@ -422,11 +422,10 @@ def _no_fetch(*_args, **_kwargs):
     )
 
 
-def _framed_transport(mr_config: MapReduceConfig | None) -> bool:
-    return (
-        mr_config is not None
-        and getattr(mr_config, "shuffle_transport", "object") == "framed"
-    )
+def _shuffle_transport(mr_config: MapReduceConfig | None) -> str:
+    if mr_config is None:
+        return "object"
+    return getattr(mr_config, "shuffle_transport", "object")
 
 
 def map_attempt_work(
@@ -437,14 +436,18 @@ def map_attempt_work(
     mr_config: MapReduceConfig,
     task_node: str | None,
     disk_write_bw: float,
+    shm_token: str | None = None,
 ) -> MapExecution:
     """The share-nothing portion of one map attempt (pool-safe).
 
     With the framed transport the partitioned output is frozen into
     wire blobs *here*, inside the worker, so what pickles back to the
     simulation thread is a handful of ``bytes`` objects — not a list of
-    per-record Writables.  The result is bit-identical either way; only
-    the representation in transit differs.
+    per-record Writables.  Under ``shuffle_transport="shm"`` the frozen
+    blobs are additionally published into a shared-memory segment named
+    by the parent's scope ``shm_token``, and only descriptors ride the
+    pipe.  The result is bit-identical in every form; only the
+    representation in transit differs.
     """
     perf = PerfStats()
     execution = execute_map(
@@ -458,11 +461,23 @@ def map_attempt_work(
         prefetched=prefetched,
         perf=perf,
     )
-    if _framed_transport(mr_config):
+    transport = _shuffle_transport(mr_config)
+    if transport in ("framed", "shm"):
         # An output that cannot be framed simply ships in object form
         # (freeze reports False); the backend's pickle fallback remains
         # the safety net behind that.
-        execution.output.freeze(perf)
+        frozen = execution.output.freeze(perf)
+        if (
+            frozen
+            and transport == "shm"
+            and shm_token is not None
+            and execution.output.total_bytes()
+            >= getattr(mr_config, "shm_min_bytes", 0)
+        ):
+            # Best-effort: a failed publish (arena full, scope already
+            # torn down) leaves the output framed, which is always
+            # correct — just copied instead of shared.
+            execution.output.publish_shm(shm_token, perf)
     execution.perf = perf.as_dict()
     return execution
 
@@ -487,7 +502,7 @@ def reduce_attempt_work(
     sequence to the object path's concatenate-and-stable-sort.  Framed
     runs also frame the reduce's own output pairs for the trip back.
     """
-    framed = _framed_transport(mr_config) and all(
+    framed = _shuffle_transport(mr_config) in ("framed", "shm") and all(
         output.frozen for output in map_outputs
     )
     perf = PerfStats()

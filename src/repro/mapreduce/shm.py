@@ -1,0 +1,513 @@
+"""Shared-memory shuffle plane: segments, scopes, and the attach cache.
+
+PR 4's framed transport shrank what crosses the process pool to one
+blob per partition — but the blob itself still rode the pickle pipe,
+so every byte of map output was copied twice per hop (worker pickle →
+pipe → parent unpickle, and again parent → reduce worker).  This
+module removes the copies: a map worker writes its frozen RWF1 blobs
+into one shared segment and ships only
+:class:`~repro.mapreduce.wire.ShmSlice` descriptors; a reduce worker
+attaches the segment once and decodes straight from a ``memoryview``
+over the shared mapping.  A shuffle blob is materialised exactly once
+on the host.
+
+Two arenas implement the segment, chosen per-platform (or forced by
+``MapReduceConfig.shm_arena``):
+
+- ``posix`` — ``multiprocessing.shared_memory`` (``/dev/shm`` on
+  Linux).  The default wherever POSIX shared memory exists.
+- ``file`` — plain temp files under a per-scope directory, attached
+  via ``mmap`` exactly like :class:`~repro.mapreduce.blockio.SpillFile`
+  spill runs.  The fallback for hosts without POSIX shm, and a useful
+  forcing knob for tests.
+
+Lifecycle (see DESIGN.md §4f for the diagram)::
+
+    parent                         worker
+    ------                         ------
+    ShmScope() ── token ──▶  publish_frames(frames, token)
+        │                          │  create segment, copy blobs, close
+        │        ◀── descriptors ──┘  (segment persists; creator may die)
+    scope.adopt_output(...)
+        │          reduce worker: attach_slice(desc) → shared memoryview
+    scope.release()   unlink adopted + glob-purge orphans (crashed
+                      workers), drop cached attachments, exactly once
+
+``resource_tracker`` bookkeeping: on POSIX, CPython registers a segment
+name with a resource-tracker process on *every* ``SharedMemory`` open —
+create and attach alike.  The tracker is spawned lazily per process, so
+pool workers forked before the parent ever registered anything each get
+their *own* tracker, whose cache the parent's unlink can never balance:
+at worker shutdown those trackers would warn about (and re-unlink)
+segments the scope already cleaned up.  We therefore opt every handle
+out of tracker bookkeeping the moment it is opened
+(:func:`_untrack` — the scope owns segment lifetime, not the opening
+process), keeping every tracker's cache balanced in every start-method
+and process topology.  The trade: a SIGKILLed *parent* leaks segments
+until reboot, which is exactly the backstop :func:`release_all_scopes`
+(run from backend shutdown and ``atexit``) exists to make irrelevant —
+even a ``KeyboardInterrupt`` that skips the runner's ``finally`` cannot
+leak a segment past process exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import shutil
+import tempfile
+import threading
+
+from repro.mapreduce.counters import PerfStats
+from repro.mapreduce.wire import DESC_KIND_FILE, DESC_KIND_POSIX, ShmSlice
+from repro.util.errors import ConfigError, WireFormatError
+
+#: Arena names accepted by ``MapReduceConfig.shm_arena``.
+ARENA_NAMES = ("auto", "posix", "file")
+
+#: Where Linux materialises POSIX shared memory (for orphan scans).
+_POSIX_DIR = "/dev/shm"
+
+#: Per-process caps on the reader-side attach cache.  Segments are
+#: unmapped LRU-first past either bound; a mapping pinned by live
+#: decode views survives eviction (see :class:`_Attachment.close`).
+ATTACH_CACHE_SEGMENTS = 64
+ATTACH_CACHE_BYTES = 256 << 20
+
+#: Attempts to find an unused segment name before giving up (collisions
+#: need a recycled worker pid *and* a matching per-process counter).
+_NAME_ATTEMPTS = 32
+
+
+def _shared_memory():
+    """The stdlib shared_memory module, imported on first use."""
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def _untrack(seg) -> None:
+    """Opt one just-opened SharedMemory handle out of resource-tracker
+    cleanup: segment lifetime belongs to the owning :class:`ShmScope`,
+    and leaving the registration in place makes forked pool workers'
+    per-process trackers warn about (and racily re-unlink) names the
+    scope already released.  Uses the registered form of the name
+    (``seg._name``, leading slash included) so the unregister matches
+    the register ``SharedMemory.__init__`` just performed in this same
+    process."""
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except OSError:  # pragma: no cover - tracker pipe gone at exit
+        pass
+
+
+def have_posix_shm() -> bool:
+    """Can this host back segments with POSIX shared memory?"""
+    if os.name != "posix":
+        return False
+    try:
+        _shared_memory()
+    except ImportError:  # minimal builds without _posixshmem
+        return False
+    return True
+
+
+def resolve_arena(name: str = "auto") -> str:
+    """Resolve an arena knob value to a concrete arena kind."""
+    if name not in ARENA_NAMES:
+        raise ConfigError(
+            f"unknown shm arena {name!r}; expected one of {ARENA_NAMES}"
+        )
+    if name == "auto":
+        return "posix" if have_posix_shm() else "file"
+    if name == "posix" and not have_posix_shm():
+        raise ConfigError("shm_arena='posix' but this host has no POSIX shm")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# segment naming
+
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+def _next_seq() -> int:
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        return _seq
+
+
+# ---------------------------------------------------------------------------
+# worker side: publish
+
+
+def publish_frames(
+    frames: dict[int, bytes], token: str, perf: PerfStats | None = None
+) -> dict[int, ShmSlice] | None:
+    """Write one map output's frame blobs into a fresh shared segment.
+
+    ``token`` is a scope token (``"posix:<prefix>"`` /
+    ``"file:<directory>"``) minted by the parent's :class:`ShmScope`.
+    Returns partition → :class:`~repro.mapreduce.wire.ShmSlice`, or
+    ``None`` when publishing is not possible (empty output, shm mount
+    full, scope directory already released) — callers then keep the
+    framed form, which is always correct, just slower.
+    """
+    kind, _, base = token.partition(":")
+    order = sorted(frames)
+    total = sum(len(frames[p]) for p in order)
+    if total == 0:
+        return None
+    blobs = [(p, frames[p]) for p in order]
+    try:
+        if kind == "posix":
+            descriptors = _publish_posix(base, blobs, total)
+        elif kind == "file":
+            descriptors = _publish_file(base, blobs, total)
+        else:
+            raise ConfigError(f"malformed shm scope token {token!r}")
+    except OSError:
+        return None
+    if descriptors is not None and perf is not None:
+        perf.segments_created += 1
+        perf.shm_bytes += total
+    return descriptors
+
+
+def _publish_posix(
+    prefix: str, blobs: list[tuple[int, bytes]], total: int
+) -> dict[int, ShmSlice] | None:
+    shared_memory = _shared_memory()
+    seg = None
+    name = ""
+    for _attempt in range(_NAME_ATTEMPTS):
+        name = f"{prefix}-{os.getpid():x}-{_next_seq():x}"
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=total)
+            break
+        except FileExistsError:
+            continue
+    if seg is None:
+        return None
+    _untrack(seg)
+    try:
+        return _fill(seg.buf, name, DESC_KIND_POSIX, blobs)
+    except BaseException:
+        seg.unlink()
+        raise
+    finally:
+        seg.close()
+
+
+def _publish_file(
+    root: str, blobs: list[tuple[int, bytes]], _total: int
+) -> dict[int, ShmSlice] | None:
+    fd = None
+    path = ""
+    for _attempt in range(_NAME_ATTEMPTS):
+        path = os.path.join(root, f"{os.getpid():x}-{_next_seq():x}.seg")
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
+            break
+        except FileExistsError:
+            continue
+    if fd is None:
+        return None
+    try:
+        descriptors: dict[int, ShmSlice] = {}
+        offset = 0
+        for partition, blob in blobs:
+            os.write(fd, blob)
+            descriptors[partition] = ShmSlice(
+                DESC_KIND_FILE, path, offset, len(blob)
+            )
+            offset += len(blob)
+        return descriptors
+    except BaseException:
+        os.unlink(path)
+        raise
+    finally:
+        os.close(fd)
+
+
+def _fill(
+    buf, name: str, kind: int, blobs: list[tuple[int, bytes]]
+) -> dict[int, ShmSlice]:
+    descriptors: dict[int, ShmSlice] = {}
+    offset = 0
+    for partition, blob in blobs:
+        n = len(blob)
+        buf[offset : offset + n] = blob
+        descriptors[partition] = ShmSlice(kind, name, offset, n)
+        offset += n
+    return descriptors
+
+
+# ---------------------------------------------------------------------------
+# reader side: the per-process attach cache
+#
+# Reducers attach *lazily*, on the first decode of a slice, and each
+# process maps a segment at most once no matter how many partitions it
+# reads from it — that is why descriptors stay cheap even when one map
+# output fans out to every reduce.
+
+
+class _Attachment:
+    """One process-local mapping of a segment (all slices share it)."""
+
+    __slots__ = ("view", "nbytes", "_closers")
+
+    def __init__(self, view, nbytes: int, closers: tuple):
+        self.view = view
+        self.nbytes = nbytes
+        self._closers = closers
+
+    @classmethod
+    def open_posix(cls, name: str) -> "_Attachment":
+        seg = _shared_memory().SharedMemory(name=name)
+        _untrack(seg)  # readers never own the segment's lifetime
+        # seg itself stays alive through the bound close method.
+        return cls(seg.buf, seg.size, (seg.close,))
+
+    @classmethod
+    def open_file(cls, path: str) -> "_Attachment":
+        f = open(path, "rb")
+        try:
+            mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            f.close()
+            raise
+        return cls(memoryview(mapped), len(mapped), (mapped.close, f.close))
+
+    def close(self) -> bool:
+        """Unmap; ``False`` when live decode views still pin the buffer
+        (the caller parks the attachment instead of crashing — it is
+        reclaimed at process exit, and the segment's *name* is already
+        unlinked, so nothing survives the run either way)."""
+        try:
+            if isinstance(self.view, memoryview):
+                self.view.release()
+            for closer in self._closers:
+                closer()
+        except BufferError:
+            return False
+        return True
+
+
+_attach_lock = threading.Lock()
+#: (kind, segment) -> _Attachment, oldest-attached first (LRU via
+#: pop/re-insert on hit).
+_attached: dict[tuple[int, str], _Attachment] = {}
+#: Attachments whose close() was refused by live exports; referenced
+#: here so teardown never runs close() from __del__ mid-decode.
+_zombies: list[_Attachment] = []
+
+
+def attach_slice(desc: ShmSlice, perf: PerfStats | None = None) -> memoryview:
+    """A zero-copy ``memoryview`` over one descriptor's blob.
+
+    Attaches the segment on first touch (counted in
+    ``perf.segments_attached``); later slices into the same segment hit
+    the cache.  Out-of-range descriptors raise
+    :class:`~repro.util.errors.WireFormatError` rather than returning a
+    short view that would decode as a truncated blob.
+    """
+    key = (desc.kind, desc.segment)
+    with _attach_lock:
+        att = _attached.pop(key, None)
+        if att is not None:
+            _attached[key] = att  # refresh LRU recency
+        else:
+            if desc.kind == DESC_KIND_POSIX:
+                att = _Attachment.open_posix(desc.segment)
+            else:
+                att = _Attachment.open_file(desc.segment)
+            _attached[key] = att
+            if perf is not None:
+                perf.segments_attached += 1
+            _evict_locked()
+    if desc.offset + desc.length > att.nbytes:
+        raise WireFormatError(
+            f"shm descriptor out of range: [{desc.offset}, "
+            f"{desc.offset + desc.length}) beyond segment of {att.nbytes} "
+            f"bytes ({desc.segment!r})"
+        )
+    return att.view[desc.offset : desc.offset + desc.length]
+
+
+def _evict_locked() -> None:
+    while len(_attached) > 1 and (
+        len(_attached) > ATTACH_CACHE_SEGMENTS
+        or sum(a.nbytes for a in _attached.values()) > ATTACH_CACHE_BYTES
+    ):
+        key = next(iter(_attached))  # oldest entry (insertion order)
+        att = _attached.pop(key)
+        if not att.close():
+            _zombies.append(att)
+
+
+def _detach_where(match) -> None:
+    """Close (or park) every cached attachment whose key matches."""
+    with _attach_lock:
+        for key in [k for k in _attached if match(k)]:
+            att = _attached.pop(key)
+            if not att.close():
+                _zombies.append(att)
+
+
+def attached_segment_count() -> int:
+    """Segments currently mapped by this process's attach cache."""
+    with _attach_lock:
+        return len(_attached)
+
+
+# ---------------------------------------------------------------------------
+# parent side: scopes
+
+
+_scopes_lock = threading.Lock()
+#: token -> ShmScope for every not-yet-released scope in this process.
+_live_scopes: dict[str, "ShmScope"] = {}
+
+
+class ShmScope:
+    """Parent-side registry and janitor for one run's segments.
+
+    Created by the runner/JobTracker before pooled tasks launch; its
+    :attr:`token` travels to map workers (it is the only shm state that
+    crosses the pool besides descriptors).  :meth:`release` — idempotent,
+    called from the runner's ``finally``, the JobTracker's job
+    finish/fail paths, backend shutdown and the ``atexit`` backstop —
+    unlinks every adopted segment *and* glob-purges orphans left by
+    workers that died between publishing and returning.
+    """
+
+    def __init__(self, arena: str = "auto"):
+        self.arena = resolve_arena(arena)
+        if self.arena == "posix":
+            self._prefix = f"repro-shm-{os.getpid():x}-{_next_seq():x}"
+            self._root = None
+            self.token = f"posix:{self._prefix}"
+        else:
+            self._root = tempfile.mkdtemp(prefix="repro-shm-")
+            self._prefix = None
+            self.token = f"file:{self._root}"
+        self._adopted: set[str] = set()
+        self._lock = threading.Lock()
+        self._released = False
+        with _scopes_lock:
+            _live_scopes[self.token] = self
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def adopt_output(self, output) -> None:
+        """Register a map output's segments for exact unlink at release."""
+        descriptors = getattr(output, "descriptors", None)
+        if not descriptors:
+            return
+        with self._lock:
+            for partition in sorted(descriptors):
+                self._adopted.add(descriptors[partition].segment)
+
+    def live_segments(self) -> list[str]:
+        """Names of this scope's segments that exist on the host now."""
+        if self.arena == "posix":
+            return self._scan_posix()
+        try:
+            entries = os.listdir(self._root)
+        except OSError:
+            return []
+        return sorted(os.path.join(self._root, name) for name in entries)
+
+    def _scan_posix(self) -> list[str]:
+        try:
+            entries = os.listdir(_POSIX_DIR)
+        except OSError:
+            entries = []
+        return sorted(n for n in entries if n.startswith(self._prefix))
+
+    def release(self) -> None:
+        """Unlink everything this scope owns, exactly once."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            adopted = sorted(self._adopted)
+        with _scopes_lock:
+            _live_scopes.pop(self.token, None)
+        if self.arena == "posix":
+            # Drop this process's own mappings first so unlinked memory
+            # is actually freed (pooled-threads runs attach in-process).
+            prefix = self._prefix
+            _detach_where(
+                lambda key: key[0] == DESC_KIND_POSIX
+                and key[1].startswith(prefix)
+            )
+            names = set(adopted)
+            names.update(self._scan_posix())  # crashed workers' orphans
+            for name in sorted(names):
+                _unlink_posix(name)
+        else:
+            root = self._root
+            _detach_where(
+                lambda key: key[0] == DESC_KIND_FILE
+                and key[1].startswith(root + os.sep)
+            )
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _unlink_posix(name: str) -> None:
+    """Remove one segment by name; silent when already gone.
+
+    The attach registers the name with this process's resource tracker
+    and ``unlink`` immediately unregisters it — balanced, so no
+    :func:`_untrack` needed on this path.
+    """
+    shared_memory = _shared_memory()
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        seg.unlink()
+    finally:
+        seg.close()
+
+
+def live_scope_tokens() -> list[str]:
+    """Tokens of every unreleased scope in this process (for tests)."""
+    with _scopes_lock:
+        return sorted(_live_scopes)
+
+
+def release_all_scopes() -> None:
+    """Release every live scope (backend shutdown / atexit backstop).
+
+    Also drains this process's attach cache: pool *workers* hold
+    mappings for segments whose scope lives in the parent, so their
+    cached file handles would otherwise survive to interpreter exit
+    and trip ResourceWarning.
+    """
+    with _scopes_lock:
+        scopes = [_live_scopes[token] for token in sorted(_live_scopes)]
+    for scope in scopes:
+        scope.release()
+    _detach_where(lambda key: True)
+    # Retry parked attachments: views exported at detach time have
+    # usually been dropped by now, letting their files finally close.
+    with _attach_lock:
+        parked, _zombies[:] = list(_zombies), []
+    for att in parked:
+        if not att.close():
+            with _attach_lock:  # pragma: no cover - view still exported
+                _zombies.append(att)
+
+
+atexit.register(release_all_scopes)

@@ -130,7 +130,7 @@ def run_combiner(
 class MapOutput:
     """One completed map task's partitioned, (optionally) combined output.
 
-    Two representations share this class:
+    Three representations share this class:
 
     - **object form** (``partitions``): partition -> pair list, the
       historical shape, used by the serial path and the pooled
@@ -138,7 +138,13 @@ class MapOutput:
     - **framed form** (``frames``): partition -> wire blob, produced by
       :meth:`freeze` inside pool workers so a map result crosses the
       process boundary as a few ``bytes`` objects instead of thousands
-      of pickled Writables.
+      of pickled Writables;
+    - **descriptor form** (``descriptors``): partition ->
+      :class:`~repro.mapreduce.wire.ShmSlice`, produced by
+      :meth:`publish_shm` under ``shuffle_transport="shm"`` — the blobs
+      live in a shared-memory segment and only the (segment, offset,
+      length) triples cross the pool; readers decode from a shared
+      ``memoryview`` via :func:`repro.mapreduce.shm.attach_slice`.
 
     Partition contents are immutable once the map task finishes, so
     per-partition byte/record totals are memoised: the JobTracker and
@@ -154,6 +160,9 @@ class MapOutput:
     partitions: dict[int, list[Pair]] | None = field(default_factory=dict)
     #: Framed form; ``None`` until :meth:`freeze`.
     frames: dict[int, bytes] | None = None
+    #: Descriptor form; ``None`` until :meth:`publish_shm` (which also
+    #: drops ``frames`` — the blobs then live only in shared memory).
+    descriptors: "dict[int, wire.ShmSlice] | None" = None
     #: partition -> serialized payload bytes, filled lazily.
     _bytes_memo: dict[int, int] = field(
         default_factory=dict, repr=False, compare=False
@@ -165,7 +174,9 @@ class MapOutput:
 
     @property
     def frozen(self) -> bool:
-        return self.frames is not None
+        """In a binary form (framed or descriptor) the framed reduce
+        path can consume."""
+        return self.frames is not None or self.descriptors is not None
 
     def freeze(self, perf: PerfStats | None = None) -> bool:
         """Encode every partition into a wire blob and drop the lists.
@@ -177,7 +188,7 @@ class MapOutput:
         returns ``False``.  Byte/record memos are filled from the
         encoder's own accounting, so later pricing never re-encodes.
         """
-        if self.frames is not None:
+        if self.frozen:
             return True
         assert self.partitions is not None
         t0 = _perf_clock() if perf is not None else 0.0
@@ -199,58 +210,112 @@ class MapOutput:
             perf.bytes_framed += sum(len(b) for b in frames.values())
         return True
 
+    def publish_shm(self, token: str, perf: PerfStats | None = None) -> bool:
+        """Move frozen frames into a shared segment (descriptor form).
+
+        ``token`` is the parent's :class:`~repro.mapreduce.shm.ShmScope`
+        token.  Publishing is strictly best-effort: on any failure (no
+        frames, empty output, shm arena unavailable or full) the output
+        stays framed — always correct, just copied across the pool —
+        and this returns ``False``.  On success the frames are dropped;
+        the blob bytes then exist exactly once on the host, inside the
+        segment.
+        """
+        if self.descriptors is not None:
+            return True
+        if not self.frames:
+            return False
+        from repro.mapreduce import shm
+
+        descriptors = shm.publish_frames(self.frames, token, perf)
+        if descriptors is None:
+            return False
+        self.descriptors = descriptors
+        self.frames = None
+        return True
+
+    def _blob_for(self, partition: int, perf: PerfStats | None = None):
+        """The partition's wire blob — ``bytes`` (framed), a shared
+        ``memoryview`` (descriptor form, attaching lazily), or ``None``
+        when absent.  Callers only in binary forms."""
+        if self.descriptors is not None:
+            desc = self.descriptors.get(partition)
+            if desc is None:
+                return None
+            from repro.mapreduce import shm
+
+            return shm.attach_slice(desc, perf)
+        assert self.frames is not None
+        return self.frames.get(partition)
+
     def partition_ids(self) -> list[int]:
-        """Sorted ids of non-empty partitions (either form)."""
-        source = self.frames if self.frames is not None else self.partitions
+        """Sorted ids of non-empty partitions (any form)."""
+        if self.descriptors is not None:
+            source = self.descriptors
+        elif self.frames is not None:
+            source = self.frames
+        else:
+            source = self.partitions
         return sorted(source)
 
     def pairs_for(self, partition: int, perf: PerfStats | None = None) -> list[Pair]:
-        """This partition's pairs as a list, decoding when framed.
+        """This partition's pairs as a list, decoding when binary.
 
         Callers must treat the result as read-only: in object form it
         is the partition's own list, not a copy.
         """
-        if self.frames is not None:
-            blob = self.frames.get(partition)
-            if blob is None:
-                return []
-            pairs = wire.decode_pair_list(blob)
-            if perf is not None:
-                perf.blobs_decoded += 1
-            return pairs
-        return self.partitions.get(partition, [])
+        if self.partitions is not None:
+            return self.partitions.get(partition, [])
+        if self.descriptors is not None and perf is not None:
+            desc = self.descriptors.get(partition)
+            if desc is not None:
+                # These bytes never crossed the pool: the reader decodes
+                # straight from the shared mapping.
+                perf.copy_avoided_bytes += desc.length
+        blob = self._blob_for(partition, perf)
+        if blob is None:
+            return []
+        pairs = wire.decode_pair_list(blob)
+        if perf is not None:
+            perf.blobs_decoded += 1
+        return pairs
 
     def iter_partition(self, partition: int) -> Iterator[Pair]:
-        """Lazily iterate one partition's pairs (either form)."""
-        if self.frames is not None:
-            blob = self.frames.get(partition)
-            return iter(()) if blob is None else wire.decode_pairs(blob)
-        return iter(self.partitions.get(partition, ()))
+        """Lazily iterate one partition's pairs (any form)."""
+        if self.partitions is not None:
+            return iter(self.partitions.get(partition, ()))
+        blob = self._blob_for(partition)
+        return iter(()) if blob is None else wire.decode_pairs(blob)
 
     def partition_key_sorted(self, partition: int) -> bool:
-        """Is this partition non-descending by key?  O(1) when framed
+        """Is this partition non-descending by key?  O(1) when binary
         (the codec records the flag at encode time)."""
-        if self.frames is not None:
-            blob = self.frames.get(partition)
-            return True if blob is None else wire.blob_key_sorted(blob)
-        return is_key_sorted(self.partitions.get(partition, []))
+        if self.partitions is not None:
+            return is_key_sorted(self.partitions.get(partition, []))
+        blob = self._blob_for(partition)
+        return True if blob is None else wire.blob_key_sorted(blob)
 
     def slice_for(self, partition: int) -> "MapOutput":
-        """A slim copy carrying only one partition's frames.
+        """A slim copy carrying only one partition's frames/descriptors.
 
-        Framed reduce dispatch ships these so a reduce attempt's IPC
-        payload holds just its own partition, not every partition of
-        every map.  Only meaningful on frozen outputs; an unfrozen
-        output is returned whole (the object path keeps its historical
-        full-ship behaviour).
+        Framed/shm reduce dispatch ships these so a reduce attempt's
+        IPC payload holds just its own partition, not every partition
+        of every map — and in descriptor form the payload is a ~50-byte
+        triple regardless of blob size.  Only meaningful on frozen
+        outputs; an unfrozen output is returned whole (the object path
+        keeps its historical full-ship behaviour).
         """
-        if self.frames is None:
+        if self.partitions is not None:
             return self
         sliced = MapOutput(
             task_index=self.task_index, node=self.node, partitions=None
         )
-        blob = self.frames.get(partition)
-        sliced.frames = {} if blob is None else {partition: blob}
+        if self.descriptors is not None:
+            desc = self.descriptors.get(partition)
+            sliced.descriptors = {} if desc is None else {partition: desc}
+        else:
+            blob = self.frames.get(partition)
+            sliced.frames = {} if blob is None else {partition: blob}
         if partition in self._bytes_memo:
             sliced._bytes_memo[partition] = self._bytes_memo[partition]
         if partition in self._records_memo:
@@ -260,25 +325,28 @@ class MapOutput:
     def partition_records(self, partition: int) -> int:
         count = self._records_memo.get(partition)
         if count is None:
-            if self.frames is not None:
-                blob = self.frames.get(partition)
-                count = 0 if blob is None else wire.blob_record_count(blob)
-            else:
+            if self.partitions is not None:
                 count = len(self.partitions.get(partition, ()))
+            else:
+                blob = self._blob_for(partition)
+                count = 0 if blob is None else wire.blob_record_count(blob)
             self._records_memo[partition] = count
         return count
 
     def partition_bytes(self, partition: int) -> int:
         size = self._bytes_memo.get(partition)
         if size is None:
-            if self.frames is not None:
-                # Freeze always fills the memo; a miss means an absent
-                # (empty) partition.
-                size = 0 if self.frames.get(partition) is None else None
-                if size is None:
-                    size = serialized_bytes(self.pairs_for(partition))
-            else:
+            if self.partitions is not None:
                 size = serialized_bytes(self.partitions.get(partition, ()))
+            else:
+                # Freeze always fills the memo before publish, so binary
+                # forms only miss here for an absent (empty) partition —
+                # or a hand-built output, priced by decoding.
+                blob = self._blob_for(partition)
+                if blob is None:
+                    size = 0
+                else:
+                    size = serialized_bytes(self.pairs_for(partition))
             self._bytes_memo[partition] = size
         return size
 

@@ -318,6 +318,7 @@ class TaskTracker:
 
             work, inline = work_inline, True
         else:
+            shm_scope = getattr(job, "shm_scope", None)
             work, inline = functools.partial(
                 map_attempt_work,
                 job.job,
@@ -327,11 +328,18 @@ class TaskTracker:
                 self.mr_config,
                 self.name,
                 self.node.spec.disk_write_bw,
+                shm_token=None if shm_scope is None else shm_scope.token,
             ), False
 
         def finalize(execution):
             execution.output.node = self.name
             execution.output.task_index = assignment.task_index
+            scope = getattr(job, "shm_scope", None)
+            if scope is not None:
+                # Adopt in the simulation thread, as soon as the result
+                # lands: the job's scope then unlinks this segment by
+                # name at job end even if the task is later re-run.
+                scope.adopt_output(execution.output)
             if execution.perf:
                 PERF.merge(execution.perf)
             self._publish_violations(assignment, execution)

@@ -220,6 +220,115 @@ def f(task):
         assert engine_lint(src) == []
 
 
+class TestMre104SharedMemoryLifecycle:
+    """Shared-memory/mmap allocations need a guaranteed cleanup path."""
+
+    BUGGY = """
+from multiprocessing import shared_memory
+
+def publish(blob):
+    seg = shared_memory.SharedMemory(create=True, size=len(blob))
+    seg.buf[: len(blob)] = blob
+    return seg.name
+"""
+
+    def test_unguarded_allocation_is_caught(self):
+        findings = engine_lint(self.BUGGY)
+        assert {f.rule for f in findings} == {"MRE104"}
+        (finding,) = findings
+        assert finding.severity == "error"
+        assert "close/unlink" in finding.message
+
+    def test_unguarded_mmap_is_caught(self):
+        src = """
+import mmap
+
+def read_segment(fd, length):
+    mapped = mmap.mmap(fd, length, access=mmap.ACCESS_READ)
+    return bytes(mapped)
+"""
+        assert rules_of(src) == {"MRE104"}
+
+    def test_with_statement_is_clean(self):
+        src = """
+import mmap
+
+def read_segment(fd, length):
+    with mmap.mmap(fd, length, access=mmap.ACCESS_READ) as mapped:
+        return bytes(mapped)
+"""
+        assert engine_lint(src) == []
+
+    def test_try_finally_close_is_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+def publish(blob):
+    seg = shared_memory.SharedMemory(create=True, size=len(blob))
+    try:
+        seg.buf[: len(blob)] = blob
+        return seg.name
+    finally:
+        seg.close()
+"""
+        assert engine_lint(src) == []
+
+    def test_except_unlink_counts_as_guard(self):
+        src = """
+from multiprocessing import shared_memory
+
+def publish(blob):
+    seg = shared_memory.SharedMemory(create=True, size=len(blob))
+    try:
+        seg.buf[: len(blob)] = blob
+        return seg.name
+    except BaseException:
+        seg.unlink()
+        raise
+    finally:
+        seg.close()
+"""
+        assert engine_lint(src) == []
+
+    def test_owning_class_with_close_is_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+class Attachment:
+    def open(self, name):
+        self.seg = shared_memory.SharedMemory(name=name)
+        return memoryview(self.seg.buf)
+
+    def close(self):
+        self.seg.close()
+"""
+        assert engine_lint(src) == []
+
+    def test_allocation_in_nested_function_blames_the_inner_scope(self):
+        src = """
+from multiprocessing import shared_memory
+
+def outer(blob):
+    def leaky():
+        return shared_memory.SharedMemory(create=True, size=len(blob))
+    try:
+        return leaky()
+    finally:
+        pass
+"""
+        assert rules_of(src) == {"MRE104"}
+
+    def test_suppression_comment_works(self):
+        src = """
+from multiprocessing import shared_memory
+
+def publish(blob):
+    seg = shared_memory.SharedMemory(create=True, size=len(blob))  # repro: lint-ok[MRE104] owner unlinks at scope release
+    return seg.name
+"""
+        assert engine_lint(src) == []
+
+
 class TestSelfAudit:
     def test_engine_packages_lint_clean(self):
         """`repro lint --self` over hdfs/mapreduce/faults/sim is clean —

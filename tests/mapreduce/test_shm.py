@@ -1,0 +1,400 @@
+"""The shared-memory shuffle plane: descriptors, arenas, scopes, leaks.
+
+Four contracts:
+
+1. the RWD1 descriptor codec round-trips exactly and rejects every
+   malformed byte sequence with :class:`WireFormatError` (truncation at
+   *every* boundary, bad magic, unknown kinds, trailing bytes);
+2. blobs published into a segment read back bit-exactly through
+   :func:`attach_slice`, in both arenas, via a per-process attach cache
+   that maps each segment at most once;
+3. an :class:`ShmScope` unlinks everything it owns exactly once — the
+   segments it adopted *and* the orphans a crashed worker left behind —
+   and the stdlib resource tracker stays silent throughout;
+4. :class:`MapOutput`'s descriptor form is observationally identical to
+   its framed form.
+"""
+
+import functools
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce import shm, wire
+from repro.mapreduce.backend import PooledExecutionBackend
+from repro.mapreduce.counters import PerfStats
+from repro.mapreduce.shuffle import MapOutput
+from repro.mapreduce.types import IntWritable, Text
+from repro.util.errors import ConfigError, WireFormatError
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="shm plane tests assume a POSIX host"
+)
+
+
+def _pairs(n=8):
+    return [(Text(f"k{i:03d}"), IntWritable(i)) for i in range(n)]
+
+
+def _blob(n=8):
+    blob, _ = wire.encode_pairs(_pairs(n))
+    return blob
+
+
+@pytest.fixture
+def scope():
+    s = shm.ShmScope("auto")
+    yield s
+    s.release()
+
+
+# -- 1. descriptor codec ----------------------------------------------------
+
+kinds = st.sampled_from([wire.DESC_KIND_POSIX, wire.DESC_KIND_FILE])
+names = st.text(min_size=1, max_size=60).filter(lambda s: s.strip())
+u64s = st.one_of(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.sampled_from([0, 1, 2**32 - 1, 2**32, 2**64 - 1]),
+)
+
+
+class TestDescriptorCodec:
+    @SETTINGS
+    @given(kind=kinds, name=names, offset=u64s, length=u64s)
+    def test_round_trip(self, kind, name, offset, length):
+        desc = wire.ShmSlice(kind, name, offset, length)
+        again = wire.ShmSlice.unpack(desc.pack())
+        assert again == desc
+        assert (again.kind, again.segment, again.offset, again.length) == (
+            kind,
+            name,
+            offset,
+            length,
+        )
+
+    @SETTINGS
+    @given(kind=kinds, name=names, offset=u64s, length=u64s)
+    def test_truncation_at_every_boundary(self, kind, name, offset, length):
+        blob = wire.ShmSlice(kind, name, offset, length).pack()
+        for cut in range(len(blob)):
+            with pytest.raises(WireFormatError):
+                wire.ShmSlice.unpack(blob[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        blob = wire.ShmSlice(wire.DESC_KIND_POSIX, "seg", 0, 1).pack()
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.ShmSlice.unpack(blob + b"\x00")
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(wire.ShmSlice(wire.DESC_KIND_POSIX, "seg", 0, 1).pack())
+        blob[:4] = b"NOPE"
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.ShmSlice.unpack(bytes(blob))
+
+    def test_unknown_kind_rejected_on_unpack(self):
+        blob = bytearray(wire.ShmSlice(wire.DESC_KIND_POSIX, "seg", 0, 1).pack())
+        blob[4] = 0x7F
+        with pytest.raises(WireFormatError, match="kind"):
+            wire.ShmSlice.unpack(bytes(blob))
+
+    def test_constructor_validation(self):
+        with pytest.raises(WireFormatError):
+            wire.ShmSlice(0x7F, "seg", 0, 1)  # unknown kind
+        with pytest.raises(WireFormatError):
+            wire.ShmSlice(wire.DESC_KIND_POSIX, "", 0, 1)  # empty name
+        with pytest.raises(WireFormatError):
+            wire.ShmSlice(wire.DESC_KIND_POSIX, "seg", -1, 1)
+        with pytest.raises(WireFormatError):
+            wire.ShmSlice(wire.DESC_KIND_POSIX, "seg", 0, 2**64)
+        with pytest.raises(WireFormatError):
+            wire.ShmSlice(wire.DESC_KIND_POSIX, "x" * 70000, 0, 1)
+
+    def test_u64_edges_survive(self):
+        desc = wire.ShmSlice(
+            wire.DESC_KIND_FILE, "/tmp/a.seg", 2**64 - 1, 2**64 - 1
+        )
+        assert wire.ShmSlice.unpack(desc.pack()) == desc
+
+    def test_pickle_goes_through_the_codec(self):
+        """ShmSlice pickles via pack/unpack, so production pool traffic
+        exercises the binary codec on every descriptor."""
+        import pickle
+
+        desc = wire.ShmSlice(wire.DESC_KIND_POSIX, "seg-a", 128, 4096)
+        assert pickle.loads(pickle.dumps(desc)) == desc
+
+
+# -- 2. publish / attach ----------------------------------------------------
+
+class TestPublishAttach:
+    @pytest.mark.parametrize("arena", ["posix", "file"])
+    def test_blobs_read_back_bit_exact(self, arena):
+        scope = shm.ShmScope(arena)
+        try:
+            frames = {0: _blob(4), 2: _blob(9)}
+            descs = shm.publish_frames(frames, scope.token)
+            assert sorted(descs) == [0, 2]
+            for p, blob in frames.items():
+                view = shm.attach_slice(descs[p])
+                assert bytes(view) == blob
+                assert wire.decode_pair_list(view) == wire.decode_pair_list(blob)
+        finally:
+            scope.release()
+        assert scope.live_segments() == []
+
+    def test_empty_frames_do_not_publish(self, scope):
+        assert shm.publish_frames({}, scope.token) is None
+        assert shm.publish_frames({0: b""}, scope.token) is None
+
+    def test_publish_counts_perf(self, scope):
+        perf = PerfStats()
+        frames = {0: _blob(3), 1: _blob(5)}
+        shm.publish_frames(frames, scope.token, perf)
+        assert perf.segments_created == 1
+        assert perf.shm_bytes == sum(len(b) for b in frames.values())
+
+    def test_attach_cache_maps_each_segment_once(self, scope):
+        frames = {0: _blob(3), 1: _blob(5)}
+        descs = shm.publish_frames(frames, scope.token)
+        perf = PerfStats()
+        shm.attach_slice(descs[0], perf)
+        shm.attach_slice(descs[1], perf)
+        shm.attach_slice(descs[0], perf)
+        assert perf.segments_attached == 1  # same segment, one mapping
+
+    def test_out_of_range_descriptor_rejected(self, scope):
+        descs = shm.publish_frames({0: _blob(2)}, scope.token)
+        good = descs[0]
+        bad = wire.ShmSlice(good.kind, good.segment, good.offset, good.length + 1)
+        with pytest.raises(WireFormatError, match="out of range"):
+            shm.attach_slice(bad)
+
+    def test_attach_cache_evicts_lru(self, scope, monkeypatch):
+        monkeypatch.setattr(shm, "ATTACH_CACHE_SEGMENTS", 2)
+        descs = [
+            shm.publish_frames({0: _blob(3)}, scope.token)[0] for _ in range(4)
+        ]
+        before = shm.attached_segment_count()
+        for desc in descs:
+            view = shm.attach_slice(desc)
+            del view  # release the export so eviction can unmap
+        assert shm.attached_segment_count() <= max(before, 2)
+
+    def test_release_after_publish_failure_is_clean(self):
+        """A token whose backing directory is gone: publish degrades to
+        None (the output stays framed) instead of raising."""
+        scope = shm.ShmScope("file")
+        root = scope.token.partition(":")[2]
+        scope.release()  # rmtree's the root
+        assert not os.path.isdir(root)
+        assert shm.publish_frames({0: _blob(2)}, scope.token) is None
+
+    def test_resolve_arena_validation(self):
+        with pytest.raises(ConfigError):
+            shm.resolve_arena("bogus")
+        assert shm.resolve_arena("file") == "file"
+        assert shm.resolve_arena("auto") in ("posix", "file")
+
+
+# -- 3. scopes, orphans, crashed workers ------------------------------------
+
+class TestScopeLifecycle:
+    def test_release_unlinks_adopted_segments(self):
+        scope = shm.ShmScope("auto")
+        output = MapOutput(task_index=0, node="n")
+        output.partitions = {0: _pairs(4)}
+        assert output.freeze()
+        assert output.publish_shm(scope.token)
+        scope.adopt_output(output)
+        assert scope.live_segments()
+        scope.release()
+        assert scope.live_segments() == []
+        scope.release()  # idempotent
+
+    def test_release_purges_unadopted_orphans(self):
+        """Segments published but never adopted (the worker died before
+        its result reached the parent) still go away at release."""
+        scope = shm.ShmScope("auto")
+        shm.publish_frames({0: _blob(4)}, scope.token)  # never adopted
+        assert scope.live_segments()
+        scope.release()
+        assert scope.live_segments() == []
+
+    def test_scope_registry_and_release_all(self):
+        scope = shm.ShmScope("auto")
+        assert scope.token in shm.live_scope_tokens()
+        shm.release_all_scopes()
+        assert scope.released
+        assert scope.token not in shm.live_scope_tokens()
+
+    def test_worker_killed_mid_shuffle_leaks_nothing(self, tmp_path):
+        """The ISSUE's regression drill: a pool worker publishes a
+        segment and dies; recovery answers on a fresh worker; release
+        leaves no segment behind."""
+        scope = shm.ShmScope("auto")
+        sentinel = str(tmp_path / "died-once")
+        backend = PooledExecutionBackend(workers=1, mode="process")
+        try:
+            seen = []
+            backend.submit(
+                functools.partial(_publish_and_die, scope.token, sentinel),
+                lambda h: seen.append(h.result()),
+            )
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                backend.join_all()
+            assert seen == ["published"]
+            assert backend.worker_crash_recoveries == 1
+            # both attempts' segments exist: the dead worker's orphan
+            # and the successful retry's.
+            assert len(scope.live_segments()) >= 2
+        finally:
+            backend.shutdown()
+        scope.release()
+        assert scope.live_segments() == []
+
+    def test_backend_shutdown_releases_scopes(self):
+        backend = PooledExecutionBackend(workers=1, mode="thread")
+        scope = shm.ShmScope("auto")
+        shm.publish_frames({0: _blob(3)}, scope.token)
+        backend.shutdown()
+        assert scope.released
+        assert scope.live_segments() == []
+
+    def test_resource_tracker_stays_silent(self):
+        """An end-to-end pooled shm job must not provoke any stdlib
+        resource_tracker warnings at interpreter exit."""
+        script = textwrap.dedent(
+            """
+            from repro.hdfs.localfs import LinuxFileSystem
+            from repro.jobs.wordcount import WordCountWithCombinerJob
+            from repro.mapreduce.config import JobConf, MapReduceConfig
+            from repro.mapreduce.local_runner import LocalJobRunner
+
+            fs = LinuxFileSystem()
+            fs.write_file("/data/c.txt", "a b c d e f g h\\n" * 400)
+            mr = MapReduceConfig(execution_backend="pooled",
+                                 backend_workers=2,
+                                 shuffle_transport="shm")
+            with LocalJobRunner(localfs=fs, mr_config=mr,
+                                split_size=2048) as runner:
+                job = WordCountWithCombinerJob(JobConf(name="wc",
+                                                       num_reduces=3))
+                runner.run(job, "/data/c.txt", "/out")
+            print("DONE")
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "DONE" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+
+    def test_interrupted_run_releases_segments(self, monkeypatch):
+        """KeyboardInterrupt surfacing through join_all still hits the
+        runner's finally: no segment survives."""
+        from repro.hdfs.localfs import LinuxFileSystem
+        from repro.jobs.wordcount import WordCountJob
+        from repro.mapreduce import local_runner as lr_mod
+        from repro.mapreduce.config import JobConf, MapReduceConfig
+        from repro.mapreduce.local_runner import LocalJobRunner
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        fs = LinuxFileSystem()
+        fs.write_file("/data/c.txt", "a b c\n" * 200)
+        mr = MapReduceConfig(
+            execution_backend="pooled-threads",
+            backend_workers=2,
+            shuffle_transport="shm",
+        )
+        before = shm.live_scope_tokens()
+        with LocalJobRunner(localfs=fs, mr_config=mr, split_size=512) as runner:
+            monkeypatch.setattr(lr_mod, "reduce_attempt_work", interrupt)
+            job = WordCountJob(JobConf(name="wc", num_reduces=2))
+            with pytest.raises(KeyboardInterrupt):
+                runner.run(job, "/data/c.txt", "/out")
+        assert shm.live_scope_tokens() == before
+
+
+def _publish_and_die(token, sentinel):
+    """Pool payload: publish a segment; die hard on the first attempt."""
+    blob, _ = wire.encode_pairs([(Text("k"), IntWritable(1))])
+    shm.publish_frames({0: blob}, token)
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "published"
+
+
+# -- 4. MapOutput descriptor form ------------------------------------------
+
+class TestMapOutputDescriptorForm:
+    def _published(self, scope):
+        output = MapOutput(task_index=3, node="n")
+        output.partitions = {0: _pairs(5), 2: _pairs(7)}
+        assert output.freeze()
+        framed = {p: output.frames[p] for p in output.frames}
+        assert output.publish_shm(scope.token)
+        scope.adopt_output(output)
+        return output, framed
+
+    def test_accessors_match_framed_form(self, scope):
+        output, framed = self._published(scope)
+        reference = MapOutput(task_index=3, node="n", partitions=None)
+        reference.frames = framed
+        assert output.frozen and output.frames is None
+        assert output.partition_ids() == reference.partition_ids()
+        for p in (0, 1, 2):
+            assert output.pairs_for(p) == reference.pairs_for(p)
+            assert list(output.iter_partition(p)) == list(
+                reference.iter_partition(p)
+            )
+            assert output.partition_key_sorted(p) == (
+                reference.partition_key_sorted(p)
+            )
+            assert output.partition_records(p) == reference.partition_records(p)
+            assert output.partition_bytes(p) == reference.partition_bytes(p)
+
+    def test_slice_for_carries_one_descriptor(self, scope):
+        output, _ = self._published(scope)
+        sliced = output.slice_for(2)
+        assert sorted(sliced.descriptors) == [2]
+        assert sliced.pairs_for(2) == output.pairs_for(2)
+        assert sliced.pairs_for(0) == []
+        empty = output.slice_for(1)
+        assert empty.descriptors == {}
+        assert empty.frozen
+
+    def test_publish_requires_frozen(self, scope):
+        output = MapOutput(task_index=0, node="n")
+        output.partitions = {0: _pairs(2)}
+        assert not output.publish_shm(scope.token)  # not frozen yet
+        assert output.partitions is not None
+
+    def test_decode_counts_zero_copy_bytes(self, scope):
+        output, _ = self._published(scope)
+        perf = PerfStats()
+        output.pairs_for(0, perf)
+        output.pairs_for(2, perf)
+        total = sum(d.length for d in output.descriptors.values())
+        assert perf.copy_avoided_bytes == total
+        assert perf.blobs_decoded == 2
