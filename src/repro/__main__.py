@@ -10,6 +10,7 @@ Subcommands:
 - ``classroom``   replay the Fall-2012 meltdown vs the Spring-2013 fix
 - ``figure1``     the architecture scan sweep
 - ``chaos``       run a fault-injection drill and print its timeline
+- ``dfsadmin``    admin commands (-saveNamespace, -metasave) on a demo cluster
 - ``lint``        mrlint: static-check job code (and the engine itself)
 
 Exit codes: 0 success/clean, 1 failed drill or lint findings, 2 usage
@@ -170,6 +171,42 @@ def _cmd_chaos(args) -> int:
     return exit_code
 
 
+def _cmd_dfsadmin(args) -> int:
+    from repro.hdfs.cluster import HdfsCluster
+    from repro.hdfs.config import HdfsConfig
+    from repro.hdfs.dfsadmin import DfsAdmin
+    from repro.util.errors import HdfsError
+
+    if not (args.save_namespace or args.metasave):
+        print(
+            "dfsadmin: nothing to do (pass -saveNamespace and/or -metasave)",
+            file=sys.stderr,
+        )
+        return 2
+    hdfs = HdfsCluster(
+        num_datanodes=3,
+        config=HdfsConfig(
+            block_size=2048, replication=2, journal=not args.no_journal
+        ),
+        seed=7,
+    )
+    client = hdfs.client()
+    client.put_text(
+        "/user/student/report.txt", "a small admin demo corpus\n" * 40
+    )
+    client.put_text("/user/student/notes.txt", "namenode durability\n" * 25)
+    admin = DfsAdmin(hdfs.namenode)
+    try:
+        if args.save_namespace:
+            print(admin.save_namespace())
+        if args.metasave:
+            print(admin.metasave())
+    except HdfsError as exc:
+        print(f"dfsadmin: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         lint_jobs,
@@ -266,6 +303,29 @@ def main(argv: list[str] | None = None) -> int:
                        help="shuffle transport for the drill (results are "
                        "bit-identical; default framed)")
     chaos.set_defaults(fn=_cmd_chaos)
+    dfsadmin = sub.add_parser(
+        "dfsadmin",
+        help="hadoop-style admin commands over a small demo cluster",
+    )
+    dfsadmin.add_argument(
+        "-saveNamespace",
+        dest="save_namespace",
+        action="store_true",
+        help="roll a checkpoint: fresh fsimage, truncated edit log",
+    )
+    dfsadmin.add_argument(
+        "-metasave",
+        dest="metasave",
+        action="store_true",
+        help="dump NameNode metadata (block map + journal state)",
+    )
+    dfsadmin.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="build the demo cluster with journaling disabled "
+        "(-saveNamespace then fails with exit code 2)",
+    )
+    dfsadmin.set_defaults(fn=_cmd_dfsadmin)
     lint = sub.add_parser(
         "lint",
         help="mrlint: static-check MapReduce job code (and the engine)",

@@ -25,6 +25,11 @@ un-landable:
             handler) releasing it, in a class that does not own a
             ``close``/``release``/``unlink`` — the shuffle-plane
             segment-leak class (PR 6)
+``MRE105``  namespace mutation without a journal record: a function
+            calls ``<...>.namespace.mkdirs/create_file/delete/rename``
+            but contains no ``journal.log_*`` call — the mutation is
+            invisible to crash recovery, so a NameNode restart replays
+            to a *different* namespace (PR 7's durability contract)
 ==========  ==========================================================
 
 Set-typedness is inferred syntactically: set literals/comprehensions,
@@ -79,7 +84,23 @@ ENGINE_RULES = {
         "close()/unlink(), or own the handle in a class that defines "
         "close()/release()/unlink()",
     ),
+    "MRE105": Rule(
+        id="MRE105",
+        family="engine",
+        severity="error",
+        title="namespace mutation without a journal record",
+        hint="pair every namespace mutator with the matching "
+        "journal.log_*() call in the same function; an unjournaled "
+        "mutation is lost on NameNode crash, so recovery replays to a "
+        "different namespace",
+    ),
 }
+
+#: Namespace methods MRE105 treats as durable mutations.  The receiver
+#: must be ``namespace`` or ``<...>.namespace`` — replay code that
+#: rebuilds a namespace under another local name is deliberately exempt
+#: (it *is* the journal being applied).
+_NAMESPACE_MUTATORS = {"mkdirs", "create_file", "delete", "rename"}
 
 #: Calls MRE104 treats as shared-memory/arena allocations.
 _SHM_ALLOCATORS = ("SharedMemory",)
@@ -293,6 +314,7 @@ class _EngineVisitor:
         for node in ast.walk(self.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._check_function(node)
+                self._check_journal_coverage(node)
             elif isinstance(node, ast.ExceptHandler):
                 self._check_except(node)
         self._check_module_level_iteration()
@@ -430,6 +452,45 @@ class _EngineVisitor:
                 f"{fname}({what}, key=...) breaks ties by insertion "
                 "order — sensitive to arrival/registration history",
                 severity="warning",
+            )
+
+    # -- MRE105 -----------------------------------------------------------
+    def _check_journal_coverage(self, fn: ast.FunctionDef) -> None:
+        """A function mutating ``*.namespace`` must also journal.
+
+        Coverage is per-function and deliberately coarse: any
+        ``journal.log_*``/``*.journal.log_*`` call anywhere in the
+        function clears all of its mutations (the rule points eyes at
+        *unjournaled* mutators, not at argument mismatches).
+        """
+        mutators: list[ast.Call] = []
+        journaled = False
+        for node in _walk_own_body(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            receiver = _dotted(node.func.value)
+            if receiver is None:
+                continue
+            if node.func.attr in _NAMESPACE_MUTATORS and (
+                receiver == "namespace" or receiver.endswith(".namespace")
+            ):
+                mutators.append(node)
+            elif node.func.attr.startswith("log_") and (
+                receiver == "journal" or receiver.endswith(".journal")
+            ):
+                journaled = True
+        if journaled:
+            return
+        for call in mutators:
+            self._emit(
+                "MRE105",
+                call,
+                f"{_dotted(call.func)}(...) mutates the namespace with no "
+                "journal.log_*() record in the same function — invisible "
+                "to crash recovery",
             )
 
     # -- MRE104 -----------------------------------------------------------

@@ -128,6 +128,18 @@ class FaultInjector(FaultSite):
             self.sim.schedule(restart_after, self._restart_tracker, tracker.name)
         return True
 
+    def namenode_heartbeat_crash(self, namenode) -> bool:
+        rate_fault = self._rates.get("namenode.crash")
+        if rate_fault is None or not self._fires(
+            rate_fault, "namenode", namenode.heartbeats_processed
+        ):
+            return False
+        self._record("namenode.crash", via="rate")
+        recover_after = rate_fault.param("recover_after")
+        if recover_after is not None:
+            self.sim.schedule(recover_after, self._recover_namenode)
+        return True
+
     def task_attempt_fault(self, job_id: str, attempt_id: str) -> str | None:
         rate_fault = self._rates.get("task.exception")
         if rate_fault is None or not self._fires(rate_fault, attempt_id):
@@ -200,6 +212,33 @@ class FaultInjector(FaultSite):
         elif kind == "cluster.restart":
             self._record("cluster.restart")
             self.cluster.restart_cluster()
+        elif kind == "namenode.crash":
+            namenode = self.cluster.hdfs.namenode
+            if not namenode.down:
+                self._record("namenode.crash", via="scheduled")
+                namenode.crash()
+                recover_after = fault.param("recover_after")
+                if recover_after is not None:
+                    self._pending.append(
+                        self.sim.schedule(recover_after, self._recover_namenode)
+                    )
+        elif kind == "namenode.recover":
+            self._recover_namenode()
+        elif kind == "checkpoint.roll":
+            namenode = self.cluster.hdfs.namenode
+            if namenode.journal.enabled and not namenode.down:
+                stats = namenode.save_namespace()
+                self._record(
+                    "checkpoint.roll",
+                    edits_truncated=stats.edits_truncated,
+                    image_inodes=stats.image_inodes,
+                    image_blocks=stats.image_blocks,
+                )
+        elif kind == "journal.torn_tail":
+            namenode = self.cluster.hdfs.namenode
+            if namenode.journal.enabled:
+                dropped = namenode.journal.tear_tail(fault.param("drop_bytes"))
+                self._record("journal.torn_tail", dropped_bytes=dropped)
         else:  # pragma: no cover - plan validation rejects unknown kinds
             raise ConfigError(f"unknown scheduled fault kind {kind!r}")
 
@@ -225,6 +264,25 @@ class FaultInjector(FaultSite):
     def _restart_worker(self, name: str) -> None:
         self._record("worker.restart", node=name)
         self.cluster.restart_worker(name)
+
+    def _recover_namenode(self) -> None:
+        # Calls NameNode.recover() directly, never the cluster wrapper:
+        # HdfsCluster.recover_namenode advances the sim (wait_until) and
+        # this runs *inside* a sim event.  Trackers resume on their own
+        # once safemode clears (MapReduceCluster listens on the bus).
+        namenode = self.cluster.hdfs.namenode
+        if not namenode.down:
+            return
+        namenode.recover()
+        stats = namenode.journal.last_recovery
+        if stats is not None:
+            self._record(
+                "namenode.recover",
+                replayed_edits=stats.replayed_edits,
+                torn_bytes=stats.torn_bytes,
+            )
+        else:
+            self._record("namenode.recover")
 
     def _slow_disk(self, fault: ScheduledFault) -> None:
         datanode = self.cluster.hdfs.datanode(fault.target)

@@ -11,14 +11,19 @@ The catalog
 Scheduled faults (fire at a fixed delay after arming, or when a bus
 event trips a trigger):
 
-==================  =====================================================
-``datanode.crash``  one DataNode daemon dies (optionally restarts later)
-``tracker.crash``   one TaskTracker daemon dies
-``worker.crash``    both daemons on one node die together
-``disk.slow``       a node's disk reads slow down by ``factor``
-``blocks.corrupt``  silent on-disk corruption of stored replicas
-``cluster.restart`` the paper's bounce-everything recovery procedure
-==================  =====================================================
+=====================  ==================================================
+``datanode.crash``     one DataNode daemon dies (optionally restarts)
+``tracker.crash``      one TaskTracker daemon dies
+``worker.crash``       both daemons on one node die together
+``disk.slow``          a node's disk reads slow down by ``factor``
+``blocks.corrupt``     silent on-disk corruption of stored replicas
+``cluster.restart``    the paper's bounce-everything recovery procedure
+``namenode.crash``     the NameNode process dies (journal survives;
+                       optionally recovers ``recover_after`` later)
+``namenode.recover``   replay fsimage + edits on a crashed NameNode
+``checkpoint.roll``    SecondaryNameNode-style fsimage roll + truncate
+``journal.torn_tail``  chop bytes off the edit log's tail (torn write)
+=====================  ==================================================
 
 Probabilistic faults (a rate in ``[0, 1]`` drawn once per opportunity,
 from an RNG stream named by the opportunity — attempt id, node +
@@ -32,6 +37,7 @@ of execution order or backend):
 ``datanode.crash``         a DataNode dies instead of heartbeating
 ``tracker.crash``          a TaskTracker dies instead of heartbeating
 ``backend.worker_crash``   a pooled-backend worker dies holding a result
+``namenode.crash``         the NameNode dies servicing a heartbeat
 =========================  ============================================
 """
 
@@ -54,6 +60,10 @@ SCHEDULED_KINDS = frozenset(
         "disk.slow",
         "blocks.corrupt",
         "cluster.restart",
+        "namenode.crash",
+        "namenode.recover",
+        "checkpoint.roll",
+        "journal.torn_tail",
     }
 )
 
@@ -66,6 +76,7 @@ RATE_KINDS = frozenset(
         "datanode.crash",
         "tracker.crash",
         "backend.worker_crash",
+        "namenode.crash",
     }
 )
 
@@ -250,6 +261,37 @@ class FaultPlan:
         """Bounce everything (the paper's corrupted-cluster recovery)."""
         return self._add_scheduled(at, "cluster.restart", None)
 
+    def crash_namenode(
+        self, at: float, recover_after: float | None = None
+    ) -> "FaultPlan":
+        """Kill the NameNode process — the paper's single point of
+        failure.  In-memory namespace, block map and registrations are
+        gone; only the journal survives.  ``recover_after`` schedules a
+        journal replay that many seconds later."""
+        return self._add_scheduled(
+            at, "namenode.crash", None, recover_after=recover_after
+        )
+
+    def recover_namenode(self, at: float) -> "FaultPlan":
+        """Recover a crashed NameNode: load the fsimage, replay edits,
+        re-enter safemode until DataNodes re-report."""
+        return self._add_scheduled(at, "namenode.recover", None)
+
+    def roll_checkpoint(self, at: float) -> "FaultPlan":
+        """SecondaryNameNode roll: merge the edit log into a fresh
+        fsimage, swap it in, truncate the edits."""
+        return self._add_scheduled(at, "checkpoint.roll", None)
+
+    def tear_journal_tail(
+        self, at: float, drop_bytes: int | None = None
+    ) -> "FaultPlan":
+        """Chop bytes off the edit-log tail (a torn write: the crash
+        landed mid-append).  ``None`` tears halfway into the last
+        fully-written record; recovery replays the valid prefix."""
+        return self._add_scheduled(
+            at, "journal.torn_tail", None, drop_bytes=drop_bytes
+        )
+
     def on_event(
         self,
         topic: str,
@@ -326,6 +368,15 @@ class FaultPlan:
     def worker_crash_rate(self, rate: float) -> "FaultPlan":
         """Per-work-item probability that a pooled backend worker dies."""
         return self._add_rate("backend.worker_crash", rate)
+
+    def namenode_crash_rate(
+        self, rate: float, recover_after: float = 60.0
+    ) -> "FaultPlan":
+        """Per-processed-heartbeat probability that the NameNode dies.
+        Unlike the DataNode/tracker rates, recovery defaults to *on*
+        (60 s): a cluster whose NameNode never comes back cannot finish
+        any drill."""
+        return self._add_rate("namenode.crash", rate, recover_after=recover_after)
 
     # -- utilities -------------------------------------------------------
     def with_seed(self, seed: int) -> "FaultPlan":

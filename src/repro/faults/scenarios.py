@@ -65,6 +65,10 @@ class Scenario:
     #: Optional post-run phase (runs after output capture, may advance
     #: the simulation further) appending scenario-specific checks.
     post: Callable[[MapReduceCluster, FaultInjector, list[Check]], None] | None = None
+    #: When set, each run also waits for replication to settle and
+    #: captures ``fsck(path).render()``; the faulty run's render must be
+    #: bit-identical to the baseline's (namespace durability proof).
+    fsck_path: str | None = None
     #: Generous sim-time budget; chaos runs are slower than healthy ones.
     timeout: float = 14 * 24 * 3600.0
 
@@ -83,6 +87,8 @@ class ScenarioResult:
     timeline: list[str] = field(default_factory=list)
     fault_log: list[str] = field(default_factory=list)
     replay_fault_log: list[str] = field(default_factory=list)
+    fsck_render: str | None = None
+    baseline_fsck_render: str | None = None
     checks: list[Check] = field(default_factory=list)
 
     @property
@@ -164,6 +170,31 @@ def _framework_counters(report: JobReport) -> dict[str, dict[str, int]]:
     }
 
 
+def _settled_fsck(mr: MapReduceCluster, path: str) -> str:
+    """``fsck(path).render()`` once replication has settled.
+
+    "Settled" — NameNode up, out of safemode, nothing under- or
+    over-replicated, no corrupt replicas, no missing blocks — is the
+    stable comparison point at which a recovered run's namespace must
+    be indistinguishable from the fault-free baseline's.
+    """
+
+    def settled() -> bool:
+        nn = mr.hdfs.namenode
+        if nn.down or nn.safemode.active:
+            return False
+        report = fsck(nn, path)
+        return (
+            report.under_replicated == 0
+            and report.over_replicated == 0
+            and report.corrupt_replicas == 0
+            and report.missing_blocks == 0
+        )
+
+    mr.hdfs.wait_until(settled, timeout=8 * 3600.0, step=30.0)
+    return fsck(mr.hdfs.namenode, path).render()
+
+
 def _render_event(event) -> str:
     rendered = " ".join(f"{k}={event.data[k]}" for k in sorted(event.data))
     return f"t={event.time:10.3f}  {event.topic:35s} {rendered}".rstrip()
@@ -177,8 +208,12 @@ def _run_once(
     sanitize: bool = False,
     transport: str = "framed",
     block_cache_bytes: int | None = None,
-) -> tuple[JobReport, dict[str, bytes], list[str], list[str]]:
-    """One full drill execution; returns (report, files, timeline, log)."""
+) -> tuple[JobReport, dict[str, bytes], list[str], list[str], str | None]:
+    """One full drill execution.
+
+    Returns (report, files, timeline, fault log, settled-fsck render) —
+    the last only for scenarios that set ``fsck_path``.
+    """
     with _make_cluster(
         backend,
         sanitize=sanitize,
@@ -197,6 +232,11 @@ def _run_once(
             files = _read_part_files(mr, "/chaos/out")
             if injector is not None and checks is not None and scenario.post:
                 scenario.post(mr, injector, checks)
+            fsck_render = (
+                _settled_fsck(mr, scenario.fsck_path)
+                if scenario.fsck_path is not None
+                else None
+            )
         finally:
             fault_log = injector.fault_log() if injector is not None else []
             if injector is not None:
@@ -206,7 +246,7 @@ def _run_once(
             for e in mr.sim.bus.history()
             if e.topic.startswith(TIMELINE_TOPICS)
         ]
-        return report, files, timeline, fault_log
+        return report, files, timeline, fault_log, fsck_render
 
 
 def run_scenario(
@@ -231,7 +271,7 @@ def run_scenario(
     plan = scenario.plan(seed)
     result = ScenarioResult(name=scenario.name, seed=seed, plan=plan)
 
-    baseline_report, baseline_files, _, _ = _run_once(
+    baseline_report, baseline_files, _, _, baseline_fsck = _run_once(
         scenario,
         None,
         backend,
@@ -241,13 +281,14 @@ def run_scenario(
     )
     result.baseline_report = baseline_report
     result.baseline_files = baseline_files
+    result.baseline_fsck_render = baseline_fsck
     result.check(
         "fault-free baseline succeeded",
         baseline_report.succeeded,
         str(baseline_report.failure_reason),
     )
 
-    report, files, timeline, fault_log = _run_once(
+    report, files, timeline, fault_log, fsck_render = _run_once(
         scenario,
         plan,
         backend,
@@ -260,6 +301,7 @@ def run_scenario(
     result.output_files = files
     result.timeline = timeline
     result.fault_log = fault_log
+    result.fsck_render = fsck_render
     result.check(
         "job completed despite injected faults",
         report.succeeded,
@@ -280,6 +322,12 @@ def run_scenario(
         _framework_counters(report) == _framework_counters(baseline_report),
         "counter drift outside 'Job Counters'",
     )
+    if scenario.fsck_path is not None:
+        result.check(
+            "settled fsck bit-identical to fault-free baseline",
+            fsck_render == baseline_fsck,
+            f"faulty fsck:\n{fsck_render}\nbaseline fsck:\n{baseline_fsck}",
+        )
     if sanitize:
         sanitizer_groups = {
             run: rep.counters.as_dict().get("Sanitizer", {})
@@ -294,7 +342,7 @@ def run_scenario(
             f"violations: {sanitizer_groups}",
         )
 
-    _, _, _, replay_log = _run_once(
+    _, _, _, replay_log, _ = _run_once(
         scenario,
         plan,
         backend,
@@ -391,6 +439,81 @@ def _shuffle_storm_plan(seed: int) -> FaultPlan:
     )
 
 
+def _namenode_crash_plan(seed: int) -> FaultPlan:
+    # The second completed map kills the NameNode outright: namespace,
+    # block map and registrations all gone from memory.  45 seconds
+    # later recovery replays fsimage + edit log, safemode holds until
+    # DataNodes re-report, paused trackers resume, and the job — plus a
+    # settled fsck of the whole namespace — must be bit-identical to
+    # the fault-free baseline.
+    return FaultPlan(seed=seed).on_event(
+        "mr.task.completed", "namenode.crash", count=2, recover_after=45.0
+    )
+
+
+def _namenode_crash_post(
+    mr: MapReduceCluster, injector: FaultInjector, checks: list[Check]
+) -> None:
+    nn = mr.hdfs.namenode
+    stats = nn.journal.last_recovery
+    checks.append(
+        (
+            "NameNode crashed and recovered from its journal",
+            nn.crashes >= 1 and nn.recoveries >= 1 and stats is not None,
+            f"crashes={nn.crashes} recoveries={nn.recoveries}",
+        )
+    )
+    checks.append(
+        (
+            "recovery replayed journaled edits",
+            stats is not None and stats.replayed_edits > 0,
+            f"recovery={stats}",
+        )
+    )
+
+
+def _checkpoint_roll_plan(seed: int) -> FaultPlan:
+    # A SecondaryNameNode-style checkpoint rolls after the second map
+    # (fresh fsimage, truncated edit log), then the fourth map kills
+    # the NameNode.  Recovery now loads the checkpointed image and
+    # replays only the short post-checkpoint edit tail.
+    return (
+        FaultPlan(seed=seed)
+        .on_event("mr.task.completed", "checkpoint.roll", count=2)
+        .on_event(
+            "mr.task.completed", "namenode.crash", count=4, recover_after=45.0
+        )
+    )
+
+
+def _checkpoint_roll_post(
+    mr: MapReduceCluster, injector: FaultInjector, checks: list[Check]
+) -> None:
+    journal = mr.hdfs.namenode.journal
+    checks.append(
+        (
+            "checkpoint rolled a fresh fsimage",
+            journal.checkpoints >= 1,
+            f"checkpoints={journal.checkpoints}",
+        )
+    )
+    stats = journal.last_recovery
+    checks.append(
+        (
+            "recovery loaded a non-empty fsimage",
+            stats is not None and stats.image_inodes > 0,
+            f"recovery={stats}",
+        )
+    )
+    checks.append(
+        (
+            "recovery replayed only the post-checkpoint edit tail",
+            stats is not None and stats.replayed_edits < journal.edits_logged,
+            f"recovery={stats} edits_logged={journal.edits_logged}",
+        )
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -430,6 +553,29 @@ SCENARIOS: dict[str, Scenario] = {
                 "integrity scans, every daemon re-registering (Section II.A)"
             ),
             plan=_thundering_restart_plan,
+        ),
+        Scenario(
+            name="namenode_crash_recovery",
+            title="Crash the NameNode mid-job, recover from the journal",
+            paper_incident=(
+                "the NameNode as single point of failure holding all "
+                "metadata in memory (Figure 2); only the edit log brings "
+                "the namespace back"
+            ),
+            plan=_namenode_crash_plan,
+            post=_namenode_crash_post,
+            fsck_path="/",
+        ),
+        Scenario(
+            name="checkpoint_roll",
+            title="Checkpoint, then crash: recover from fsimage + edit tail",
+            paper_incident=(
+                "the SecondaryNameNode checkpoint cycle that bounds "
+                "edit-log replay on NameNode restart (Section III)"
+            ),
+            plan=_checkpoint_roll_plan,
+            post=_checkpoint_roll_post,
+            fsck_path="/",
         ),
         Scenario(
             name="shuffle_storm",

@@ -23,6 +23,11 @@ Hadoop 1.2.1):
 from repro.hdfs.config import HdfsConfig
 from repro.hdfs.block import Block, StoredBlock
 from repro.hdfs.blockcache import BlockCache
+from repro.hdfs.journal import (
+    DirJournalStorage,
+    MemoryJournalStorage,
+    NameNodeJournal,
+)
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.client import DFSClient, DFSInputStream
@@ -37,6 +42,9 @@ __all__ = [
     "Block",
     "BlockCache",
     "StoredBlock",
+    "DirJournalStorage",
+    "MemoryJournalStorage",
+    "NameNodeJournal",
     "NameNode",
     "DataNode",
     "DFSClient",

@@ -17,11 +17,14 @@ chunk's CRC was recomputed or remembered.
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from dataclasses import dataclass
 
 from repro.util.errors import CorruptBlockError
+
+#: First block id a fresh NameNode hands out (and the ``next_block_id``
+#: an empty fsimage records).
+DEFAULT_FIRST_BLOCK_ID = 1001
 
 #: Default io.bytes.per.checksum when a StoredBlock is built outside an
 #: HdfsConfig (unit tests, ad-hoc replicas).  Hadoop ships 512 bytes;
@@ -52,13 +55,29 @@ class Block:
 
 
 class BlockIdGenerator:
-    """Monotonic block-id source owned by the NameNode."""
+    """Monotonic block-id source owned by the NameNode.
 
-    def __init__(self, start: int = 1001):
-        self._counter = itertools.count(start)
+    A plain integer counter (not ``itertools.count``) so the fsimage
+    can persist (:meth:`peek`) and reinstall (:meth:`restore`) the next
+    id across crash recovery — replayed clusters must hand out exactly
+    the ids the live cluster would have.
+    """
+
+    def __init__(self, start: int = DEFAULT_FIRST_BLOCK_ID):
+        self._next = start
 
     def next_id(self) -> int:
-        return next(self._counter)
+        allocated = self._next
+        self._next += 1
+        return allocated
+
+    def peek(self) -> int:
+        """The id the next allocation will return (persisted in fsimage)."""
+        return self._next
+
+    def restore(self, next_id: int) -> None:
+        """Reinstall a journaled counter; never moves backwards."""
+        self._next = max(self._next, int(next_id))
 
 
 def checksum(data) -> int:

@@ -138,6 +138,17 @@ class HdfsCluster:
         """Restart one DataNode; returns its integrity-scan duration."""
         return self.datanode(name).start()
 
+    def crash_namenode(self) -> None:
+        """Kill the NameNode process (DataNodes keep running and keep
+        heartbeating into the void)."""
+        self.namenode.crash()
+
+    def recover_namenode(self, timeout: float = 3600.0) -> None:
+        """Replay the journal, then wait for DataNodes to re-register,
+        re-report, and for safemode to lift."""
+        self.namenode.recover()
+        self.wait_until(self._ready, timeout=timeout)
+
     def restart_cluster(self) -> float:
         """The paper's recovery procedure: bounce everything.
 

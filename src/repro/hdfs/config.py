@@ -65,6 +65,20 @@ class HdfsConfig:
     #: (block_id, generation)).  0 disables the cache.  Cache state is
     #: host-side only: hits and misses charge identical simulated time.
     block_cache_bytes: int = 64 * MB
+    #: Write-ahead journaling of every namespace mutation (the fsimage +
+    #: edit-log pair).  Costs nothing in simulated time or determinism —
+    #: fault-free runs are bit-identical with it on or off.  ``False``
+    #: restores the memory-only NameNode, where a crash loses the
+    #: namespace forever (the paper's nightmare scenario).
+    journal: bool = True
+    #: Directory for on-disk journal files (``fsimage`` + ``edits``).
+    #: ``None`` keeps the journal in process memory — still
+    #: crash-recoverable in-simulation, without touching the host disk.
+    journal_dir: str | None = None
+    #: Roll a checkpoint automatically once this many edit records have
+    #: accumulated (the SecondaryNameNode's job).  0 = roll only on an
+    #: explicit ``dfsadmin -saveNamespace``.
+    checkpoint_edit_limit: int = 0
 
     def __post_init__(self) -> None:
         self.block_size = parse_size(self.block_size)
@@ -88,6 +102,10 @@ class HdfsConfig:
         self.block_cache_bytes = parse_size(self.block_cache_bytes)
         if self.block_cache_bytes < 0:
             raise ConfigError("block_cache_bytes must be >= 0")
+        if self.checkpoint_edit_limit < 0:
+            raise ConfigError("checkpoint_edit_limit must be >= 0")
+        if self.journal_dir is not None and not self.journal:
+            raise ConfigError("journal_dir is set but journal=False")
 
     @property
     def dead_node_timeout(self) -> float:
@@ -118,4 +136,7 @@ class HdfsConfig:
             checksum_chunk_size=max(512, small_block // 16),
             checksum_memo=self.checksum_memo,
             block_cache_bytes=self.block_cache_bytes,
+            journal=self.journal,
+            journal_dir=self.journal_dir,
+            checkpoint_edit_limit=self.checkpoint_edit_limit,
         )

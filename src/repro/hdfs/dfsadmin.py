@@ -93,12 +93,23 @@ class DfsAdmin:
             return f"{datanode}: Decommissioned"
         return f"{datanode}: Decommission in progress"
 
+    def save_namespace(self) -> str:
+        """``dfsadmin -saveNamespace``: roll a checkpoint (new fsimage,
+        atomic swap, edit-log truncation)."""
+        stats = self.namenode.save_namespace()
+        return (
+            f"Save namespace successful: fsimage holds "
+            f"{stats.image_inodes} inodes / {stats.image_blocks} blocks; "
+            f"truncated {stats.edits_truncated} edit records"
+        )
+
     def metasave(self) -> str:
         """A compact dump of NameNode metadata (for Figure 2)."""
         nn = self.namenode
         lines = [
             f"Blocks in memory: {len(nn.block_map)} "
             f"(~{nn.heap_used_bytes()} bytes of NameNode heap)",
+            nn.journal.describe(),
         ]
         for block_id in sorted(nn.block_map):
             meta = nn.block_map[block_id]

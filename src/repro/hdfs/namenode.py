@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 from repro.cluster.topology import ClusterTopology
 from repro.hdfs.block import Block, BlockIdGenerator
 from repro.hdfs.config import HdfsConfig
-from repro.hdfs.namespace import FileStatus, Namespace
+from repro.hdfs.journal import (
+    CheckpointStats,
+    DirJournalStorage,
+    ImageState,
+    MemoryJournalStorage,
+    NameNodeJournal,
+)
+from repro.hdfs.namespace import FileStatus, Namespace, normalize
 from repro.hdfs.placement import ReplicaPlacementPolicy
 from repro.hdfs.protocol import (
     BlockReport,
@@ -32,6 +39,7 @@ from repro.util.errors import (
     BlockNotFoundError,
     FileNotFoundInHdfs,
     HdfsError,
+    NameNodeDownError,
     QuotaExceededError,
     ReplicationError,
 )
@@ -103,7 +111,28 @@ class NameNode:
         self.quotas: dict[str, tuple[int | None, int | None]] = {}
         #: DataNodes being drained: no new replicas are placed on them.
         self.decommissioning: set[str] = set()
+        #: True between crash() and recover(): the process is gone, every
+        #: RPC is refused, and only the journal remembers the namespace.
+        self.down = False
+        # The fsimage + edit-log pair.  Disabled journaling keeps a no-op
+        # journal object so mutators never branch on config.
+        if self.config.journal:
+            storage = (
+                DirJournalStorage(self.config.journal_dir)
+                if self.config.journal_dir
+                else MemoryJournalStorage()
+            )
+            self.journal = NameNodeJournal(
+                storage, checkpoint_edit_limit=self.config.checkpoint_edit_limit
+            )
+        else:
+            self.journal = NameNodeJournal(None)
+        self.journal.bind(self._image_state)
+        self.journal.format()
         self.restarts = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.heartbeats_processed = 0
         self._monitors_started = False
         self._start_monitors()
         # A freshly formatted NameNode has no blocks to wait for.
@@ -124,6 +153,8 @@ class NameNode:
 
     def _check_liveness(self) -> None:
         """Declare DataNodes dead after prolonged heartbeat silence."""
+        if self.down:
+            return
         timeout = self.config.dead_node_timeout
         for name, desc in self.datanodes.items():
             if desc.alive and self.sim.now - desc.last_heartbeat > timeout:
@@ -142,7 +173,7 @@ class NameNode:
 
     def _replication_sweep(self) -> None:
         """Queue re-replication / deletion work, a few blocks per sweep."""
-        if self.safemode.active:
+        if self.down or self.safemode.active:
             return
         streams = 0
         for block_id in sorted(self.under_replicated):
@@ -214,18 +245,19 @@ class NameNode:
         space_quota: int | None = None,
     ) -> None:
         """Set (or clear, with None/None) quotas on a directory."""
+        self._check_down("set a quota")
         directory = self.namespace.get_dir(path)  # must exist and be a dir
-        from repro.hdfs.namespace import normalize
-
         norm = normalize(path)
         if namespace_quota is None and space_quota is None:
             self.quotas.pop(norm, None)
+            self.journal.log_set_quota(norm, None, None)
             return
         if namespace_quota is not None and namespace_quota < 1:
             raise QuotaExceededError("namespace quota must be >= 1")
         if space_quota is not None and space_quota < 0:
             raise QuotaExceededError("space quota must be >= 0")
         self.quotas[norm] = (namespace_quota, space_quota)
+        self.journal.log_set_quota(norm, namespace_quota, space_quota)
 
     def _quota_roots_for(self, path: str) -> list[str]:
         from repro.hdfs.namespace import normalize
@@ -271,9 +303,11 @@ class NameNode:
         """Begin draining a DataNode: no new replicas land on it, and
         its existing replicas are copied elsewhere by the replication
         monitor.  Reads keep working throughout."""
+        self._check_down("start decommissioning")
         if datanode not in self.datanodes:
             raise HdfsError(f"unknown DataNode {datanode!r}")
         self.decommissioning.add(datanode)
+        self.journal.log_decommission_start(datanode)
         for meta in self.block_map.values():
             if datanode in meta.locations:
                 self._check_replication(meta)
@@ -304,7 +338,9 @@ class NameNode:
         return True
 
     def stop_decommission(self, datanode: str) -> None:
+        self._check_down("stop decommissioning")
         self.decommissioning.discard(datanode)
+        self.journal.log_decommission_stop(datanode)
         for meta in self.block_map.values():
             if datanode in meta.locations:
                 self._check_replication(meta)
@@ -312,10 +348,13 @@ class NameNode:
     # ------------------------------------------------------------------
     # namespace operations (client RPCs)
     def mkdirs(self, path: str) -> bool:
+        self._check_down("mkdirs")
         self.safemode.check("mkdirs")
         if not self.namespace.exists(path):
             self._check_namespace_quota(path)
-        return self.namespace.mkdirs(path, mtime=self.sim.now)
+        created = self.namespace.mkdirs(path, mtime=self.sim.now)
+        self.journal.log_mkdirs(normalize(path), self.sim.now)
+        return created
 
     def create_file(
         self,
@@ -323,17 +362,19 @@ class NameNode:
         replication: int | None = None,
         overwrite: bool = False,
     ) -> None:
+        self._check_down("create a file")
         self.safemode.check("create")
         rep = replication if replication is not None else self.config.replication
         if rep < 1:
             raise ReplicationError(f"replication must be >= 1, got {rep}")
         if overwrite and self.namespace.exists(path) and not self.namespace.is_dir(path):
-            self.delete(path)
+            self.delete(path)  # journals its own OP_DELETE record
         if not self.namespace.exists(path):
             self._check_namespace_quota(path)
         self.namespace.create_file(
             path, replication=rep, mtime=self.sim.now, overwrite=overwrite
         )
+        self.journal.log_create(normalize(path), rep, self.sim.now)
 
     def add_block(
         self,
@@ -344,14 +385,12 @@ class NameNode:
     ) -> tuple[Block, list[str]]:
         """Allocate the next block of an under-construction file and
         choose pipeline targets for it."""
+        self._check_down("add a block")
         self.safemode.check("add block")
         inode = self.namespace.get_file(path)
         if not inode.under_construction:
             raise HdfsError(f"{path} is not under construction")
         self._check_space_quota(path, length * inode.replication)
-        block = Block(
-            block_id=self._block_ids.next_id(), generation=1, length=length
-        )
         candidates = self._eligible_targets(length)
         targets = self.placement.choose_targets(
             inode.replication, candidates, writer=writer, exclude=exclude
@@ -362,16 +401,26 @@ class NameNode:
                 f"replicas for a new block of {path} "
                 f"({len(candidates)} eligible DataNodes)"
             )
+        # Allocate the id only once placement has succeeded: a failed
+        # allocation would burn an id no journal record explains, and a
+        # replayed NameNode's id counter would drift from the live one.
+        block = Block(
+            block_id=self._block_ids.next_id(), generation=1, length=length
+        )
         inode.blocks.append(block)
         self.block_map[block.block_id] = BlockMeta(
             block=block,
             expected_replication=inode.replication,
             file_path=path,
         )
+        self.journal.log_add_block(
+            normalize(path), block.block_id, block.generation, block.length
+        )
         return block, targets
 
     def abandon_block(self, path: str, block: Block) -> None:
         """Roll back a block whose pipeline completely failed."""
+        self._check_down("abandon a block")
         inode = self.namespace.get_file(path)
         inode.blocks = [b for b in inode.blocks if b.block_id != block.block_id]
         meta = self.block_map.pop(block.block_id, None)
@@ -383,9 +432,11 @@ class NameNode:
                     InvalidateCommand(block_ids=(block.block_id,))
                 )
         self.under_replicated.discard(block.block_id)
+        self.journal.log_abandon_block(normalize(path), block.block_id)
         self._update_safemode()
 
     def complete_file(self, path: str) -> None:
+        self._check_down("complete a file")
         inode = self.namespace.get_file(path)
         for block in inode.blocks:
             meta = self.block_map[block.block_id]
@@ -397,6 +448,7 @@ class NameNode:
             self._check_replication(meta)
         inode.under_construction = False
         inode.mtime = self.sim.now
+        self.journal.log_complete(normalize(path), self.sim.now)
         self._update_safemode()
         self.sim.bus.publish(
             "hdfs.namenode.file_completed",
@@ -410,6 +462,7 @@ class NameNode:
         self, path: str, client_node: str | None = None
     ) -> list[LocatedBlock]:
         """Blocks of a file with live replica locations, nearest-first."""
+        self._check_down("locate blocks")
         inode = self.namespace.get_file(path)
         located = []
         for block in inode.blocks:
@@ -425,8 +478,10 @@ class NameNode:
         return located
 
     def delete(self, path: str, recursive: bool = False) -> bool:
+        self._check_down("delete")
         self.safemode.check("delete")
         freed = self.namespace.delete(path, recursive=recursive)
+        self.journal.log_delete(normalize(path), recursive)
         for block in freed:
             meta = self.block_map.pop(block.block_id, None)
             self.under_replicated.discard(block.block_id)
@@ -441,8 +496,10 @@ class NameNode:
         return True
 
     def rename(self, src: str, dst: str) -> None:
+        self._check_down("rename")
         self.safemode.check("rename")
         self.namespace.rename(src, dst)
+        self.journal.log_rename(normalize(src), normalize(dst))
         # Keep fsck context accurate after moves.
         for file_path, inode in self.namespace.walk_files("/"):
             for block in inode.blocks:
@@ -451,6 +508,7 @@ class NameNode:
                     meta.file_path = file_path
 
     def set_replication(self, path: str, replication: int) -> None:
+        self._check_down("setrep")
         self.safemode.check("setrep")
         if replication < 1:
             raise ReplicationError("replication must be >= 1")
@@ -460,6 +518,7 @@ class NameNode:
                 path, inode.length * (replication - inode.replication)
             )
         inode.replication = replication
+        self.journal.log_set_replication(normalize(path), replication)
         for block in inode.blocks:
             meta = self.block_map[block.block_id]
             meta.expected_replication = replication
@@ -467,17 +526,22 @@ class NameNode:
 
     # read-only namespace passthroughs
     def exists(self, path: str) -> bool:
+        self._check_down("stat")
         return self.namespace.exists(path)
 
     def status(self, path: str) -> FileStatus:
+        self._check_down("stat")
         return self.namespace.status(path)
 
     def list_status(self, path: str) -> list[FileStatus]:
+        self._check_down("list")
         return self.namespace.list_status(path)
 
     # ------------------------------------------------------------------
     # DataNode RPCs
     def register_datanode(self, info: DatanodeInfo) -> None:
+        if self.down:
+            return
         self.datanodes[info.name] = DataNodeDescriptor(
             info=info, last_heartbeat=self.sim.now, alive=True
         )
@@ -487,6 +551,14 @@ class NameNode:
         )
 
     def heartbeat(self, info: DatanodeInfo) -> HeartbeatResponse:
+        if self.down:
+            # A dead process answers nothing; the DataNode simply retries
+            # on its next interval and re-registers after recovery.
+            return HeartbeatResponse()
+        self.heartbeats_processed += 1
+        if self.sim.faults.namenode_heartbeat_crash(self):
+            self.crash()
+            return HeartbeatResponse()
         desc = self.datanodes.get(info.name)
         if desc is None or info.name in self._needs_reregister:
             return HeartbeatResponse(re_register=True)
@@ -501,6 +573,8 @@ class NameNode:
         return HeartbeatResponse(commands=commands)
 
     def process_block_report(self, report: BlockReport) -> None:
+        if self.down:
+            return
         name = report.datanode
         orphans: list[int] = []
         for block_id in report.block_ids:
@@ -521,6 +595,10 @@ class NameNode:
 
     def block_received(self, datanode: str, block: Block) -> None:
         """A DataNode confirms one replica landed (pipeline or copy)."""
+        if self.down:
+            # The confirmation is lost with the process; the replica is
+            # re-announced by the node's block report after recovery.
+            return
         meta = self.block_map.get(block.block_id)
         if meta is None:
             raise BlockNotFoundError(f"blk_{block.block_id} unknown to NameNode")
@@ -531,6 +609,8 @@ class NameNode:
 
     def report_bad_block(self, block_id: int, datanode: str) -> None:
         """A reader or scanner found a corrupt replica."""
+        if self.down:
+            return
         meta = self.block_map.get(block_id)
         if meta is None:
             return
@@ -581,6 +661,8 @@ class NameNode:
     # ------------------------------------------------------------------
     # safe mode
     def _update_safemode(self) -> None:
+        if self.down:
+            return
         total = len(self.block_map)
         safe = sum(
             1
@@ -595,26 +677,141 @@ class NameNode:
             self.sim.schedule_at(exit_time, self._try_leave_safemode)
 
     def _try_leave_safemode(self) -> None:
+        if self.down:
+            return
         if self.safemode.try_exit(self.sim.now):
             self.sim.bus.publish("hdfs.namenode.safemode_off", self.sim.now)
 
     # ------------------------------------------------------------------
-    # restart (the war-story path)
-    def restart(self) -> None:
-        """Restart the NameNode: the namespace and block map survive (the
-        fsimage), but replica locations and DataNode registrations are
-        runtime state and are lost.  The NameNode re-enters safe mode
-        until DataNodes re-register and re-report — which is why the
-        paper's cluster took 15+ minutes to come back."""
-        self.restarts += 1
-        for meta in self.block_map.values():
-            meta.locations.clear()
-            meta.corrupt_on.clear()
-        self._needs_reregister = set(self.datanodes)
-        self.datanodes.clear()
+    # durability: crash, recovery, checkpoints (the war-story path)
+    def _check_down(self, operation: str) -> None:
+        if self.down:
+            raise NameNodeDownError(
+                f"cannot {operation}: the NameNode is down "
+                "(crashed; awaiting journal recovery)"
+            )
+
+    def _image_state(self) -> ImageState:
+        """Snapshot the durable half of this NameNode for the fsimage.
+
+        Replica locations, registrations and pending commands are
+        deliberately absent: they are runtime state, rebuilt from
+        DataNode block reports while recovery waits out safemode.
+        """
+        return ImageState(
+            namespace=self.namespace,
+            quotas=dict(self.quotas),
+            decommissioning=set(self.decommissioning),
+            next_block_id=self._block_ids.peek(),
+        )
+
+    def _install_state(self, state: ImageState) -> None:
+        """Adopt a recovered ImageState and rebuild the block map from
+        the namespace walk (every block's expected replication is its
+        file's replication — the map is fully derivable)."""
+        self.namespace = state.namespace
+        self.quotas = dict(state.quotas)
+        self.decommissioning = set(state.decommissioning)
+        self._block_ids.restore(state.next_block_id)
+        self.block_map = {}
+        for file_path, inode in self.namespace.walk_files("/"):
+            for block in inode.blocks:
+                self.block_map[block.block_id] = BlockMeta(
+                    block=block,
+                    expected_replication=inode.replication,
+                    file_path=file_path,
+                )
         self._pending_commands.clear()
         self.under_replicated.clear()
         self.over_replicated.clear()
+
+    def crash(self) -> None:
+        """Kill the NameNode process.  Every in-memory structure — the
+        namespace, the block map, registrations, pending commands — is
+        gone; only the journal (fsimage + edit log) survives.  With
+        journaling disabled this is the paper's nightmare scenario: the
+        cluster's metadata exists nowhere."""
+        if self.down:
+            return
+        self.down = True
+        self.crashes += 1
+        self.namespace = Namespace()
+        self.block_map = {}
+        self.datanodes.clear()
+        self._pending_commands.clear()
+        self._needs_reregister.clear()
+        self.under_replicated.clear()
+        self.over_replicated.clear()
+        self.quotas = {}
+        self.decommissioning = set()
+        self.safemode = SafeMode(
+            threshold=self.config.safemode_threshold,
+            extension=self.config.safemode_extension,
+        )
+        self.sim.bus.publish("hdfs.namenode.crashed", self.sim.now)
+
+    def recover(self) -> None:
+        """Bring a crashed NameNode back from its journal: load the
+        fsimage, replay the edit log's valid prefix, enter safemode, and
+        wait for DataNodes to re-register and re-report their blocks
+        (their next heartbeat gets ``re_register=True`` because the
+        descriptor table died with the process)."""
+        if not self.down:
+            return
+        self._install_state(self.journal.recover())
+        self.down = False
+        self.recoveries += 1
+        self._update_safemode()
+        self.sim.bus.publish("hdfs.namenode.recovered", self.sim.now)
+
+    def save_namespace(self) -> CheckpointStats:
+        """``dfsadmin -saveNamespace``: roll a checkpoint — encode a new
+        fsimage from live state, swap it in, truncate the edit log."""
+        self._check_down("save the namespace")
+        return self.journal.checkpoint()
+
+    def namespace_digest(self) -> tuple:
+        """Canonical durable-state snapshot: identical digests mean the
+        journal reproduced the namespace exactly (identity tests)."""
+        return (
+            self.namespace.dump(),
+            tuple(sorted(self.quotas.items())),
+            tuple(sorted(self.decommissioning)),
+            self._block_ids.peek(),
+            tuple(
+                (
+                    block_id,
+                    self.block_map[block_id].block,
+                    self.block_map[block_id].expected_replication,
+                )
+                for block_id in sorted(self.block_map)
+            ),
+        )
+
+    def restart(self) -> None:
+        """Restart the NameNode: replica locations and DataNode
+        registrations are runtime state and are always lost — the
+        NameNode re-enters safe mode until DataNodes re-register and
+        re-report, which is why the paper's cluster took 15+ minutes to
+        come back.  With journaling on, the namespace itself is *also*
+        dropped and rebuilt from fsimage + edits (restart IS recovery,
+        proving the journal captures everything); with it off, the
+        in-heap namespace survives the way the pre-journal repro
+        pretended the fsimage worked."""
+        self.restarts += 1
+        if self.journal.enabled:
+            # _install_state rebuilds the block map with empty location
+            # sets, so there is nothing runtime-flavoured left to clear.
+            self._install_state(self.journal.recover())
+        else:
+            for meta in self.block_map.values():
+                meta.locations.clear()
+                meta.corrupt_on.clear()
+            self._pending_commands.clear()
+            self.under_replicated.clear()
+            self.over_replicated.clear()
+        self._needs_reregister = set(self.datanodes)
+        self.datanodes.clear()
         self.safemode = SafeMode(
             threshold=self.config.safemode_threshold,
             extension=self.config.safemode_extension,

@@ -240,6 +240,46 @@ class Namespace:
             out.append(self.status(child_path))
         return out
 
+    def walk_all(self, path: str = "/") -> Iterator[tuple[str, INode]]:
+        """Preorder walk of *every* inode under ``path`` — directories
+        included, children sorted by name.  Parents always precede their
+        children, which is what makes this the fsimage serialization
+        order (the decoder can rebuild the tree in one forward pass).
+        """
+        node = self._resolve(path)
+        norm = normalize(path)
+        yield norm, node
+        if node.is_dir:
+            for name in sorted(node.children):  # type: ignore[union-attr]
+                yield from self.walk_all(posixpath.join(norm, name))
+
+    def dump(self) -> tuple:
+        """A canonical, hashable snapshot of the whole tree.
+
+        Used by the journal identity properties: two namespaces are
+        equal iff their dumps are equal (paths, mtimes, replication,
+        construction state, and exact block lists).
+        """
+        out = []
+        for walked_path, inode in self.walk_all("/"):
+            if inode.is_dir:
+                out.append((walked_path, "dir", inode.mtime))
+            else:
+                out.append(
+                    (
+                        walked_path,
+                        "file",
+                        inode.replication,  # type: ignore[union-attr]
+                        inode.mtime,
+                        inode.under_construction,  # type: ignore[union-attr]
+                        tuple(
+                            (b.block_id, b.generation, b.length)
+                            for b in inode.blocks  # type: ignore[union-attr]
+                        ),
+                    )
+                )
+        return tuple(out)
+
     def walk_files(self, path: str = "/") -> Iterator[tuple[str, INodeFile]]:
         """Yield ``(path, inode)`` for every file under ``path``."""
         node = self._resolve(path)

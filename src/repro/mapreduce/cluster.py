@@ -82,6 +82,13 @@ class MapReduceCluster:
             )
             tracker.start(self.jobtracker)
             self.tasktrackers[node.name] = tracker
+        # NameNode-only outages (the namenode.crash fault) get the same
+        # budget protection restart_cluster has always had: trackers
+        # pause for the blackout and resume once recovery clears
+        # safemode, so no attempt burns its failure budget on
+        # SafeModeException while block reports trickle in.
+        self.sim.bus.subscribe("hdfs.namenode.crashed", self._on_namenode_crashed)
+        self.sim.bus.subscribe("hdfs.namenode.recovered", self._on_namenode_recovered)
 
     def close(self) -> None:
         """Join outstanding work and release backend resources (pools)."""
@@ -188,9 +195,34 @@ class MapReduceCluster:
             if tracker.is_serving:
                 tracker.stop()
         scan = self.hdfs.restart_cluster()
+        self._resume_trackers_when_safe(start_delay=scan)
+        return scan
+
+    # -- NameNode-only outage ride-out ---------------------------------
+    def _on_namenode_crashed(self, event) -> None:
+        # Deferred one tick: the crash publishes from inside whatever
+        # event killed the NameNode (often a heartbeat), and stopping
+        # trackers reentrantly from a bus callback would mutate state
+        # the in-flight event still holds.
+        self.sim.schedule(0.0, self._pause_trackers)
+
+    def _on_namenode_recovered(self, event) -> None:
+        self._resume_trackers_when_safe()
+
+    def _pause_trackers(self) -> None:
+        if not self.hdfs.namenode.down:
+            return  # recovered within the same tick; nothing to pause
+        for tracker in self.tasktrackers.values():
+            if tracker.is_serving:
+                tracker.stop()
+
+    def _resume_trackers_when_safe(self, start_delay: float | None = None) -> None:
+        """Restart stopped trackers once the NameNode is up and out of
+        safemode (shared by restart_cluster and NameNode recovery)."""
 
         def tick() -> None:
-            if self.hdfs.namenode.safemode.active:
+            namenode = self.hdfs.namenode
+            if namenode.down or namenode.safemode.active:
                 return
             for tracker in self.tasktrackers.values():
                 if not tracker.is_serving and tracker.node.is_up:
@@ -198,6 +230,5 @@ class MapReduceCluster:
             cancel()
 
         cancel = self.sim.every(
-            self.mr_config.tasktracker_heartbeat, tick, start_delay=scan
+            self.mr_config.tasktracker_heartbeat, tick, start_delay=start_delay
         )
-        return scan

@@ -58,6 +58,11 @@ class FaultSite:
         """True → the TaskTracker dies instead of heartbeating."""
         return False
 
+    def namenode_heartbeat_crash(self, namenode) -> bool:
+        """True → the NameNode process dies while servicing this
+        heartbeat (recovers only by replaying its journal)."""
+        return False
+
     def task_attempt_fault(self, job_id: str, attempt_id: str) -> str | None:
         """An error message to raise for this attempt, or None."""
         return None

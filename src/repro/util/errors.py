@@ -64,6 +64,24 @@ class DataNodeDownError(HdfsError):
     """An operation was routed to a dead or stopped DataNode."""
 
 
+class NameNodeDownError(HdfsError):
+    """An RPC reached a crashed NameNode.
+
+    Distinct from :class:`SafeModeException`: safemode is a NameNode
+    that is *up* but not yet trusting its block map; this is a NameNode
+    that is gone until recovery replays its journal.
+    """
+
+
+class JournalFormatError(HdfsError):
+    """A corrupt or truncated fsimage / edit-log structure was decoded.
+
+    A torn edit-log *tail* is expected (crash mid-append) and handled by
+    replay truncation; this error surfaces the unexpected cases — bad
+    magic, a corrupt fsimage body, garbage mid-log.
+    """
+
+
 class QuotaExceededError(HdfsError):
     """Namespace or space quota would be exceeded."""
 

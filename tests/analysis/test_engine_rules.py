@@ -329,6 +329,69 @@ def publish(blob):
         assert engine_lint(src) == []
 
 
+class TestMre105JournalCoverage:
+    """Namespace mutators without a journal record — the durability hole."""
+
+    UNJOURNALED = """
+def mkdirs(self, path):
+    created = self.namespace.mkdirs(path, mtime=self.sim.now)
+    return created
+"""
+
+    JOURNALED = """
+def mkdirs(self, path):
+    created = self.namespace.mkdirs(path, mtime=self.sim.now)
+    if created:
+        self.journal.log_mkdirs(path, self.sim.now)
+    return created
+"""
+
+    def test_unjournaled_mutation_is_caught(self):
+        findings = engine_lint(self.UNJOURNALED)
+        assert {f.rule for f in findings} == {"MRE105"}
+        (finding,) = findings
+        assert finding.severity == "error"
+        assert "crash recovery" in finding.message
+
+    def test_journaled_mutation_is_clean(self):
+        assert engine_lint(self.JOURNALED) == []
+
+    def test_every_mutator_kind_is_covered(self):
+        src = """
+def wreck(self, src, dst):
+    self.namespace.create_file(src, replication=2, mtime=0.0)
+    self.namespace.rename(src, dst)
+    self.namespace.delete(dst, recursive=True)
+"""
+        findings = engine_lint(src)
+        assert [f.rule for f in findings] == ["MRE105"] * 3
+
+    def test_any_journal_log_call_clears_the_function(self):
+        src = """
+def rename(self, src, dst):
+    self.namespace.rename(src, dst)
+    self.journal.log_rename(src, dst)
+"""
+        assert engine_lint(src) == []
+
+    def test_replay_code_under_another_name_is_exempt(self):
+        # Journal replay rebuilds a namespace held in a local — it IS
+        # the journal being applied, so it must not need a log call.
+        src = """
+def apply_edit(state, path, mtime):
+    ns = state.namespace
+    ns.mkdirs(path, mtime=mtime)
+"""
+        assert engine_lint(src) == []
+
+    def test_suppression_comment_works(self):
+        src = """
+def scratch(self, path):
+    self.namespace.mkdirs(path)  # repro: lint-ok[MRE105] ephemeral scratch namespace, never recovered
+"""
+        assert engine_lint(src) == []
+
+
 class TestSelfAudit:
     def test_engine_packages_lint_clean(self):
         """`repro lint --self` over hdfs/mapreduce/faults/sim is clean —

@@ -105,6 +105,63 @@ class TestScheduledFaults:
             for block_id in {d["block_id"] for d in corrupted}:
                 assert injector._healthy_replicas(block_id) >= 1
 
+    def test_namenode_crash_and_scheduled_recovery(self):
+        mr = make_mr()
+        mr.client().put_text("/data.txt", "payload " * 500)
+        digest = mr.hdfs.namenode.namespace_digest()
+        plan = FaultPlan().crash_namenode(at=5.0, recover_after=40.0)
+        with FaultInjector(plan, mr) as injector:
+            mr.sim.run_for(6.0)
+            assert mr.hdfs.namenode.down
+            mr.sim.run_for(60.0)
+            assert not mr.hdfs.namenode.down
+            assert mr.hdfs.namenode.namespace_digest() == digest
+            kinds = [kind for _, kind, _ in injector.injected]
+        assert kinds == ["namenode.crash", "namenode.recover"]
+
+    def test_checkpoint_roll_truncates_the_edit_log(self):
+        mr = make_mr()
+        mr.client().put_text("/data.txt", "payload " * 500)
+        plan = FaultPlan().roll_checkpoint(at=1.0)
+        with FaultInjector(plan, mr) as injector:
+            mr.sim.run_for(2.0)
+            kinds = [kind for _, kind, _ in injector.injected]
+            assert kinds == ["checkpoint.roll"]
+            (_, _, data) = injector.injected[0]
+            assert data["image_inodes"] > 0
+        assert mr.hdfs.namenode.journal.edits_since_checkpoint == 0
+
+    def test_torn_tail_then_recovery_drops_only_the_torn_record(self):
+        mr = make_mr()
+        mr.client().put_text("/data.txt", "payload " * 500)
+        edits_before = mr.hdfs.namenode.journal.edits_logged
+        plan = (
+            FaultPlan()
+            .tear_journal_tail(at=1.0)
+            .crash_namenode(at=2.0)
+            .recover_namenode(at=3.0)
+        )
+        with FaultInjector(plan, mr) as injector:
+            mr.sim.run_for(10.0)
+            kinds = [kind for _, kind, _ in injector.injected]
+            assert kinds == [
+                "journal.torn_tail",
+                "namenode.crash",
+                "namenode.recover",
+            ]
+        recovery = mr.hdfs.namenode.journal.last_recovery
+        assert recovery.torn_bytes > 0
+        assert recovery.replayed_edits == edits_before - 1
+
+    def test_namenode_crash_rate_draws_by_heartbeat_count(self):
+        mr = make_mr()
+        plan = FaultPlan(seed=5).namenode_crash_rate(0.02, recover_after=30.0)
+        with FaultInjector(plan, mr) as injector:
+            mr.sim.run_for(4 * 3600.0)
+            kinds = [kind for _, kind, _ in injector.injected]
+        assert "namenode.crash" in kinds and "namenode.recover" in kinds
+        assert not mr.hdfs.namenode.down  # every crash recovered
+
     def test_trigger_fires_on_nth_event_only_once(self):
         mr = make_mr()
         plan = FaultPlan().on_event(

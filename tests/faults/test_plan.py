@@ -30,6 +30,39 @@ class TestBuilders:
         assert fault.param("restart_after") == 9.0
         assert fault.param("missing", "default") == "default"
 
+    def test_namenode_builders(self):
+        plan = (
+            FaultPlan(seed=2)
+            .crash_namenode(at=5.0, recover_after=45.0)
+            .roll_checkpoint(at=3.0)
+            .tear_journal_tail(at=4.0)
+            .recover_namenode(at=60.0)
+            .namenode_crash_rate(0.01)
+        )
+        assert len(plan.scheduled) == 4
+        kinds = {fault.kind for fault in plan.scheduled}
+        assert kinds == {
+            "namenode.crash",
+            "namenode.recover",
+            "checkpoint.roll",
+            "journal.torn_tail",
+        }
+        crash = next(f for f in plan.scheduled if f.kind == "namenode.crash")
+        assert crash.param("recover_after") == 45.0
+        (rate,) = plan.rates
+        assert rate.kind == "namenode.crash"
+        # The NameNode rate defaults recovery ON — a dead control plane
+        # can never finish a drill.
+        assert rate.param("recover_after") == 60.0
+
+    def test_namenode_crash_as_trigger(self):
+        plan = FaultPlan().on_event(
+            "mr.task.completed", "namenode.crash", count=2, recover_after=30.0
+        )
+        (trigger,) = plan.triggers
+        assert trigger.kind == "namenode.crash"
+        assert dict(trigger.params)["recover_after"] == 30.0
+
     def test_describe_mentions_every_fault(self):
         plan = (
             FaultPlan(seed=4)

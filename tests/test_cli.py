@@ -127,3 +127,31 @@ class TestExitCodes:
         out = capsys.readouterr().out
         assert "verdict: HEALED" in out
         assert "sanitizer" in out
+
+
+class TestDfsAdminCli:
+    def test_save_namespace_and_metasave(self, capsys):
+        assert main(["dfsadmin", "-saveNamespace", "-metasave"]) == 0
+        out = capsys.readouterr().out
+        assert "Save namespace successful" in out
+        assert "Journal:" in out and "1 checkpoints" in out
+
+    def test_requires_an_action(self, capsys):
+        assert main(["dfsadmin"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_no_journal_cannot_checkpoint(self, capsys):
+        assert main(["dfsadmin", "--no-journal", "-saveNamespace"]) == 2
+        err = capsys.readouterr().err
+        assert "journaling is disabled" in err
+        assert "Traceback" not in err
+
+    def test_no_journal_metasave_still_renders(self, capsys):
+        assert main(["dfsadmin", "--no-journal", "-metasave"]) == 0
+        assert "Journal: disabled" in capsys.readouterr().out
+
+    def test_chaos_list_mentions_durability_drills(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "namenode_crash_recovery" in out
+        assert "checkpoint_roll" in out
