@@ -211,16 +211,24 @@ def _cmd_lint(args) -> int:
     from repro.analysis import (
         lint_jobs,
         lint_paths,
+        lint_pipelines,
         lint_self,
         render_findings,
         render_json,
+        render_sarif,
         sort_findings,
+    )
+    from repro.analysis.baseline import (
+        filter_baseline,
+        load_baseline,
+        write_baseline,
     )
     from repro.util.errors import ConfigError
 
-    if not (args.self_audit or args.jobs or args.paths):
+    if not (args.self_audit or args.jobs or args.pipelines or args.paths):
         print(
-            "lint: nothing to lint (pass --self, --jobs, and/or paths)",
+            "lint: nothing to lint "
+            "(pass --self, --jobs, --pipelines, and/or paths)",
             file=sys.stderr,
         )
         return 2
@@ -230,14 +238,31 @@ def _cmd_lint(args) -> int:
             findings.extend(lint_self())
         if args.jobs:
             findings.extend(lint_jobs())
+        if args.pipelines:
+            findings.extend(lint_pipelines())
         if args.paths:
             families = tuple(args.families) if args.families else ("jobs",)
             findings.extend(lint_paths(args.paths, families=families))
+        findings = sort_findings(findings)
+        if args.write_baseline:
+            count = write_baseline(findings, args.write_baseline)
+            print(
+                f"lint: wrote baseline with {count} finding(s) "
+                f"to {args.write_baseline}"
+            )
+            return 0
+        if args.baseline:
+            findings = filter_baseline(findings, load_baseline(args.baseline))
     except ConfigError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
-    findings = sort_findings(findings)
-    print(render_json(findings) if args.json else render_findings(findings))
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(render_json(findings))
+    elif fmt == "sarif":
+        print(render_sarif(findings))
+    else:
+        print(render_findings(findings))
     return 1 if findings else 0
 
 
@@ -349,17 +374,42 @@ def main(argv: list[str] | None = None) -> int:
         "the MRJ0xx job rules",
     )
     lint.add_argument(
+        "--pipelines",
+        action="store_true",
+        help="lint the examples/ RDD pipelines and HiveLite scripts "
+        "with the MRS2xx/MRH3xx rules",
+    )
+    lint.add_argument(
         "--family",
         dest="families",
         action="append",
-        choices=("jobs", "engine"),
+        choices=("jobs", "engine", "sparklite", "hive"),
         default=None,
         help="rule families for explicit paths (default: jobs; repeatable)",
     )
     lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif for GitHub code-scanning uploads)",
+    )
+    lint.add_argument(
         "--json",
         action="store_true",
-        help="emit findings as JSON (for CI and tooling)",
+        help="emit findings as JSON (alias for --format json)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="only report findings not recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record current findings to FILE and exit 0 "
+        "(adopt-a-rule workflow; see docs/ADOPTING_RULES.md)",
     )
     lint.set_defaults(fn=_cmd_lint)
 

@@ -1,0 +1,85 @@
+"""Lint baselines: adopt a rule over legacy code without a flag day.
+
+The "adopt-a-rule" workflow (docs/ADOPTING_RULES.md): when a new rule
+lands against a codebase with pre-existing violations, record them once
+with ``repro lint --write-baseline mrlint-baseline.json ...`` and check
+the file in.  CI then runs with ``--baseline mrlint-baseline.json`` and
+fails only on *new* findings, so the backlog burns down incrementally
+instead of blocking every unrelated change.
+
+Entries are keyed by ``(rule, path, message)`` — deliberately *not* by
+line number, so edits elsewhere in a file don't resurrect baselined
+findings when they shift.  Messages embed names (class, attribute,
+callee), which keeps the key stable yet specific.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.util.errors import ConfigError
+
+#: Bumped if the on-disk shape ever changes incompatibly.
+BASELINE_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.message)
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> int:
+    """Record the findings at ``path``; returns the entry count."""
+    entries = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in sort_findings(findings):
+        key = _key(finding)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Read a baseline file back into a set of suppression keys."""
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigError(f"baseline file does not exist: {target}")
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{target}: not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ConfigError(f"{target}: not a mrlint baseline (no findings key)")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"{target}: unsupported baseline version "
+            f"{payload.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    keys: set[tuple[str, str, str]] = set()
+    for entry in payload["findings"]:
+        try:
+            keys.add((entry["rule"], entry["path"], entry["message"]))
+        except (TypeError, KeyError):
+            raise ConfigError(f"{target}: malformed baseline entry: {entry!r}")
+    return keys
+
+
+def filter_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Drop findings already recorded in the baseline; keep the new ones."""
+    return [f for f in findings if _key(f) not in baseline]

@@ -43,9 +43,14 @@ set[str]``).
 from __future__ import annotations
 
 import ast
-import re
 
 from repro.analysis.findings import Finding, Rule
+from repro.analysis.taint import (
+    KIND_TIME,
+    NONDET_CALLS,
+    SetTypes,
+    order_insensitive_generator_iters,
+)
 
 ENGINE_RULES = {
     "MRE101": Rule(
@@ -121,19 +126,12 @@ _SHM_CLEANUP_METHODS = {
 #: allocation's owner (lifetime managed by the instance, RAII-style).
 _SHM_OWNER_METHODS = {"close", "release", "unlink"}
 
-_WALL_CLOCK_SUFFIXES = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.perf_counter",
-    "time.process_time",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-}
-
-_SET_ANNOTATION = re.compile(r"\b(set|frozenset|Set|AbstractSet|MutableSet)\b")
+#: Derived from the taint engine's source table so MRE102 and MRJ001
+#: can never drift apart on what "reads the clock" means; process_time
+#: is wall-clock-adjacent (host load) and stays flagged here too.
+_WALL_CLOCK_SUFFIXES = frozenset(
+    name for name, kind in NONDET_CALLS.items() if kind == KIND_TIME
+) | {"time.process_time", "time.process_time_ns"}
 
 _DICT_VIEW_METHODS = {"keys", "values", "items"}
 
@@ -147,98 +145,6 @@ def _dotted(node: ast.expr) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
-
-
-def _is_set_annotation(annotation: ast.expr | None) -> bool:
-    if annotation is None:
-        return False
-    try:
-        text = ast.unparse(annotation)
-    except Exception:  # pragma: no cover - malformed annotation
-        return False
-    return bool(_SET_ANNOTATION.search(text))
-
-
-def _is_set_literalish(node: ast.expr) -> bool:
-    """A value expression that is statically a set."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id in ("set", "frozenset")
-    ):
-        return True
-    return False
-
-
-class _SetTypes:
-    """Module-wide syntactic inference of set-typed names/attributes."""
-
-    def __init__(self, tree: ast.Module):
-        #: Attribute names declared set-typed somewhere in this module
-        #: (class annotations or ``self.x = set()``); any ``expr.<name>``
-        #: access is then treated as a set.
-        self.attr_names: set[str] = set()
-        for node in ast.walk(tree):
-            if isinstance(node, ast.ClassDef):
-                for stmt in node.body:
-                    if (
-                        isinstance(stmt, ast.AnnAssign)
-                        and isinstance(stmt.target, ast.Name)
-                        and _is_set_annotation(stmt.annotation)
-                    ):
-                        self.attr_names.add(stmt.target.id)
-            elif isinstance(node, ast.Assign):
-                if _is_set_literalish(node.value):
-                    for target in node.targets:
-                        if (
-                            isinstance(target, ast.Attribute)
-                            and isinstance(target.value, ast.Name)
-                            and target.value.id == "self"
-                        ):
-                            self.attr_names.add(target.attr)
-            elif isinstance(node, ast.AnnAssign):
-                if (
-                    isinstance(node.target, ast.Attribute)
-                    and isinstance(node.target.value, ast.Name)
-                    and node.target.value.id == "self"
-                    and _is_set_annotation(node.annotation)
-                ):
-                    self.attr_names.add(node.target.attr)
-
-    def local_sets(self, fn: ast.FunctionDef) -> set[str]:
-        names: set[str] = set()
-        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
-            if _is_set_annotation(arg.annotation):
-                names.add(arg.arg)
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Assign) and _is_set_literalish(node.value):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        names.add(target.id)
-            elif (
-                isinstance(node, ast.AnnAssign)
-                and isinstance(node.target, ast.Name)
-                and _is_set_annotation(node.annotation)
-            ):
-                names.add(node.target.id)
-        return names
-
-    def is_set_expr(self, node: ast.expr, local: set[str]) -> bool:
-        if _is_set_literalish(node):
-            return True
-        if isinstance(node, ast.Name):
-            return node.id in local
-        if isinstance(node, ast.Attribute):
-            return node.attr in self.attr_names
-        if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-        ):
-            return self.is_set_expr(node.left, local) or self.is_set_expr(
-                node.right, local
-            )
-        return False
 
 
 def _is_dict_view_call(node: ast.expr) -> bool:
@@ -290,7 +196,10 @@ class _EngineVisitor:
     def __init__(self, path: str, tree: ast.Module):
         self.path = path
         self.tree = tree
-        self.types = _SetTypes(tree)
+        self.types = SetTypes(tree)
+        #: generator ``iter`` expressions consumed by order-insensitive
+        #: aggregates — provably safe to visit in hash order.
+        self.order_sinks = order_insensitive_generator_iters(tree)
         self.findings: list[Finding] = []
 
     def _emit(
@@ -396,6 +305,12 @@ class _EngineVisitor:
     def _check_iterable(
         self, iterable: ast.expr, local: set[str], loop: ast.For | None
     ) -> None:
+        if id(iterable) in self.order_sinks:
+            # The iteration's consumer is an order-insensitive aggregate
+            # (sum/any/all/min/max/len/set/sorted): hash order provably
+            # cannot reach the result.  This is what retires the PR 3
+            # suppressions on the NameNode's replication arithmetic.
+            return
         if self.types.is_set_expr(iterable, local):
             self._emit(
                 "MRE101",

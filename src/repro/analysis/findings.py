@@ -79,6 +79,86 @@ def render_json(findings: list[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+#: mrlint severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(findings: list[Finding], rules: dict | None = None) -> str:
+    """SARIF 2.1.0 report — the GitHub code-scanning upload format.
+
+    Only rules that actually fired are listed in the tool driver (the
+    upload size stays proportional to the report, not the catalog).
+    ``rules`` maps rule id -> :class:`Rule` for titles and hints;
+    defaults to the full mrlint catalog.
+    """
+    findings = sort_findings(findings)
+    if rules is None:
+        from repro.analysis.linter import ALL_RULES
+
+        rules = ALL_RULES
+    fired = sorted({f.rule for f in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    driver_rules = []
+    for rule_id in fired:
+        entry: dict = {"id": rule_id}
+        rule = rules.get(rule_id)
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.title}
+            entry["defaultConfiguration"] = {
+                "level": _SARIF_LEVELS.get(rule.severity, "warning")
+            }
+            if rule.hint:
+                entry["help"] = {"text": rule.hint}
+        driver_rules.append(entry)
+    results = []
+    for f in findings:
+        message = f.message if not f.hint else f"{f.message}\nhint: {f.hint}"
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": rule_index[f.rule],
+                "level": _SARIF_LEVELS.get(f.severity, "warning"),
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path.replace("\\", "/"),
+                            },
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "mrlint",
+                        "version": "2.0",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 @dataclass(frozen=True)
 class Rule:
     """A lint rule's identity card (the catalog entry DESIGN.md lists)."""

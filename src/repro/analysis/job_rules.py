@@ -22,16 +22,23 @@ These encode the course's recurring map/reduce bugs — the ones that
             re-formats values) — answers change with combine rounds
 ==========  ==========================================================
 
-Detection is deliberately syntactic and conservative: the linter runs
-on student files that may not even import, so everything works from the
-AST alone.
+Detection works from the AST alone (student files may not even import)
+— but since mrlint 2.0 it is no longer per-function: MRJ001, MRJ005 and
+MRJ007 run on the shared analysis core (:mod:`repro.analysis.taint`,
+:mod:`repro.analysis.callgraph`), so nondeterminism, cross-call state
+and non-monoid arithmetic are caught even when the student factors them
+into helper functions or methods — and *not* flagged when the dataflow
+engine can prove the helper draws from an RNG seeded out of the job
+configuration.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.analysis.callgraph import walk_own_nodes
 from repro.analysis.findings import Finding, Rule
+from repro.analysis.taint import EFFECT_KINDS, ModuleTaint
 
 JOB_RULES = {
     "MRJ001": Rule(
@@ -98,33 +105,6 @@ JOB_RULES = {
         "formatting) in the reducer, and have the combiner emit partial "
         "sums (Monoidify!)",
     ),
-}
-
-#: Calls that make a task method nondeterministic across re-executions.
-#: Matched on the dotted suffix, so both ``random.random()`` and
-#: ``self.rng.random()`` (a module alias) are caught.
-_NONDET_SUFFIXES = {
-    "random.random",
-    "random.randint",
-    "random.randrange",
-    "random.choice",
-    "random.choices",
-    "random.sample",
-    "random.shuffle",
-    "random.uniform",
-    "random.gauss",
-    "random.getrandbits",
-    "os.urandom",
-    "uuid.uuid1",
-    "uuid.uuid4",
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.perf_counter",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
 }
 
 #: Methods that mutate their receiver in place.
@@ -291,6 +271,7 @@ class _JobVisitor:
     def __init__(self, path: str, tree: ast.Module):
         self.path = path
         self.tree = tree
+        self.taint = ModuleTaint(tree)
         self.findings: list[Finding] = []
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
@@ -347,7 +328,7 @@ class _JobVisitor:
             if isinstance(stmt, ast.FunctionDef)
         }
         cleanup_loads = (
-            _loads_of_self_attrs(methods["cleanup"])
+            self._transitive_self_loads(methods, "cleanup", set())
             if "cleanup" in methods
             else set()
         )
@@ -373,25 +354,42 @@ class _JobVisitor:
                     cls, fn, mutations, global_names,
                     cleanup_loads, stateful_attrs_flagged,
                 )
+                # State accumulated by a helper *method* the per-record
+                # method calls (self.track(x) → self.counts[x] += 1)
+                # carries across calls exactly the same way.
+                self._check_cross_call_state_via_helpers(
+                    cls, fn, methods, cleanup_loads, stateful_attrs_flagged,
+                )
 
     def _check_nondeterminism(
         self, cls: ast.ClassDef, fn: ast.FunctionDef
     ) -> None:
-        for node in ast.walk(fn):
-            if not isinstance(node, ast.Call):
+        """MRJ001, on the taint engine.
+
+        A task method is flagged when *executing it* reaches an
+        unsanitised nondeterministic source — directly or through any
+        chain of same-module helper calls.  Draws from an RNG the class
+        seeded out of the job configuration (``random.Random(conf[...])``
+        in ``setup()``, or ``random.seed(conf[...])``) are proven clean
+        by the dataflow engine and not flagged.  Helper *methods* only
+        report their own direct calls, so one bug does not fan out into
+        a finding per caller plus one at the helper's body.
+        """
+        info = self.taint.graph.info_for(fn)
+        if info is None:  # pragma: no cover - methods always indexed
+            return
+        lifecycle = fn.name in _TASK_METHODS
+        for effect in self.taint.effects_of(info):
+            if effect.kind not in EFFECT_KINDS:
                 continue
-            name = dotted(node.func)
-            if name is None:
+            if len(effect.chain) > 1 and not lifecycle:
                 continue
-            for suffix in _NONDET_SUFFIXES:
-                if name == suffix or name.endswith("." + suffix):
-                    self._emit(
-                        "MRJ001",
-                        node,
-                        f"{cls.name}.{fn.name}() calls {name}(): output "
-                        "differs across re-executed attempts",
-                    )
-                    break
+            self._emit(
+                "MRJ001",
+                effect.site,
+                f"{cls.name}.{fn.name}() calls {effect.render_chain()}: "
+                "output differs across re-executed attempts",
+            )
 
     def _check_side_file(self, cls: ast.ClassDef, fn: ast.FunctionDef) -> None:
         if fn.name in ("setup", "cleanup"):
@@ -536,6 +534,132 @@ class _JobVisitor:
                         "tasks run in separate processes, so globals "
                         "neither share nor survive",
                     )
+    def _check_cross_call_state_via_helpers(
+        self,
+        cls: ast.ClassDef,
+        fn: ast.FunctionDef,
+        methods: dict[str, ast.FunctionDef],
+        cleanup_loads: set[str],
+        already_flagged: set[str],
+    ) -> None:
+        for call, method_name in self._self_calls(fn):
+            if method_name in _TASK_METHODS or method_name not in methods:
+                continue
+            writes = self._transitive_attr_writes(
+                methods, method_name, set()
+            )
+            for attr in sorted(writes):
+                if attr in cleanup_loads or attr in already_flagged:
+                    continue
+                already_flagged.add(attr)
+                chain = " → ".join(
+                    f"{part}()" for part in writes[attr]
+                )
+                self._emit(
+                    "MRJ005",
+                    call,
+                    f"{cls.name}.{fn.name}() accumulates state in "
+                    f"'self.{attr}' through {chain} across calls but no "
+                    "cleanup() flushes it",
+                )
+
+    # -- interprocedural state helpers -----------------------------------
+    @staticmethod
+    def _self_calls(fn: ast.FunctionDef) -> list[tuple[ast.Call, str]]:
+        out = []
+        for node in walk_own_nodes(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                out.append((node, node.func.attr))
+        return out
+
+    def _direct_attr_writes(self, fn: ast.FunctionDef) -> set[str]:
+        attrs: set[str] = set()
+        for _line, _col, root in _mutations(fn):
+            if root and root[0] == "self" and len(root) == 2:
+                attrs.add(root[1])
+        for node in walk_own_nodes(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = root_symbol(target)
+                    if root and root[0] == "self" and len(root) == 2:
+                        attrs.add(root[1])
+        return attrs
+
+    def _transitive_attr_writes(
+        self,
+        methods: dict[str, ast.FunctionDef],
+        name: str,
+        visited: set[str],
+    ) -> dict[str, tuple[str, ...]]:
+        """attr -> call chain (method names) by which ``name`` writes it."""
+        if name in visited or name not in methods:
+            return {}
+        visited.add(name)
+        fn = methods[name]
+        writes: dict[str, tuple[str, ...]] = {
+            attr: (name,) for attr in self._direct_attr_writes(fn)
+        }
+        for _call, callee in self._self_calls(fn):
+            for attr, chain in self._transitive_attr_writes(
+                methods, callee, visited
+            ).items():
+                writes.setdefault(attr, (name,) + chain)
+        return writes
+
+    def _transitive_self_loads(
+        self,
+        methods: dict[str, ast.FunctionDef],
+        name: str,
+        visited: set[str],
+    ) -> set[str]:
+        if name in visited or name not in methods:
+            return set()
+        visited.add(name)
+        fn = methods[name]
+        loads = _loads_of_self_attrs(fn)
+        for _call, callee in self._self_calls(fn):
+            loads |= self._transitive_self_loads(methods, callee, visited)
+        return loads
+
+    def _division_sites(
+        self, info, visited: set[int]
+    ) -> list[tuple[ast.BinOp, tuple[str, ...]]]:
+        """Div/FloorDiv nodes reached from ``info``, with the helper
+        chain that gets there.  Direct divisions report at the BinOp;
+        transitive ones report at the *callsite* inside the caller so
+        the finding lands in the combiner's own code."""
+        if info is None:
+            return []
+        if id(info.node) in visited:
+            return []
+        visited.add(id(info.node))
+        out: list[tuple[ast.BinOp, tuple[str, ...]]] = []
+        for node in walk_own_nodes(info.node):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Div, ast.FloorDiv)
+            ):
+                out.append((node, ()))
+            elif isinstance(node, ast.Call):
+                callee = self.taint.graph.resolve_call(node, info)
+                if callee is None:
+                    continue
+                nested = self._division_sites(callee, visited)
+                if nested:
+                    # Report once per callsite, at the call, naming the
+                    # deepest chain that actually divides.
+                    _, deepest = max(nested, key=lambda item: len(item[1]))
+                    out.append((node, (callee.name,) + deepest))
+        return out
 
     # -- combiner rules ---------------------------------------------------
     def _check_combiner_class(self, cls: ast.ClassDef) -> None:
@@ -549,18 +673,21 @@ class _JobVisitor:
         )
         if reduce_fn is None:
             return
-        for node in ast.walk(reduce_fn):
-            if isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Div, ast.FloorDiv)
-            ):
-                self._emit(
-                    "MRJ007",
-                    node,
-                    f"{cls.name}.reduce() divides accumulated values — "
-                    "ratios/averages are not associative, so running the "
-                    "combiner a different number of times changes the "
-                    "answer (mean of means is not the mean)",
-                )
+        reduce_info = self.taint.graph.info_for(reduce_fn)
+        for site, chain in self._division_sites(reduce_info, set()):
+            via = (
+                f" through {' → '.join(f'{part}()' for part in chain)}"
+                if chain
+                else ""
+            )
+            self._emit(
+                "MRJ007",
+                site,
+                f"{cls.name}.reduce() divides accumulated values{via} — "
+                "ratios/averages are not associative, so running the "
+                "combiner a different number of times changes the "
+                "answer (mean of means is not the mean)",
+            )
         ctx_names = _context_names(reduce_fn)
         for call in _context_writes(reduce_fn, ctx_names):
             if len(call.args) >= 2 and isinstance(call.args[1], ast.JoinedStr):

@@ -325,7 +325,6 @@ class NameNode:
                 continue
             safe_replicas = sum(
                 1
-                # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
                 for d in meta.locations
                 if self._is_live(d)
                 and d != datanode
@@ -635,7 +634,6 @@ class NameNode:
         # safe without them before the node can leave.
         live = sum(
             1
-            # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
             for d in meta.locations
             if self._is_live(d) and d not in self.decommissioning
         )
@@ -654,7 +652,6 @@ class NameNode:
         return sorted(
             block_id
             for block_id, meta in self.block_map.items()
-            # repro: lint-ok[MRE101] order-insensitive aggregate (any)
             if not any(self._is_live(d) for d in meta.locations)
         )
 
@@ -667,7 +664,6 @@ class NameNode:
         safe = sum(
             1
             for meta in self.block_map.values()
-            # repro: lint-ok[MRE101] order-insensitive aggregate (int sum)
             if sum(1 for d in meta.locations if self._is_live(d))
             >= self.config.min_replicas
         )

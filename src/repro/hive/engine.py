@@ -15,8 +15,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.hive.parser import Condition, Query, SelectItem, SqlError, parse_query
+from repro.hive.parser import (
+    AGGREGATES,
+    Condition,
+    Query,
+    SelectItem,
+    SqlError,
+    parse_query,
+)
 from repro.hive.schema import ColumnType, Metastore, TableSchema
 from repro.mapreduce.api import Context, Job, Mapper, Reducer
 from repro.mapreduce.cluster import MapReduceCluster
@@ -227,14 +235,23 @@ def _aggregation_job(schema: TableSchema, query: Query) -> Job:
     return HiveAggJob(conf=JobConf(name=f"hive-agg-{schema.name}"))
 
 
-def _projection_job(schema: TableSchema, query: Query) -> Job:
-    columns: list[str] = []
+def _projection_job(
+    schema: TableSchema, query: Query, udfs: dict[str, Callable]
+) -> Job:
+    #: (column index, udf | None) per output field, '*' expanded.
+    fields: list[tuple[int, Callable | None]] = []
     for item in query.items:
         if item.column == "*":
-            columns.extend(name for name, _t in schema.columns)
+            fields.extend(
+                (i, None) for i in range(len(schema.columns))
+            )
         else:
-            columns.append(item.column)
-    indexes = [schema.column_index(c) for c in columns]
+            fields.append(
+                (
+                    schema.column_index(item.column),
+                    udfs[item.udf] if item.udf else None,
+                )
+            )
 
     class ProjectMapper(_HiveMapperBase):
         pass
@@ -247,7 +264,12 @@ def _projection_job(schema: TableSchema, query: Query) -> Job:
         if row is None:
             return
         context.write(
-            Text(GROUP_SEP.join(str(row[i]) for i in indexes)), NullWritable()
+            Text(
+                GROUP_SEP.join(
+                    str(fn(row[i]) if fn else row[i]) for i, fn in fields
+                )
+            ),
+            NullWritable(),
         )
 
     ProjectMapper.map = project_map
@@ -287,6 +309,7 @@ class HiveLite:
     def __init__(self, cluster: MapReduceCluster):
         self.cluster = cluster
         self.metastore = Metastore()
+        self.udfs: dict[str, Callable] = {}
         self._seq = itertools.count(1)
 
     # -- DDL ----------------------------------------------------------------
@@ -298,12 +321,57 @@ class HiveLite:
             )
         self.metastore.register(schema)
 
+    def register_udf(self, name: str, fn: Callable) -> None:
+        """Register a scalar UDF callable as ``name(column)`` in SELECT.
+
+        The function runs *map-side, per row, per attempt* — exactly the
+        execution model the MRH3xx lint rules audit.  Registering does
+        not lint; call :meth:`lint_udfs` (the grader does) to vet every
+        registered function.
+        """
+        if not name.isidentifier():
+            raise SqlError(f"UDF name {name!r} is not an identifier")
+        if name.upper() in AGGREGATES:
+            raise SqlError(
+                f"UDF name {name!r} shadows the builtin aggregate "
+                f"{name.upper()}"
+            )
+        if not callable(fn):
+            raise SqlError(f"UDF {name!r} is not callable")
+        self.udfs[name] = fn
+
+    def lint_udfs(self):
+        """mrlint every registered UDF (MRH3xx rules).
+
+        The Hive-side mirror of ``lint_reference_solutions()``: source
+        is recovered via ``inspect``, analysed with the module taint
+        engine, and every finding names the offending UDF.  Returns a
+        list of :class:`~repro.analysis.findings.Finding`.
+        """
+        from repro.analysis.hive_rules import lint_udf_callables
+
+        return lint_udf_callables(self.udfs)
+
     # -- planning -------------------------------------------------------------
     def _validate(self, query: Query, schema: TableSchema) -> None:
         for condition in query.where:
             schema.column_index(condition.column)
         for column in query.group_by:
             schema.column_index(column)
+        for item in query.items:
+            if item.udf is None:
+                continue
+            if item.udf not in self.udfs:
+                raise SqlError(
+                    f"unknown UDF {item.udf!r}; register it with "
+                    "register_udf() first"
+                )
+            schema.column_index(item.column)
+            if query.is_aggregation:
+                raise SqlError(
+                    "UDFs run map-side and cannot be combined with "
+                    "GROUP BY/aggregates"
+                )
         if query.is_aggregation:
             for item in query.items:
                 if item.aggregate is None:
@@ -343,6 +411,11 @@ class HiveLite:
                 f"{c.column} {c.op} {c.literal!r}" for c in query.where
             )
             lines.append(f"  map-side filter: {conds}")
+        udf_items = [i for i in query.items if i.udf]
+        if udf_items:
+            lines.append(
+                f"  map-side UDFs: {', '.join(i.label for i in udf_items)}"
+            )
         if query.is_aggregation:
             lines.append(
                 f"  shuffle key: {', '.join(query.group_by) or '<global>'}"
@@ -371,7 +444,7 @@ class HiveLite:
         if query.is_aggregation:
             job = _aggregation_job(schema, query)
         else:
-            job = _projection_job(schema, query)
+            job = _projection_job(schema, query, self.udfs)
         report = self.cluster.run_job(
             job, schema.location, output, require_success=True
         )
@@ -393,17 +466,22 @@ class HiveLite:
         pairs = self.cluster.read_output(output)
         rows: list[tuple] = []
         if not query.is_aggregation:
-            columns: list[str] = []
+            parsers: list[Callable[[str], object]] = []
             for item in query.items:
                 if item.column == "*":
-                    columns.extend(name for name, _t in schema.columns)
+                    parsers.extend(
+                        t.parse for _name, t in schema.columns
+                    )
+                elif item.udf is not None:
+                    # UDF output type is whatever the function returned,
+                    # serialised; keep the raw text.
+                    parsers.append(lambda p: p)
                 else:
-                    columns.append(item.column)
-            types = [schema.column_type(c) for c in columns]
+                    parsers.append(schema.column_type(item.column).parse)
             for key_text, _null in pairs:
                 parts = key_text.split(GROUP_SEP)
                 rows.append(
-                    tuple(t.parse(p) for t, p in zip(types, parts))
+                    tuple(parse(p) for parse, p in zip(parsers, parts))
                 )
             return rows
 

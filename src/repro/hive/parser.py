@@ -5,8 +5,12 @@ Grammar::
     query    := SELECT items FROM ident [WHERE conj] [GROUP BY idents]
                 [ORDER BY ident [ASC|DESC]] [LIMIT int]
     items    := item (',' item)*
-    item     := '*' | ident | agg '(' (ident | '*') ')'
+    item     := '*' | ident | agg '(' (ident | '*') ')' | ident '(' ident ')'
     agg      := COUNT | SUM | AVG | MIN | MAX
+
+A non-aggregate ``ident '(' ident ')'`` is a **UDF call** — the name
+must be registered with :meth:`repro.hive.engine.HiveLite.register_udf`
+before the query runs.  UDFs are applied map-side, per row.
     conj     := cond (AND cond)*
     cond     := ident op literal
     op       := '=' | '!=' | '<' | '<=' | '>' | '>='
@@ -31,15 +35,18 @@ OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
 
 @dataclass(frozen=True)
 class SelectItem:
-    """One output column: plain, aggregate, or '*'."""
+    """One output column: plain, aggregate, UDF call, or '*'."""
 
     column: str  # '*' allowed for COUNT(*) and SELECT *
     aggregate: str | None = None
+    udf: str | None = None
 
     @property
     def label(self) -> str:
         if self.aggregate:
             return f"{self.aggregate.lower()}({self.column})"
+        if self.udf:
+            return f"{self.udf}({self.column})"
         return self.column
 
 
@@ -204,6 +211,14 @@ class _Parser:
             if column == "*" and aggregate != "COUNT":
                 raise SqlError(f"{aggregate}(*) is not supported")
             return SelectItem(column=column, aggregate=aggregate)
+        if (token := self.peek()) and token == ("punct", "("):
+            # ident '(' ident ')': a user-defined function call.
+            self.pos += 1
+            kind, inner = self.next()
+            if kind != "word":
+                raise SqlError(f"bad UDF argument {inner!r}")
+            self.expect_punct(")")
+            return SelectItem(column=inner, udf=value)
         return SelectItem(column=value)
 
     def _conditions(self) -> tuple[Condition, ...]:

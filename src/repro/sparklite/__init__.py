@@ -18,4 +18,22 @@ when an executor dies and takes its cached partitions with it, the
 from repro.sparklite.context import SparkLiteContext
 from repro.sparklite.rdd import RDD
 
-__all__ = ["SparkLiteContext", "RDD"]
+
+def lint_rdd_pipeline(*paths):
+    """mrlint RDD pipeline code with the MRS2xx closure rules.
+
+    The sparklite-side mirror of ``lint_reference_solutions()``: pass
+    the files/directories holding pipeline scripts (defaults to the
+    repository's ``examples/``) and get back a list of
+    :class:`~repro.analysis.findings.Finding` — nondeterministic
+    closures, captured-accumulator mutations, nested actions, and
+    non-associative reduce operands.
+    """
+    from repro.analysis.linter import lint_paths, lint_pipelines
+
+    if not paths:
+        return [f for f in lint_pipelines() if f.rule.startswith("MRS")]
+    return lint_paths(list(paths), families=("sparklite",))
+
+
+__all__ = ["SparkLiteContext", "RDD", "lint_rdd_pipeline"]

@@ -284,7 +284,9 @@ class _Shuffled(RDD):
                     merged[key] = self.merge_fn(merged[key], value)
                 else:
                     merged[key].append(value)
-        return sorted(merged.items(), key=lambda kv: repr(kv[0]))
+        # Tie-break repr collisions by the pair itself so the output
+        # order never inherits the dict's insertion (arrival) order.
+        return sorted(merged.items(), key=lambda kv: (repr(kv[0]), kv))
 
 
 class _Joined(RDD):

@@ -1,0 +1,16 @@
+"""MRH301 fixture: a UDF that samples per row.
+
+The UDF runs map-side once per row per attempt; a speculative re-run
+jitters the same input differently and the query writes different rows.
+"""
+
+import random
+
+
+def jitter(value):
+    return str(float(value) + random.random())
+
+
+def build(engine):
+    engine.register_udf("jitter", jitter)
+    return engine

@@ -1,0 +1,17 @@
+"""MRH302 fixture: a UDF that numbers rows through module state.
+
+Row ids depend on which executor saw which rows in which order — the
+"ids" are neither stable nor unique across attempts.
+"""
+
+_ROW_IDS = {}
+
+
+def row_id(value):
+    _ROW_IDS[value] = len(_ROW_IDS)
+    return str(_ROW_IDS[value])
+
+
+def build(engine):
+    engine.register_udf("row_id", row_id)
+    return engine

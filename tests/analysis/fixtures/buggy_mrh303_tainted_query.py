@@ -1,0 +1,13 @@
+"""MRH303 fixture: SQL text built from the wall clock.
+
+The query string itself differs run-to-run, which defeats plan
+caching, auditing, and the course's replayability contract.
+"""
+
+import time
+
+
+def report(engine):
+    cutoff = time.time() - 3600
+    query = f"SELECT carrier FROM flights WHERE delay > {cutoff}"
+    return engine.execute(query)

@@ -1,0 +1,17 @@
+"""MRS201 fixture: a transformation closure that reaches the wall clock.
+
+``stamp`` looks pure from the pipeline's point of view, but the taint
+engine chases the helper: recomputing a lost partition re-stamps the
+records with *new* times, so lineage recovery silently changes data.
+"""
+
+import time
+
+
+def stamp(record):
+    return (record, time.time())
+
+
+def pipeline(sc):
+    events = sc.parallelize(range(100), num_partitions=4)
+    return events.map(stamp).collect()

@@ -1,0 +1,18 @@
+"""MRS202 fixture: the captured-accumulator anti-pattern.
+
+``counts`` lives on the driver; the closure shipped to executors
+mutates the *executor's copy*, so the dict returned at the end is
+empty no matter how many words flowed through the pipeline.
+"""
+
+
+def pipeline(sc):
+    counts = {}
+
+    def tally(word):
+        counts[word] = counts.get(word, 0) + 1
+        return word
+
+    words = sc.text_file("/data/corpus.txt").flat_map(lambda l: l.split())
+    words.map(tally).count()
+    return counts

@@ -1,0 +1,12 @@
+"""MRS203 fixture: an action on a captured RDD inside a closure.
+
+A hand-rolled join: every record of ``orders`` re-collects the whole
+``users`` RDD — one nested job launch *per record*.  Collect the small
+side once on the driver (or use ``join()``).
+"""
+
+
+def pipeline(sc):
+    users = sc.parallelize([(1, "ada"), (2, "lin")], num_partitions=2)
+    orders = sc.parallelize([(1, 99), (2, 120)], num_partitions=2)
+    return orders.map(lambda kv: (kv[0], kv[1], users.collect())).collect()

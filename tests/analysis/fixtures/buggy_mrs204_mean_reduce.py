@@ -1,0 +1,11 @@
+"""MRS204 fixture: averaging inside reduce().
+
+``(a + b) / 2`` is not associative — partial results merge in
+partition order, so the "mean" changes whenever ``num_partitions``
+does.  Emit ``(sum, count)`` pairs and divide once on the driver.
+"""
+
+
+def pipeline(sc):
+    readings = sc.parallelize([3.0, 5.0, 7.0, 9.0], num_partitions=2)
+    return readings.reduce(lambda a, b: (a + b) / 2)

@@ -1,0 +1,17 @@
+"""Clean hive fixture: pure UDF, conf-derived query parameters.
+
+``shout`` is a pure function of its argument, and the threshold is read
+from configuration before being formatted into the SQL — the query text
+is identical every run.
+"""
+
+
+def shout(value):
+    return value.upper()
+
+
+def report(engine, conf):
+    engine.register_udf("shout", shout)
+    cutoff = int(conf.get("report.cutoff", 15))
+    query = f"SELECT shout(carrier) FROM flights WHERE delay > {cutoff}"
+    return engine.execute(query)

@@ -1,0 +1,21 @@
+"""Clean sparklite fixture: the well-behaved version of every MRS trap.
+
+Randomness is seeded on the driver before the job, aggregation goes
+through ``reduce_by_key`` with an associative operand, and nothing in a
+closure mutates captured state or launches nested actions.
+"""
+
+import random
+
+
+def tokenize(line):
+    return line.split()
+
+
+def pipeline(sc, seed):
+    rng = random.Random(seed)
+    cutoff = rng.random()  # driver-side, fixed before the job runs
+    lines = sc.text_file("/data/corpus.txt")
+    words = lines.flat_map(tokenize).map(lambda w: (w, 1))
+    counts = words.reduce_by_key(lambda a, b: a + b)
+    return [kv for kv in counts.collect() if kv[1] >= cutoff]

@@ -1,0 +1,21 @@
+"""Interprocedural MRJ001 demo: map() -> sample() -> random.random().
+
+The nondeterminism is two calls away from the task method — a purely
+syntactic scan of map() sees nothing.  The taint engine's summaries
+carry the effect up the call chain and the finding names it.
+"""
+
+import random
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+def sample():
+    return random.random()
+
+
+class SampledMapper(Mapper):
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        if sample() < 0.1:
+            context.write(key.value, value.value)

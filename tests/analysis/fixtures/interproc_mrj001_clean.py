@@ -1,0 +1,24 @@
+"""Interprocedural MRJ001 counter-demo: the same shape, seeded from conf.
+
+Identical call structure to ``interproc_mrj001_buggy.py`` — map() draws
+through a helper — but the RNG is seeded in setup() from a job
+parameter, so re-executed attempts replay the same draws.  The taint
+engine tracks the seeded tag through ``self.rng`` and stays quiet.
+"""
+
+import random
+
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.types import Writable
+
+
+class SeededSampledMapper(Mapper):
+    def setup(self, context: Context) -> None:
+        self.rng = random.Random(context.conf.get("sample.seed"))
+
+    def sample(self) -> float:
+        return self.rng.random()
+
+    def map(self, key: Writable, value: Writable, context: Context) -> None:
+        if self.sample() < 0.1:
+            context.write(key.value, value.value)

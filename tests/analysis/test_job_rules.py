@@ -31,7 +31,7 @@ class TestFixtureCatalog:
         assert sorted(FIXTURE_RULES.values()) == sorted(JOB_RULES)
 
     def test_fixture_files_exist(self):
-        on_disk = {p.name for p in FIXTURES.glob("buggy_*.py")}
+        on_disk = {p.name for p in FIXTURES.glob("buggy_mrj*.py")}
         assert on_disk == set(FIXTURE_RULES)
 
 
@@ -55,6 +55,24 @@ class TestEachFixtureTripsExactlyItsRule:
         assert finding.path.endswith("buggy_mrj001_random.py")
         assert finding.hint
         assert finding.severity in ("error", "warning")
+
+
+class TestInterproceduralNondeterminism:
+    """The mrlint 2.0 demo pair: the effect is two calls from map()."""
+
+    def test_helper_chain_is_flagged(self):
+        findings = lint_paths(
+            [str(FIXTURES / "interproc_mrj001_buggy.py")], families=("jobs",)
+        )
+        assert {f.rule for f in findings} == {"MRJ001"}
+        # The message names the chain, not just the leaf call.
+        assert any("sample" in f.message for f in findings)
+
+    def test_seeded_helper_chain_is_clean(self):
+        findings = lint_paths(
+            [str(FIXTURES / "interproc_mrj001_clean.py")], families=("jobs",)
+        )
+        assert findings == []
 
 
 class TestReferenceJobsAreClean:

@@ -4,7 +4,16 @@ import json
 
 import pytest
 
-from repro.analysis import lint_paths, lint_source, render_findings, render_json
+from repro.analysis import (
+    filter_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_findings,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
 from repro.util.errors import ConfigError
 
 BUGGY = """
@@ -67,6 +76,125 @@ def fanout2(meta, commands):
         findings = engine_lint(src)
         # The original, unsuppressed loop still fires.
         assert len(findings) == 1 and findings[0].rule == "MRE101"
+
+
+class TestStatementAwareSuppressions:
+    """Markers attach to statements, not raw lines (mrlint 2.0 fix)."""
+
+    def test_trailing_marker_on_later_line_of_multiline_statement(self):
+        src = (
+            "class BlockMeta:\n"
+            "    locations: set[str]\n"
+            "\n"
+            "def fanout(meta, commands):\n"
+            "    for dn in (\n"
+            "        meta.locations\n"
+            "    ):  # repro: lint-ok[MRE101] audited\n"
+            "        commands.append(dn)\n"
+        )
+        assert engine_lint(src) == []
+
+    def test_comment_above_multiline_statement(self):
+        src = (
+            "class BlockMeta:\n"
+            "    locations: set[str]\n"
+            "\n"
+            "def fanout(meta, commands):\n"
+            "    # repro: lint-ok[MRE101] audited\n"
+            "    for dn in (\n"
+            "        meta.locations\n"
+            "    ):\n"
+            "        commands.append(dn)\n"
+        )
+        assert engine_lint(src) == []
+
+    def test_comment_above_decorator_reaches_the_def(self):
+        import ast
+
+        from repro.analysis.linter import _suppressions_by_line
+
+        src = (
+            "# repro: lint-ok[MRJ005] flushed by the runner\n"
+            "@functools.cache\n"
+            "def helper(\n"
+            "    a,\n"
+            "):\n"
+            "    return a\n"
+        )
+        covered = _suppressions_by_line(src, ast.parse(src))
+        # Decorator line and every header line of the def, not the body.
+        assert set(covered) == {1, 2, 3, 4, 5}
+        assert all(covered[line] == {"MRJ005"} for line in covered)
+
+    def test_marker_above_def_does_not_silence_the_body(self):
+        src = (
+            "class BlockMeta:\n"
+            "    locations: set[str]\n"
+            "\n"
+            "# repro: lint-ok[MRE101] header only\n"
+            "def fanout(meta, commands):\n"
+            "    for dn in meta.locations:\n"
+            "        commands.append(dn)\n"
+        )
+        assert {f.rule for f in engine_lint(src)} == {"MRE101"}
+
+
+class TestBaseline:
+    def findings(self):
+        return engine_lint(BUGGY)
+
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = write_baseline(self.findings(), path)
+        assert count == 1
+        baseline = load_baseline(path)
+        assert filter_baseline(self.findings(), baseline) == []
+
+    def test_new_findings_survive_the_filter(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([], path)
+        baseline = load_baseline(path)
+        assert filter_baseline(self.findings(), baseline) == self.findings()
+
+    def test_missing_file_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_file_raises_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def test_wrong_version_raises_config_error(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        findings = engine_lint(BUGGY)
+        payload = json.loads(render_sarif(findings))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "mrlint"
+        (rule,) = run["tool"]["driver"]["rules"]
+        assert rule["id"] == "MRE101"
+        assert rule["defaultConfiguration"]["level"] == "error"
+        (result,) = run["results"]
+        assert result["ruleId"] == "MRE101"
+        assert result["ruleIndex"] == 0
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "snippet.py"
+        assert location["region"]["startLine"] > 0
+        assert location["region"]["startColumn"] >= 1
+
+    def test_clean_sarif_has_empty_results(self):
+        payload = json.loads(render_sarif([]))
+        assert payload["runs"][0]["results"] == []
+        assert payload["runs"][0]["tool"]["driver"]["rules"] == []
 
 
 class TestErrorHandling:

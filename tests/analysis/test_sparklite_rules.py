@@ -1,0 +1,139 @@
+"""MRS2xx sparklite rules: closure traps flagged, clean pipelines pass."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SPARKLITE_RULES, lint_paths, lint_source
+from repro.sparklite import lint_rdd_pipeline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FIXTURE_RULES = {
+    "buggy_mrs201_nondet_closure.py": "MRS201",
+    "buggy_mrs202_captured_counter.py": "MRS202",
+    "buggy_mrs203_nested_action.py": "MRS203",
+    "buggy_mrs204_mean_reduce.py": "MRS204",
+}
+
+
+def sparklite_lint(source: str):
+    return lint_source(source, "pipeline.py", families=("sparklite",))
+
+
+class TestFixtureCatalog:
+    def test_one_fixture_per_rule(self):
+        assert sorted(FIXTURE_RULES.values()) == sorted(SPARKLITE_RULES)
+
+    def test_fixture_files_exist(self):
+        on_disk = {p.name for p in FIXTURES.glob("buggy_mrs*.py")}
+        assert on_disk == set(FIXTURE_RULES)
+
+
+class TestEachFixtureTripsExactlyItsRule:
+    @pytest.mark.parametrize(
+        "filename,rule",
+        sorted(FIXTURE_RULES.items()),
+        ids=[rule for _, rule in sorted(FIXTURE_RULES.items())],
+    )
+    def test_fixture(self, filename, rule):
+        findings = lint_paths(
+            [str(FIXTURES / filename)], families=("sparklite",)
+        )
+        assert findings, f"{filename} produced no findings"
+        assert {f.rule for f in findings} == {rule}
+
+    def test_clean_pipeline_fixture_passes(self):
+        findings = lint_paths(
+            [str(FIXTURES / "clean_sparklite_pipeline.py")],
+            families=("sparklite",),
+        )
+        assert findings == []
+
+
+class TestClosureResolution:
+    """MRS201 is exactly as interprocedural as MRJ001."""
+
+    def test_inline_lambda(self):
+        src = (
+            "import random\n"
+            "def pipeline(sc):\n"
+            "    rdd = sc.parallelize(range(10))\n"
+            "    return rdd.map(lambda x: x + random.random()).collect()\n"
+        )
+        assert {f.rule for f in sparklite_lint(src)} == {"MRS201"}
+
+    def test_helper_behind_a_helper(self):
+        src = (
+            "import random\n"
+            "def noise():\n"
+            "    return random.random()\n"
+            "def jitter(x):\n"
+            "    return x + noise()\n"
+            "def pipeline(sc):\n"
+            "    return sc.parallelize(range(10)).map(jitter).collect()\n"
+        )
+        findings = sparklite_lint(src)
+        assert {f.rule for f in findings} == {"MRS201"}
+        assert any("noise" in f.message for f in findings)
+
+    def test_seeded_rng_closure_is_clean(self):
+        src = (
+            "import random\n"
+            "def pipeline(sc, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    keep = rng.random()\n"
+            "    rdd = sc.parallelize(range(10))\n"
+            "    return rdd.map(lambda x: x * 2).collect()\n"
+        )
+        assert sparklite_lint(src) == []
+
+    def test_shared_helper_reported_once(self):
+        src = (
+            "import time\n"
+            "def stamp(x):\n"
+            "    return (x, time.time())\n"
+            "def pipeline(sc):\n"
+            "    a = sc.parallelize(range(5)).map(stamp)\n"
+            "    b = sc.parallelize(range(5)).map(stamp)\n"
+            "    return a.union(b).collect()\n"
+        )
+        findings = sparklite_lint(src)
+        assert len([f for f in findings if f.rule == "MRS201"]) == 1
+
+
+class TestAssociativity:
+    def test_associative_reduce_is_clean(self):
+        src = (
+            "def pipeline(sc):\n"
+            "    return sc.parallelize(range(10)).reduce(lambda a, b: a + b)\n"
+        )
+        assert sparklite_lint(src) == []
+
+    def test_constant_scale_in_mapper_is_not_flagged(self):
+        # x * 2 - 1 touches one value; only combining arithmetic counts.
+        src = (
+            "def pipeline(sc):\n"
+            "    rdd = sc.parallelize(range(10)).map(lambda x: x * 2 - 1)\n"
+            "    return rdd.reduce(lambda a, b: a + b)\n"
+        )
+        assert sparklite_lint(src) == []
+
+    def test_reduce_by_key_subtraction_flagged(self):
+        src = (
+            "def pipeline(sc):\n"
+            "    pairs = sc.parallelize([('a', 1), ('a', 2)])\n"
+            "    return pairs.reduce_by_key(lambda a, b: a - b).collect()\n"
+        )
+        assert {f.rule for f in sparklite_lint(src)} == {"MRS204"}
+
+
+class TestEntryPoint:
+    def test_lint_rdd_pipeline_on_fixture(self):
+        findings = lint_rdd_pipeline(
+            str(FIXTURES / "buggy_mrs204_mean_reduce.py")
+        )
+        assert {f.rule for f in findings} == {"MRS204"}
+
+    def test_lint_rdd_pipeline_default_examples_clean(self):
+        assert lint_rdd_pipeline() == []

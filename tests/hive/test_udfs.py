@@ -1,0 +1,120 @@
+"""HiveLite UDFs: registration, parsing, map-side execution, linting."""
+
+import pytest
+
+from repro.hive import ColumnType, HiveLite, TableSchema
+from repro.hive.parser import SqlError, parse_query
+from tests.conftest import make_mr
+
+ROWS = [
+    ("ada", "red", 10),
+    ("bob", "red", 20),
+    ("cat", "blue", 30),
+]
+
+
+def shout(value):
+    return value.upper()
+
+
+def double(value):
+    return str(int(value) * 2)
+
+
+@pytest.fixture(scope="module")
+def hive():
+    cluster = make_mr(num_workers=2, block_size=4096)
+    engine = HiveLite(cluster)
+    data = "\n".join(f"{n},{t},{s}" for n, t, s in ROWS) + "\n"
+    schema = TableSchema(
+        name="players",
+        columns=(
+            ("name", ColumnType.STRING),
+            ("team", ColumnType.STRING),
+            ("score", ColumnType.INT),
+        ),
+        location="/warehouse/players.csv",
+    )
+    engine.create_table(schema, data=data)
+    engine.register_udf("shout", shout)
+    engine.register_udf("double", double)
+    return engine
+
+
+class TestParser:
+    def test_udf_call_item(self):
+        query = parse_query("SELECT shout(name) FROM players")
+        (item,) = query.items
+        assert item.udf == "shout"
+        assert item.column == "name"
+        assert item.label == "shout(name)"
+
+    def test_udf_argument_must_be_identifier(self):
+        with pytest.raises(SqlError):
+            parse_query("SELECT shout(1) FROM players")
+
+
+class TestRegistration:
+    def test_rejects_bad_identifier(self, hive):
+        with pytest.raises(SqlError):
+            hive.register_udf("not a name", shout)
+
+    def test_rejects_aggregate_shadowing(self, hive):
+        with pytest.raises(SqlError):
+            hive.register_udf("count", shout)
+
+    def test_rejects_non_callable(self, hive):
+        with pytest.raises(SqlError):
+            hive.register_udf("data", 42)
+
+
+class TestExecution:
+    def test_udf_projection(self, hive):
+        result = hive.execute("SELECT shout(name), score FROM players")
+        assert result.columns == ("shout(name)", "score")
+        assert ("ADA", 10) in result.rows
+        assert ("CAT", 30) in result.rows
+
+    def test_udf_with_where(self, hive):
+        result = hive.execute(
+            "SELECT double(score) FROM players WHERE team = 'red'"
+        )
+        assert {r[0] for r in result.rows} == {"20", "40"}
+
+    def test_unregistered_udf_rejected(self, hive):
+        with pytest.raises(SqlError):
+            hive.execute("SELECT whisper(name) FROM players")
+
+    def test_udf_on_unknown_column_rejected(self, hive):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            hive.execute("SELECT shout(salary) FROM players")
+
+    def test_udf_in_aggregation_rejected(self, hive):
+        with pytest.raises(SqlError):
+            hive.execute(
+                "SELECT team, shout(name) FROM players GROUP BY team"
+            )
+
+    def test_explain_names_udfs(self, hive):
+        plan = hive.explain("SELECT shout(name) FROM players")
+        assert "shout(name)" in plan
+
+
+class TestLintUdfs:
+    def test_registered_udfs_are_clean(self, hive):
+        assert hive.lint_udfs() == []
+
+    def test_nondet_udf_is_flagged(self):
+        import random
+
+        cluster = make_mr(num_workers=2, block_size=4096)
+        engine = HiveLite(cluster)
+
+        def jitter(value):
+            return str(float(value) + random.random())
+
+        engine.register_udf("jitter", jitter)
+        findings = engine.lint_udfs()
+        assert {f.rule for f in findings} == {"MRH301"}

@@ -108,6 +108,52 @@ class TestExitCodes:
         assert "unknown chaos scenario" in err
         assert "Traceback" not in err
 
+
+class TestLintFormatsAndBaseline:
+    """mrlint 2.0 plumbing: --format sarif, --baseline, new families."""
+
+    def test_sarif_output_parses(self, capsys):
+        import json
+
+        path = f"{FIXTURES}/buggy_mrj001_random.py"
+        assert main(["lint", path, "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "MRJ001"
+
+    def test_sparklite_family_on_path(self, capsys):
+        path = f"{FIXTURES}/buggy_mrs204_mean_reduce.py"
+        assert main(["lint", path, "--family", "sparklite"]) == 1
+        assert "MRS204" in capsys.readouterr().out
+
+    def test_hive_family_on_path(self, capsys):
+        path = f"{FIXTURES}/buggy_mrh303_tainted_query.py"
+        assert main(["lint", path, "--family", "hive"]) == 1
+        assert "MRH303" in capsys.readouterr().out
+
+    def test_pipelines_target_is_clean(self, capsys):
+        assert main(["lint", "--pipelines"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_write_baseline_then_filter(self, capsys, tmp_path):
+        path = f"{FIXTURES}/buggy_mrj001_random.py"
+        baseline = tmp_path / "baseline.json"
+        # Recording exits 0 even though there are findings.
+        assert main(["lint", path, "--write-baseline", str(baseline)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        # Re-linting against the baseline reports nothing new.
+        assert main(["lint", path, "--baseline", str(baseline)]) == 0
+        assert "clean" in capsys.readouterr().out
+        # A different buggy file still fails against that baseline.
+        other = f"{FIXTURES}/buggy_mrj007_avg_combiner.py"
+        assert main(["lint", other, "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_usage_error(self, capsys):
+        path = f"{FIXTURES}/buggy_mrj001_random.py"
+        assert main(["lint", path, "--baseline", "/no/such/base.json"]) == 2
+        assert "baseline" in capsys.readouterr().err
+
     def test_chaos_failed_drill_exits_one(self, capsys, monkeypatch):
         import repro.faults as faults_mod
 
