@@ -1,0 +1,285 @@
+"""Campus-scale benchmark — the O(active) engine under a 50k-job semester.
+
+Three drills over :mod:`repro.core.campus`:
+
+1. **Scale sweep** (students x clusters, 1k -> 50k jobs): every job must
+   succeed, and engine events per job must stay ~flat — the witness
+   that heartbeats, liveness checks and scheduling are O(active), not
+   O(everything ever submitted).  Wall-seconds per simulated hour are
+   recorded alongside.
+2. **Multi-tenant fairness**: one course floods the cluster right
+   before its deadline.  Under FIFO everyone queues behind the binge;
+   under the fair scheduler with a quota cap the other tenants' mean
+   wait must improve while the flooding tenant still finishes all jobs
+   (starvation in neither direction).
+3. **Chaos replay**: with a worker crash/restart agent running, the
+   same scenario must produce bit-identical digests from (a) a second
+   cold start and (b) a mid-run snapshot restored and run to the end.
+
+A fourth, cheap, always-on check runs a 10,000-student cluster for a
+short slice and asserts the event queue stays bounded by outstanding
+submissions — 10k students polling ride one shared timer wheel, not
+10k self-rescheduling event chains.
+
+Writes ``BENCH_campus.json`` at the repo root.  Quick mode (``--quick``
+/ ``REPRO_BENCH_QUICK=1``) shrinks every drill and skips the file
+write; identity, fairness-direction and O(active) assertions still run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import banner, quick_mode, show
+from repro.core.campus import CampusClusterRun, CampusScenario, run_campus
+from repro.util.units import HOUR, MINUTE
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_campus.json"
+
+#: (students, clusters, jobs_per_student) -> 1k, 10k, 50k total jobs.
+SWEEP_FULL = ((1_000, 1, 1), (2_000, 2, 5), (10_000, 8, 5))
+SWEEP_QUICK = ((200, 1, 1), (800, 1, 1))
+
+#: events-per-job may grow by at most this factor across the sweep.
+LINEARITY_FACTOR = 3.0
+
+
+def _sweep_point(students: int, clusters: int, jobs_each: int) -> dict:
+    scenario = CampusScenario(
+        name=f"sweep-{students}x{clusters}",
+        num_students=students,
+        num_clusters=clusters,
+        jobs_per_student=jobs_each,
+        window=2 * HOUR,
+        seed=17,
+    )
+    start = time.perf_counter()
+    report = run_campus(scenario)
+    wall = time.perf_counter() - start
+    sim_hours = report.sim_seconds / 3600.0
+    return {
+        "students": students,
+        "clusters": clusters,
+        "jobs": report.jobs_submitted,
+        "jobs_succeeded": report.jobs_succeeded,
+        "events_processed": report.events_processed,
+        "events_per_job": report.events_per_job,
+        "sim_hours": sim_hours,
+        "wall_seconds": wall,
+        "wall_seconds_per_sim_hour": wall / sim_hours if sim_hours else 0.0,
+        "digests": [c.digest for c in report.clusters],
+    }
+
+
+def _fairness_drill(quick: bool) -> dict:
+    base = dict(
+        name="fairness",
+        num_students=120 if quick else 240,
+        num_clusters=1,
+        jobs_per_student=3,
+        window=20 * MINUTE,
+        users=("cs1060", "cs4060", "research"),
+        user_weights=(0.25, 0.25, 0.5),
+        flood_user="research",
+        flood_window=2 * MINUTE,
+        seed=11,
+    )
+    fifo = run_campus(CampusScenario(**base, scheduler="fifo"))
+    fair = run_campus(
+        CampusScenario(
+            **base, scheduler="fair", user_quotas={"research": 8}
+        )
+    )
+    light = ("cs1060", "cs4060")
+
+    def mean_light(report) -> float:
+        waits = report.per_user_mean_wait()
+        return sum(waits[u] for u in light) / len(light)
+
+    return {
+        "fifo_mean_wait": {
+            u: w for u, w in sorted(fifo.per_user_mean_wait().items())
+        },
+        "fair_mean_wait": {
+            u: w for u, w in sorted(fair.per_user_mean_wait().items())
+        },
+        "fifo_completed": fifo.per_user_completed(),
+        "fair_completed": fair.per_user_completed(),
+        "light_wait_fifo": mean_light(fifo),
+        "light_wait_fair": mean_light(fair),
+        "all_succeeded": (
+            fifo.jobs_succeeded == fifo.jobs_submitted
+            and fair.jobs_succeeded == fair.jobs_submitted
+        ),
+    }
+
+
+def _chaos_scenario(quick: bool) -> CampusScenario:
+    return CampusScenario(
+        name="chaos",
+        # Cluster 0 of the 10k-student / 8-cluster campus (quick: a
+        # scaled-down stand-in) with the crash/restart agent running.
+        num_students=120 if quick else 10_000,
+        num_clusters=1 if quick else 8,
+        jobs_per_student=2 if quick else 5,
+        window=30 * MINUTE if quick else 2 * HOUR,
+        chaos_interval=5 * MINUTE,
+        seed=3,
+    )
+
+
+def _chaos_drill(quick: bool) -> dict:
+    scenario = _chaos_scenario(quick)
+    cold = CampusClusterRun(scenario, 0)
+    cold_stats = cold.run_to_completion()
+    cold.close()
+
+    run = CampusClusterRun(scenario, 0)
+    run.sim.run_until(run.sim.now + scenario.window / 2)
+    snapshot = run.sim.snapshot(run)
+    original_stats = run.run_to_completion()
+    run.close()
+
+    _sim, (restored,) = snapshot.restore()
+    restored_stats = restored.run_to_completion()
+    restored.close()
+
+    return {
+        "students_in_cluster": scenario.students_of_cluster(0),
+        "jobs": cold_stats.jobs_submitted,
+        "chaos_crashes": cold_stats.chaos_crashes,
+        "cold_digest": cold_stats.digest,
+        "original_digest": original_stats.digest,
+        "restored_digest": restored_stats.digest,
+        "replay_identical": (
+            cold_stats.digest
+            == original_stats.digest
+            == restored_stats.digest
+        ),
+    }
+
+
+def _wheel_smoke() -> dict:
+    """10,000 students on one cluster: the queue must hold scheduled
+    submissions plus O(1) wheel/daemon events, never per-student pollers."""
+    scenario = CampusScenario(
+        name="wheel-smoke",
+        num_students=10_000,
+        num_clusters=1,
+        jobs_per_student=1,
+        window=2 * HOUR,
+        seed=5,
+    )
+    run = CampusClusterRun(scenario, 0)
+    planned = run._planned
+    run.sim.run_until(run.sim.now + 10 * MINUTE)
+    submitted = run.stats.jobs_submitted
+    pending = run.sim.pending()
+    events = run.sim.events_processed
+    run.close()
+    return {
+        "students": scenario.num_students,
+        "planned_jobs": planned,
+        "submitted_after_10min": submitted,
+        "pending_events": pending,
+        "events_processed": events,
+        # Future submissions sit in the queue by design; everything else
+        # (wheels, in-flight task completions) must be a small constant.
+        "non_submission_pending": pending - (planned - submitted),
+    }
+
+
+def _experiment(quick: bool) -> dict:
+    sweep = [
+        _sweep_point(*point)
+        for point in (SWEEP_QUICK if quick else SWEEP_FULL)
+    ]
+    # Determinism: replaying the smallest point must reproduce digests.
+    replay = _sweep_point(*(SWEEP_QUICK if quick else SWEEP_FULL)[0])
+    payload = {
+        "benchmark": "campus_scale",
+        "quick": quick,
+        "sweep": sweep,
+        "replay_identical": replay["digests"] == sweep[0]["digests"],
+        "fairness": _fairness_drill(quick),
+        "chaos": _chaos_drill(quick),
+        "wheel_smoke": _wheel_smoke(),
+    }
+    if not quick:
+        RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def bench_campus(benchmark, request):
+    quick = quick_mode(request)
+    payload = benchmark.pedantic(
+        _experiment, args=(quick,), rounds=1, iterations=1
+    )
+
+    banner("Campus-scale simulation: O(active) engine + indexed scheduler")
+    show("  students x clusters      jobs    events/job   wall s/sim h")
+    for point in payload["sweep"]:
+        show(
+            f"  {point['students']:7d} x {point['clusters']:<2d}      "
+            f"{point['jobs']:8d}    {point['events_per_job']:8.2f}   "
+            f"{point['wall_seconds_per_sim_hour']:10.2f}"
+        )
+
+    fairness = payload["fairness"]
+    show(
+        f"\n  fairness: light-tenant mean wait "
+        f"{fairness['light_wait_fifo'] / 60:.2f} min (fifo) -> "
+        f"{fairness['light_wait_fair'] / 60:.2f} min (fair + quota)"
+    )
+    chaos = payload["chaos"]
+    show(
+        f"  chaos replay: {chaos['jobs']} jobs, "
+        f"{chaos['chaos_crashes']} crashes, digests "
+        f"{'identical' if chaos['replay_identical'] else 'DIVERGED'} "
+        f"(cold / rerun / mid-run restore)"
+    )
+    smoke = payload["wheel_smoke"]
+    show(
+        f"  wheel smoke: {smoke['students']} students, "
+        f"{smoke['non_submission_pending']} non-submission events queued"
+    )
+    if not quick:
+        show(f"  results written to {RESULT_FILE.name}")
+
+    # -- identity ------------------------------------------------------
+    assert payload["replay_identical"], "cold replay diverged"
+    assert chaos["replay_identical"], "chaos replay diverged"
+
+    # -- every job must finish -----------------------------------------
+    for point in payload["sweep"]:
+        assert point["jobs_succeeded"] == point["jobs"], (
+            f"{point['jobs'] - point['jobs_succeeded']} jobs failed at "
+            f"{point['students']}x{point['clusters']}"
+        )
+
+    # -- O(active) guard: events per job ~flat across the sweep --------
+    per_job = [p["events_per_job"] for p in payload["sweep"]]
+    assert max(per_job) <= min(per_job) * LINEARITY_FACTOR, (
+        f"events/job grew superlinearly across the sweep: {per_job}"
+    )
+
+    # -- fairness direction --------------------------------------------
+    assert fairness["all_succeeded"]
+    assert fairness["light_wait_fair"] < fairness["light_wait_fifo"], (
+        "fair scheduling did not improve light tenants' wait"
+    )
+    assert (
+        fairness["fair_completed"]["research"]
+        == fairness["fifo_completed"]["research"]
+    ), "quota cap starved the flooding tenant outright"
+
+    # -- shared wheel keeps the queue O(outstanding work) --------------
+    assert smoke["non_submission_pending"] < 200, (
+        f"{smoke['non_submission_pending']} non-submission events queued "
+        f"for 10k students: pollers are not sharing the wheel"
+    )
+
+    if quick:
+        show("  quick mode: shrunken workload, no result file")

@@ -143,9 +143,11 @@ class DataNode:
         self.state = DataNodeState.UP
         self.namenode.register_datanode(self.info())
         self.send_block_report()
-        self._cancel_heartbeat = self.sim.every(
-            self.config.heartbeat_interval, self._heartbeat
-        )
+        # All DataNodes with the same interval share one timer wheel:
+        # a 10k-node heartbeat instant is one engine event, not 10k.
+        self._cancel_heartbeat = self.sim.wheel(
+            self.config.heartbeat_interval
+        ).subscribe(self._heartbeat)
         self.sim.bus.publish("hdfs.datanode.up", self.sim.now, datanode=self.name)
 
     def stop(self) -> None:

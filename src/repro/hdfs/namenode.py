@@ -10,6 +10,7 @@ control flows back through heartbeat responses
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -55,6 +56,10 @@ class BlockMeta:
     file_path: str
     locations: set[str] = field(default_factory=set)
     corrupt_on: set[str] = field(default_factory=set)
+    #: Cached "counts toward safemode" bit (>= min_replicas live
+    #: replicas); maintained by NameNode._refresh_safe so safemode
+    #: updates are O(1) instead of an O(#blocks) rescan per event.
+    safe: bool = False
 
     @property
     def live_replicas(self) -> int:
@@ -105,6 +110,19 @@ class NameNode:
         self._needs_reregister: set[str] = set()
         self.under_replicated: set[int] = set()
         self.over_replicated: set[int] = set()
+        #: Reverse replica index: datanode -> block ids with a replica
+        #: there.  Keeps node-scoped operations (death, decommission)
+        #: O(blocks on that node) instead of O(all blocks).
+        self._blocks_on: dict[str, set[int]] = defaultdict(set)
+        #: Count of blocks whose ``safe`` bit is set (O(1) safemode).
+        self._safe_blocks = 0
+        #: Liveness expiry heap: (last_heartbeat + timeout, name), at
+        #: most one entry per node (``_liveness_scheduled`` guards).
+        #: Entries are revalidated lazily on pop, so a sweep touches
+        #: only nodes whose previous deadline has passed — O(expired)
+        #: amortized, never O(#datanodes).
+        self._liveness_heap: list[tuple[float, str]] = []
+        self._liveness_scheduled: set[str] = set()
         #: Directory quotas: path -> (namespace quota | None,
         #: space quota in bytes x replication | None).  Survives restart
         #: (it's namespace metadata, like the fsimage).
@@ -144,31 +162,54 @@ class NameNode:
         if self._monitors_started:
             return
         self._monitors_started = True
-        self._cancel_liveness = self.sim.every(
-            self.config.heartbeat_interval, self._check_liveness
-        )
-        self._cancel_replication = self.sim.every(
-            self.config.replication_check_interval, self._replication_sweep
-        )
+        self._cancel_liveness = self.sim.wheel(
+            self.config.heartbeat_interval
+        ).subscribe(self._check_liveness)
+        self._cancel_replication = self.sim.wheel(
+            self.config.replication_check_interval
+        ).subscribe(self._replication_sweep)
+
+    def _track_liveness(self, name: str, expiry: float) -> None:
+        """Ensure ``name`` has exactly one expiry entry in the heap."""
+        if name not in self._liveness_scheduled:
+            self._liveness_scheduled.add(name)
+            heapq.heappush(self._liveness_heap, (expiry, name))
 
     def _check_liveness(self) -> None:
-        """Declare DataNodes dead after prolonged heartbeat silence."""
+        """Declare DataNodes dead after prolonged heartbeat silence.
+
+        Driven by the expiry heap: only nodes whose recorded deadline
+        has passed are examined; a node that heartbeated since is
+        re-armed at its fresh deadline.  Equal-expiry nodes die in name
+        order — deterministic regardless of registration history.
+        """
         if self.down:
             return
         timeout = self.config.dead_node_timeout
-        for name, desc in self.datanodes.items():
-            if desc.alive and self.sim.now - desc.last_heartbeat > timeout:
+        now = self.sim.now
+        while self._liveness_heap and self._liveness_heap[0][0] < now:
+            _expiry, name = heapq.heappop(self._liveness_heap)
+            self._liveness_scheduled.discard(name)
+            desc = self.datanodes.get(name)
+            if desc is None or not desc.alive:
+                continue  # unregistered or already declared dead
+            if now - desc.last_heartbeat > timeout:
                 desc.alive = False
                 self._remove_location_everywhere(name)
                 self.sim.bus.publish(
                     "hdfs.namenode.node_dead", self.sim.now, datanode=name
                 )
+            else:
+                self._track_liveness(name, desc.last_heartbeat + timeout)
 
     def _remove_location_everywhere(self, datanode: str) -> None:
-        for meta in self.block_map.values():
-            if datanode in meta.locations:
-                meta.locations.discard(datanode)
-                self._check_replication(meta)
+        for block_id in sorted(self._blocks_on.pop(datanode, set())):
+            meta = self.block_map.get(block_id)
+            if meta is None:
+                continue
+            meta.locations.discard(datanode)
+            self._refresh_safe(meta)
+            self._check_replication(meta)
         self._update_safemode()
 
     def _replication_sweep(self) -> None:
@@ -213,7 +254,7 @@ class NameNode:
             extra = sorted(
                 meta.locations, key=lambda d: (self._free_space_of(d), d)
             )[0]
-            meta.locations.discard(extra)
+            self._remove_replica(meta, extra)
             self._pending_commands[extra].append(
                 InvalidateCommand(block_ids=(block_id,))
             )
@@ -308,8 +349,9 @@ class NameNode:
             raise HdfsError(f"unknown DataNode {datanode!r}")
         self.decommissioning.add(datanode)
         self.journal.log_decommission_start(datanode)
-        for meta in self.block_map.values():
-            if datanode in meta.locations:
+        for block_id in sorted(self._blocks_on.get(datanode, set())):
+            meta = self.block_map.get(block_id)
+            if meta is not None:
                 self._check_replication(meta)
         self.sim.bus.publish(
             "hdfs.namenode.decommission_started", self.sim.now,
@@ -320,8 +362,9 @@ class NameNode:
         """True when every block on the node is safe without it."""
         if datanode not in self.decommissioning:
             return False
-        for meta in self.block_map.values():
-            if datanode not in meta.locations:
+        for block_id in sorted(self._blocks_on.get(datanode, set())):
+            meta = self.block_map.get(block_id)
+            if meta is None:
                 continue
             safe_replicas = sum(
                 1
@@ -340,8 +383,9 @@ class NameNode:
         self._check_down("stop decommissioning")
         self.decommissioning.discard(datanode)
         self.journal.log_decommission_stop(datanode)
-        for meta in self.block_map.values():
-            if datanode in meta.locations:
+        for block_id in sorted(self._blocks_on.get(datanode, set())):
+            meta = self.block_map.get(block_id)
+            if meta is not None:
                 self._check_replication(meta)
 
     # ------------------------------------------------------------------
@@ -424,6 +468,7 @@ class NameNode:
         inode.blocks = [b for b in inode.blocks if b.block_id != block.block_id]
         meta = self.block_map.pop(block.block_id, None)
         if meta:
+            self._drop_block_index(meta)
             # sorted(): keep _pending_commands keyed in a deterministic
             # order regardless of set hash order (mrlint MRE101).
             for dn in sorted(meta.locations):
@@ -486,6 +531,7 @@ class NameNode:
             self.under_replicated.discard(block.block_id)
             self.over_replicated.discard(block.block_id)
             if meta:
+                self._drop_block_index(meta)
                 # sorted(): deterministic invalidate fan-out (MRE101).
                 for dn in sorted(meta.locations):
                     self._pending_commands[dn].append(
@@ -544,6 +590,9 @@ class NameNode:
         self.datanodes[info.name] = DataNodeDescriptor(
             info=info, last_heartbeat=self.sim.now, alive=True
         )
+        self._track_liveness(
+            info.name, self.sim.now + self.config.dead_node_timeout
+        )
         self._needs_reregister.discard(info.name)
         self.sim.bus.publish(
             "hdfs.namenode.registered", self.sim.now, datanode=info.name
@@ -565,6 +614,11 @@ class NameNode:
         desc.info = info
         desc.last_heartbeat = self.sim.now
         desc.alive = True
+        # Re-arm the expiry entry if it lapsed (dead node returning, or
+        # the heap entry was consumed); no-op while one is queued.
+        self._track_liveness(
+            info.name, self.sim.now + self.config.dead_node_timeout
+        )
         if was_dead:
             # A returning node must resend its block report.
             return HeartbeatResponse(re_register=True)
@@ -581,7 +635,7 @@ class NameNode:
             if meta is None:
                 orphans.append(block_id)  # deleted while the node was away
                 continue
-            meta.locations.add(name)
+            self._add_replica(meta, name)
             meta.corrupt_on.discard(name)
             self._check_replication(meta)
         for block_id in report.corrupt_ids:
@@ -601,7 +655,7 @@ class NameNode:
         meta = self.block_map.get(block.block_id)
         if meta is None:
             raise BlockNotFoundError(f"blk_{block.block_id} unknown to NameNode")
-        meta.locations.add(datanode)
+        self._add_replica(meta, datanode)
         meta.corrupt_on.discard(datanode)
         self._check_replication(meta)
         self._update_safemode()
@@ -614,7 +668,7 @@ class NameNode:
         if meta is None:
             return
         meta.corrupt_on.add(datanode)
-        meta.locations.discard(datanode)
+        self._remove_replica(meta, datanode)
         self._pending_commands[datanode].append(
             InvalidateCommand(block_ids=(block_id,))
         )
@@ -628,6 +682,47 @@ class NameNode:
 
     # ------------------------------------------------------------------
     # replication bookkeeping
+    def _add_replica(self, meta: BlockMeta, datanode: str) -> None:
+        """Record a replica: the one mutation path for ``locations``
+        adds, keeping the reverse index and safe-count exact."""
+        if datanode not in meta.locations:
+            meta.locations.add(datanode)
+            self._blocks_on[datanode].add(meta.block.block_id)
+        self._refresh_safe(meta)
+
+    def _remove_replica(self, meta: BlockMeta, datanode: str) -> None:
+        """Forget a replica (mirror of :meth:`_add_replica`)."""
+        if datanode in meta.locations:
+            meta.locations.discard(datanode)
+            bucket = self._blocks_on.get(datanode)
+            if bucket is not None:
+                bucket.discard(meta.block.block_id)
+        self._refresh_safe(meta)
+
+    def _refresh_safe(self, meta: BlockMeta) -> None:
+        """Recompute the block's safemode bit — O(replication), and the
+        only place ``_safe_blocks`` moves."""
+        safe = (
+            sum(1 for d in meta.locations if self._is_live(d))
+            >= self.config.min_replicas
+        )
+        if safe and not meta.safe:
+            meta.safe = True
+            self._safe_blocks += 1
+        elif not safe and meta.safe:
+            meta.safe = False
+            self._safe_blocks -= 1
+
+    def _drop_block_index(self, meta: BlockMeta) -> None:
+        """Unhook a block leaving the block map (delete/abandon)."""
+        for dn in sorted(meta.locations):
+            bucket = self._blocks_on.get(dn)
+            if bucket is not None:
+                bucket.discard(meta.block.block_id)
+        if meta.safe:
+            meta.safe = False
+            self._safe_blocks -= 1
+
     def _check_replication(self, meta: BlockMeta) -> None:
         # Replicas on decommissioning nodes still serve reads but do not
         # count toward the replication target: the block must become
@@ -660,14 +755,9 @@ class NameNode:
     def _update_safemode(self) -> None:
         if self.down:
             return
-        total = len(self.block_map)
-        safe = sum(
-            1
-            for meta in self.block_map.values()
-            if sum(1 for d in meta.locations if self._is_live(d))
-            >= self.config.min_replicas
-        )
-        self.safemode.set_block_totals(total, safe)
+        # O(1): the safe-block census is maintained incrementally by
+        # _refresh_safe at every replica/liveness mutation.
+        self.safemode.set_block_totals(len(self.block_map), self._safe_blocks)
         exit_time = self.safemode.maybe_schedule_exit(self.sim.now)
         if exit_time is not None:
             self.sim.schedule_at(exit_time, self._try_leave_safemode)
@@ -720,6 +810,8 @@ class NameNode:
         self._pending_commands.clear()
         self.under_replicated.clear()
         self.over_replicated.clear()
+        self._blocks_on.clear()
+        self._safe_blocks = 0
 
     def crash(self) -> None:
         """Kill the NameNode process.  Every in-memory structure — the
@@ -738,6 +830,10 @@ class NameNode:
         self._needs_reregister.clear()
         self.under_replicated.clear()
         self.over_replicated.clear()
+        self._blocks_on.clear()
+        self._safe_blocks = 0
+        self._liveness_heap.clear()
+        self._liveness_scheduled.clear()
         self.quotas = {}
         self.decommissioning = set()
         self.safemode = SafeMode(
@@ -803,11 +899,16 @@ class NameNode:
             for meta in self.block_map.values():
                 meta.locations.clear()
                 meta.corrupt_on.clear()
+                meta.safe = False
             self._pending_commands.clear()
             self.under_replicated.clear()
             self.over_replicated.clear()
+            self._blocks_on.clear()
+            self._safe_blocks = 0
         self._needs_reregister = set(self.datanodes)
         self.datanodes.clear()
+        self._liveness_heap.clear()
+        self._liveness_scheduled.clear()
         self.safemode = SafeMode(
             threshold=self.config.safemode_threshold,
             extension=self.config.safemode_extension,

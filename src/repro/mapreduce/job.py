@@ -42,9 +42,12 @@ class RunningJob:
         output_path: str,
         splits: list[InputSplit],
         submit_time: float,
+        submit_seq: int = 0,
     ):
         self.job = job
         self.job_id = job_id
+        #: Monotonic submission number — the scheduler's FIFO key.
+        self.submit_seq = submit_seq
         self.input_paths = list(input_paths)
         self.output_path = output_path
         self.submit_time = submit_time
@@ -62,6 +65,14 @@ class RunningJob:
         ]
         self.pending_maps: deque[int] = deque(range(len(self.map_tasks)))
         self.pending_reduces: deque[int] = deque(range(len(self.reduce_tasks)))
+        #: O(1) completion census (the ``all(...)`` scans made
+        #: ``maps_done`` O(#tasks) on every heartbeat); maintained by
+        #: the JobTracker at the success/revert transitions.
+        self.succeeded_maps = 0
+        self.succeeded_reduces = 0
+        #: Currently running task attempts (launched minus terminated) —
+        #: the fair scheduler's per-user load signal.
+        self.active_attempts = 0
         #: Scheduler-level counters (launches, locality, failures).
         self.counters = Counters()
         #: Execution counters of each task's *latest successful* attempt,
@@ -94,13 +105,22 @@ class RunningJob:
     def name(self) -> str:
         return self.job.name
 
+    def build_map_index(self, topology) -> None:
+        """Replace the pending-map deque with the locality-indexed
+        queue (same FIFO semantics, O(log n) locality-aware picks)."""
+        from repro.mapreduce.scheduler import PendingMapQueue
+
+        self.pending_maps = PendingMapQueue(
+            topology, self.map_tasks, initial=range(len(self.map_tasks))
+        )
+
     @property
     def maps_done(self) -> bool:
-        return all(t.state == TaskState.SUCCEEDED for t in self.map_tasks)
+        return self.succeeded_maps >= len(self.map_tasks)
 
     @property
     def reduces_done(self) -> bool:
-        return all(t.state == TaskState.SUCCEEDED for t in self.reduce_tasks)
+        return self.succeeded_reduces >= len(self.reduce_tasks)
 
     @property
     def finished(self) -> bool:

@@ -18,6 +18,7 @@ information from NameNode."  Scheduling follows Hadoop 1.x:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable
 
@@ -30,6 +31,7 @@ from repro.mapreduce.config import MapReduceConfig
 from repro.mapreduce.counters import C
 from repro.mapreduce.job import JobState, RunningJob
 from repro.mapreduce.runtime import job_input_format
+from repro.mapreduce.scheduler import make_scheduler
 from repro.mapreduce.tasks import (
     AttemptState,
     MapTask,
@@ -97,7 +99,23 @@ class JobTracker:
         self.jobs: dict[str, RunningJob] = {}
         self._job_order: list[str] = []
         self._seq = 0
-        self.sim.every(self.mr_config.tasktracker_heartbeat, self._check_trackers)
+        #: Indexes keyed by submit_seq so iteration in sorted-key order
+        #: IS submission (FIFO) order.  ``_active`` holds every RUNNING
+        #: job; the schedulable maps hold only jobs that might yield an
+        #: assignment of that kind — what the per-heartbeat scan visits.
+        self._active: dict[int, RunningJob] = {}
+        self._map_schedulable: dict[int, RunningJob] = {}
+        self._reduce_schedulable: dict[int, RunningJob] = {}
+        self.scheduler = make_scheduler(
+            mr_config.scheduler, mr_config.user_quotas
+        )
+        #: Tracker-liveness expiry heap — same lazy-revalidation scheme
+        #: as the NameNode's: one entry per tracker, O(expired) sweeps.
+        self._tracker_expiry: list[tuple[float, str]] = []
+        self._tracker_scheduled: set[str] = set()
+        self.sim.wheel(self.mr_config.tasktracker_heartbeat).subscribe(
+            self._check_trackers
+        )
 
     # ------------------------------------------------------------------
     # registration & liveness
@@ -105,7 +123,16 @@ class JobTracker:
         self.trackers[tracker.name] = TrackerInfo(
             tracker=tracker, last_heartbeat=self.sim.now
         )
+        self._track_tracker_expiry(tracker.name)
         self._reconcile_tracker(tracker)
+
+    def _track_tracker_expiry(self, name: str) -> None:
+        if name not in self._tracker_scheduled:
+            self._tracker_scheduled.add(name)
+            heapq.heappush(
+                self._tracker_expiry,
+                (self.sim.now + self.mr_config.tracker_timeout, name),
+            )
 
     def _reconcile_tracker(self, tracker: TaskTracker) -> None:
         """Reconcile bookkeeping with a freshly (re)registered tracker.
@@ -126,6 +153,7 @@ class JobTracker:
                         attempt.state = AttemptState.KILLED
                         attempt.finish_time = self.sim.now
                         attempt.failure = "TaskTracker restarted"
+                        job.active_attempts -= 1
                         self._requeue(job, task)
                         job.log(
                             self.sim.now,
@@ -134,11 +162,26 @@ class JobTracker:
                         )
 
     def _check_trackers(self) -> None:
+        """Expiry-heap liveness: only trackers whose recorded deadline
+        has passed are examined (lazy revalidation against the actual
+        last heartbeat); equal-expiry trackers die in name order."""
         timeout = self.mr_config.tracker_timeout
-        for name, info in self.trackers.items():
-            if info.alive and self.sim.now - info.last_heartbeat > timeout:
+        now = self.sim.now
+        while self._tracker_expiry and self._tracker_expiry[0][0] < now:
+            _expiry, name = heapq.heappop(self._tracker_expiry)
+            self._tracker_scheduled.discard(name)
+            info = self.trackers.get(name)
+            if info is None or not info.alive:
+                continue
+            if now - info.last_heartbeat > timeout:
                 info.alive = False
                 self._tracker_lost(name)
+            else:
+                self._tracker_scheduled.add(name)
+                heapq.heappush(
+                    self._tracker_expiry,
+                    (info.last_heartbeat + timeout, name),
+                )
 
     def _tracker_lost(self, name: str) -> None:
         self.sim.bus.publish("mr.jobtracker.tracker_lost", self.sim.now, tracker=name)
@@ -150,6 +193,7 @@ class JobTracker:
                         attempt.state = AttemptState.KILLED
                         attempt.finish_time = self.sim.now
                         attempt.failure = "Lost TaskTracker"
+                        job.active_attempts -= 1
                         self._requeue(job, task)
             # Completed map output on that node is gone; re-run those maps
             # unless every reduce has already pulled its data.
@@ -162,7 +206,9 @@ class JobTracker:
                         task.state = TaskState.PENDING
                         task.output = None
                         task.completed_on = None
-                        job.pending_maps.append(task.index)
+                        job.succeeded_maps -= 1
+                        job.pending_maps.add(task.index)
+                        self._index_map_schedulable(job)
                         job.log(
                             self.sim.now,
                             f"{task.task_id} output lost with tracker {name}; "
@@ -182,11 +228,25 @@ class JobTracker:
             return
         task.state = TaskState.PENDING
         if isinstance(task, MapTask):
-            if task.index not in job.pending_maps:
-                job.pending_maps.append(task.index)
+            job.pending_maps.add(task.index)
+            self._index_map_schedulable(job)
         else:
             if task.partition not in job.pending_reduces:
                 job.pending_reduces.append(task.partition)
+            self._index_reduce_schedulable(job)
+
+    def _index_map_schedulable(self, job: RunningJob) -> None:
+        if job.state == JobState.RUNNING:
+            self._map_schedulable[job.submit_seq] = job
+
+    def _index_reduce_schedulable(self, job: RunningJob) -> None:
+        if job.state == JobState.RUNNING:
+            self._reduce_schedulable[job.submit_seq] = job
+
+    def _deindex_job(self, job: RunningJob) -> None:
+        self._active.pop(job.submit_seq, None)
+        self._map_schedulable.pop(job.submit_seq, None)
+        self._reduce_schedulable.pop(job.submit_seq, None)
 
     # ------------------------------------------------------------------
     # submission
@@ -221,7 +281,9 @@ class JobTracker:
             output_path=output_path,
             splits=splits,
             submit_time=self.sim.now,
+            submit_seq=self._seq,
         )
+        running.build_map_index(self.topology)
         if (
             self.backend is not None
             and self.backend.parallel
@@ -235,6 +297,11 @@ class JobTracker:
             running.shm_scope = shm.ShmScope(self.mr_config.shm_arena)
         self.jobs[job_id] = running
         self._job_order.append(job_id)
+        self._active[running.submit_seq] = running
+        if running.pending_maps:
+            self._map_schedulable[running.submit_seq] = running
+        if running.pending_reduces:
+            self._reduce_schedulable[running.submit_seq] = running
         client = self.output_client_factory(None)
         client.mkdirs(output_path)
         running.log(self.sim.now, f"submitted with {len(splits)} splits")
@@ -266,11 +333,9 @@ class JobTracker:
         return self.jobs[job_id]
 
     def _active_jobs(self) -> list[RunningJob]:
-        return [
-            self.jobs[jid]
-            for jid in self._job_order
-            if self.jobs[jid].state == JobState.RUNNING
-        ]
+        """RUNNING jobs in submission order — from the active index, so
+        the cost is O(active), not O(every job ever submitted)."""
+        return [self._active[seq] for seq in sorted(self._active)]
 
     # ------------------------------------------------------------------
     # scheduling (heartbeat-driven)
@@ -290,60 +355,60 @@ class JobTracker:
             info = self.trackers[tracker.name]
         info.last_heartbeat = self.sim.now
         info.alive = True
+        self._track_tracker_expiry(tracker.name)
+        # Fair scheduling accounts per-user load once per wave, then
+        # updates it incrementally as this heartbeat launches work.
+        loads = self.scheduler.wave_loads(self._active)
         assignments: list[Assignment] = []
         for _ in range(tracker.free_map_slots):
-            assignment = self._assign_map(tracker)
+            assignment = self._assign_map(tracker, loads)
             if assignment is None:
                 break
             assignments.append(assignment)
         for _ in range(tracker.free_reduce_slots):
-            assignment = self._assign_reduce(tracker)
+            assignment = self._assign_reduce(tracker, loads)
             if assignment is None:
                 break
             assignments.append(assignment)
         return assignments
 
-    def _assign_map(self, tracker: TaskTracker) -> Assignment | None:
-        for job in self._active_jobs():
+    def _assign_map(
+        self, tracker: TaskTracker, loads: dict[str, int] | None = None
+    ) -> Assignment | None:
+        candidates = [
+            (seq, self._map_schedulable[seq])
+            for seq in sorted(self._map_schedulable)
+        ]
+        for job in self.scheduler.job_order(candidates, loads):
+            if not job.pending_maps and (
+                not job.conf.speculative_execution or job.maps_done
+            ):
+                # Nothing left to hand out for any tracker: deindex.
+                # (The historical ``best_index is None`` fallback this
+                # replaces was dead — a non-empty pending queue always
+                # yields a rank <= 2 pick.)
+                self._map_schedulable.pop(job.submit_seq, None)
+                continue
             if tracker.name in job.blacklist:
                 continue
-            picked = self._pick_pending_map(job, tracker.name)
+            picked = job.pending_maps.pick_for(tracker.name)
             if picked is not None:
                 index, locality = picked
-                return self._launch_map(job, index, tracker, locality)
+                return self._launch_map(
+                    job, index, tracker, locality, loads=loads
+                )
             speculated = self._pick_straggler(job, tracker)
             if speculated is not None:
                 return self._launch_map(
                     job, speculated, tracker,
                     self._map_locality(job.map_tasks[speculated], tracker.name),
                     speculative=True,
+                    loads=loads,
                 )
         return None
 
     def _map_locality(self, task: MapTask, node: str) -> str:
         return self.topology.locality_of(node, list(task.split.locations))
-
-    def _pick_pending_map(
-        self, job: RunningJob, node: str
-    ) -> tuple[int, str] | None:
-        """Best-locality pending map for this node, Hadoop-1 style."""
-        if not job.pending_maps:
-            return None
-        best_index: int | None = None
-        best_rank = 3
-        for index in job.pending_maps:
-            locality = self._map_locality(job.map_tasks[index], node)
-            rank = {"node_local": 0, "rack_local": 1, "off_rack": 2}[locality]
-            if rank < best_rank:
-                best_index, best_rank = index, rank
-                if rank == 0:
-                    break
-        if best_index is None:
-            best_index = job.pending_maps[0]
-            best_rank = 2
-        job.pending_maps.remove(best_index)
-        locality = ["node_local", "rack_local", "off_rack"][best_rank]
-        return best_index, locality
 
     def _pick_straggler(self, job: RunningJob, tracker: TaskTracker) -> int | None:
         if not job.conf.speculative_execution or job.pending_maps:
@@ -374,7 +439,11 @@ class JobTracker:
         tracker: TaskTracker,
         locality: str,
         speculative: bool = False,
+        loads: dict[str, int] | None = None,
     ) -> Assignment:
+        job.active_attempts += 1
+        if loads is not None:
+            loads[job.conf.user] = loads.get(job.conf.user, 0) + 1
         task = job.map_tasks[index]
         attempt = TaskAttempt(
             attempt_id=task.next_attempt_id(),
@@ -404,13 +473,27 @@ class JobTracker:
             speculative=speculative,
         )
 
-    def _assign_reduce(self, tracker: TaskTracker) -> Assignment | None:
-        for job in self._active_jobs():
+    def _assign_reduce(
+        self, tracker: TaskTracker, loads: dict[str, int] | None = None
+    ) -> Assignment | None:
+        candidates = [
+            (seq, self._reduce_schedulable[seq])
+            for seq in sorted(self._reduce_schedulable)
+        ]
+        for job in self.scheduler.job_order(candidates, loads):
+            if not job.pending_reduces:
+                self._reduce_schedulable.pop(job.submit_seq, None)
+                continue
             if tracker.name in job.blacklist:
                 continue
-            if not job.maps_done or not job.pending_reduces:
+            if not job.maps_done:
                 continue
             partition = job.pending_reduces.popleft()
+            if not job.pending_reduces:
+                self._reduce_schedulable.pop(job.submit_seq, None)
+            job.active_attempts += 1
+            if loads is not None:
+                loads[job.conf.user] = loads.get(job.conf.user, 0) + 1
             task = job.reduce_tasks[partition]
             attempt = TaskAttempt(
                 attempt_id=task.next_attempt_id(),
@@ -440,6 +523,8 @@ class JobTracker:
             return
         task = self._task_of(job, assignment)
         attempt = self._attempt_of(task, assignment.attempt_id)
+        if attempt is not None:
+            job.active_attempts -= 1
         if task.state == TaskState.SUCCEEDED:
             # A speculative twin already won.
             if attempt is not None:
@@ -451,6 +536,10 @@ class JobTracker:
             attempt.state = AttemptState.SUCCEEDED
             attempt.finish_time = self.sim.now
         task.state = TaskState.SUCCEEDED
+        if assignment.task_type == TaskType.MAP:
+            job.succeeded_maps += 1
+        else:
+            job.succeeded_reduces += 1
         task.duration = duration
         job.record_task_counters(task.task_id, execution.counters)
         self.sim.bus.publish(
@@ -478,6 +567,7 @@ class JobTracker:
                 continue
             attempt.state = AttemptState.KILLED
             attempt.finish_time = self.sim.now
+            job.active_attempts -= 1
             info = self.trackers.get(attempt.tracker)
             if info is not None:
                 info.tracker.kill_attempt(attempt.attempt_id)
@@ -500,8 +590,9 @@ class JobTracker:
         task.state = TaskState.PENDING
         task.output = None
         task.completed_on = None
-        if task.index not in job.pending_maps:
-            job.pending_maps.append(task.index)
+        job.succeeded_maps -= 1
+        job.pending_maps.add(task.index)
+        self._index_map_schedulable(job)
         job.log(
             self.sim.now,
             f"{task.task_id} output unfetchable from {node}; re-queued",
@@ -528,6 +619,7 @@ class JobTracker:
         task = self._task_of(job, assignment)
         attempt = self._attempt_of(task, assignment.attempt_id)
         if attempt is not None:
+            job.active_attempts -= 1
             attempt.state = (
                 AttemptState.FAILED if counts_against else AttemptState.KILLED
             )
@@ -604,6 +696,7 @@ class JobTracker:
     def _finish_job(self, job: RunningJob) -> None:
         job.state = JobState.SUCCEEDED
         job.finish_time = self.sim.now
+        self._deindex_job(job)
         # All reduces have consumed their input: unlink the job's
         # shuffle segments now rather than at cluster teardown.
         job.release_shm()
@@ -618,6 +711,7 @@ class JobTracker:
         job.state = JobState.FAILED
         job.finish_time = self.sim.now
         job.failure_reason = reason
+        self._deindex_job(job)
         # mrlint MRE101 audit: dict-view iteration with no early exit —
         # every matching attempt on every tracker is killed, so the
         # visit order (registration order, which changes after tracker
@@ -630,6 +724,7 @@ class JobTracker:
             for attempt in task.running_attempts:
                 attempt.state = AttemptState.KILLED
                 attempt.finish_time = self.sim.now
+                job.active_attempts -= 1
         job.log(self.sim.now, f"job failed: {reason}")
         # After every attempt is killed nothing will read the job's
         # shuffle segments again; unlink them.

@@ -1,0 +1,224 @@
+"""Indexed, pluggable task scheduling for the JobTracker.
+
+Two structures keep campus-scale scheduling O(active) instead of
+O(everything):
+
+:class:`PendingMapQueue`
+    Locality-indexed pending-map buckets.  The historical
+    ``_pick_pending_map`` scanned every pending map and looked up its
+    locality per candidate — O(pending × locality) per free slot per
+    heartbeat.  The queue maintains per-node and per-rack FIFO heaps
+    incrementally on add/launch/requeue, so a pick is O(log pending)
+    and provably reproduces the scan's choice (see :meth:`pick_for`).
+
+:class:`FifoScheduler` / :class:`FairScheduler`
+    Pluggable job-ordering strategies.  FIFO preserves the historical
+    submission-order assignment bit-identically.  Fair share orders
+    users by current running-attempt load (fewest first, equal shares)
+    and enforces optional per-user quota caps — the multi-tenant
+    deadline-crunch policy the campus scenario needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cluster.topology import ClusterTopology
+from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import RunningJob
+    from repro.mapreduce.tasks import MapTask
+
+
+class PendingMapQueue:
+    """FIFO of pending map indices with incremental locality buckets.
+
+    Semantics proven equal to the historical scan (first pending map of
+    the best achievable rank, in enqueue order):
+
+    - *node bucket hit* → some pending map is node-local; the heap top
+      is the enqueue-earliest of them, exactly what the scan's rank-0
+      early exit picked.
+    - *rack bucket hit* (node bucket empty) → no pending map is
+      node-local, so every map in the rack bucket ranks ``rack_local``
+      and the top is the enqueue-earliest — the scan's first best-rank
+      match.
+    - *global head* (both buckets empty) → every pending map ranks
+      ``off_rack``; first-in-FIFO wins, which is the global heap top.
+
+    Entries are invalidated lazily: membership maps index → enqueue
+    seq, and stale heap entries (launched or re-enqueued since) are
+    discarded on pop.  A re-queued map gets a fresh, larger seq — the
+    deque-append behaviour of the original.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        map_tasks: "list[MapTask]",
+        initial: Iterable[int] = (),
+    ):
+        self._topology = topology
+        #: index -> replica nodes (split locations, stable order).
+        self._locations: list[tuple[str, ...]] = [
+            tuple(task.split.locations) for task in map_tasks
+        ]
+        #: index -> racks of those nodes (deduped, sorted).
+        self._racks: list[tuple[str, ...]] = [
+            tuple(
+                sorted({topology.rack_of(n) for n in locs if n in topology})
+            )
+            for locs in self._locations
+        ]
+        #: index -> current enqueue seq; insertion order is FIFO order.
+        self._membership: dict[int, int] = {}
+        self._seq = itertools.count()
+        self._by_node: dict[str, list[tuple[int, int]]] = {}
+        self._by_rack: dict[str, list[tuple[int, int]]] = {}
+        self._all: list[tuple[int, int]] = []
+        for index in initial:
+            self.add(index)
+
+    # -- container protocol (what the JobTracker relies on) ------------
+    def __len__(self) -> int:
+        return len(self._membership)
+
+    def __bool__(self) -> bool:
+        return bool(self._membership)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._membership
+
+    def __iter__(self):
+        """Indices in FIFO order (for reports/tests, not the hot path)."""
+        return iter(
+            idx
+            for _seq, idx in sorted(
+                (seq, idx) for idx, seq in self._membership.items()
+            )
+        )
+
+    # -- mutation ------------------------------------------------------
+    def add(self, index: int) -> None:
+        """Enqueue a map index (idempotent, like the guarded appends)."""
+        if index in self._membership:
+            return
+        seq = next(self._seq)
+        self._membership[index] = seq
+        entry = (seq, index)
+        heapq.heappush(self._all, entry)
+        for node in self._locations[index]:
+            heapq.heappush(self._by_node.setdefault(node, []), entry)
+        for rack in self._racks[index]:
+            heapq.heappush(self._by_rack.setdefault(rack, []), entry)
+
+    def _pop_valid(self, heap: list[tuple[int, int]] | None) -> int | None:
+        """Pop stale entries; pop and return the first live index."""
+        if heap is None:
+            return None
+        while heap:
+            seq, index = heap[0]
+            if self._membership.get(index) != seq:
+                heapq.heappop(heap)  # launched or re-enqueued since
+                continue
+            heapq.heappop(heap)
+            return index
+        return None
+
+    def pick_for(self, node: str) -> tuple[int, str] | None:
+        """Dequeue the best-locality pending map for ``node``."""
+        if not self._membership:
+            return None
+        index = self._pop_valid(self._by_node.get(node))
+        if index is not None:
+            del self._membership[index]
+            return index, "node_local"
+        if node in self._topology:
+            rack = self._topology.rack_of(node)
+            index = self._pop_valid(self._by_rack.get(rack))
+            if index is not None:
+                del self._membership[index]
+                return index, "rack_local"
+        index = self._pop_valid(self._all)
+        assert index is not None  # membership non-empty ⇒ live global head
+        del self._membership[index]
+        return index, "off_rack"
+
+
+class SchedulerStrategy:
+    """Job-ordering policy consulted on every assignment round."""
+
+    name = "base"
+    #: True if the strategy wants per-user running-attempt loads
+    #: computed at the start of each heartbeat wave.
+    needs_loads = False
+
+    def wave_loads(
+        self, active: "dict[int, RunningJob]"
+    ) -> dict[str, int] | None:
+        return None
+
+    def job_order(
+        self,
+        candidates: "list[tuple[int, RunningJob]]",
+        loads: dict[str, int] | None,
+    ) -> "list[RunningJob]":
+        raise NotImplementedError
+
+
+class FifoScheduler(SchedulerStrategy):
+    """Submission order — the historical policy, bit-identical."""
+
+    name = "fifo"
+
+    def job_order(self, candidates, loads):
+        return [job for _seq, job in candidates]
+
+
+class FairScheduler(SchedulerStrategy):
+    """Equal per-user shares with optional hard quota caps.
+
+    Users are ordered by current running-attempt count (fewest first,
+    name tie-break), their jobs FIFO within each user.  A user at or
+    above their quota cap is skipped for this round entirely — capacity
+    flows to the others, which is what stops one tenant's 500-job
+    deadline binge from starving everyone else.
+    """
+
+    name = "fair"
+    needs_loads = True
+
+    def __init__(self, quotas: dict[str, int] | None = None):
+        self.quotas = dict(quotas or {})
+
+    def wave_loads(self, active):
+        loads: dict[str, int] = {}
+        for seq in sorted(active):
+            job = active[seq]
+            user = job.conf.user
+            loads[user] = loads.get(user, 0) + job.active_attempts
+        return loads
+
+    def job_order(self, candidates, loads):
+        loads = loads or {}
+        by_user: dict[str, list] = {}
+        for _seq, job in candidates:  # already FIFO by seq
+            by_user.setdefault(job.conf.user, []).append(job)
+        ordered: list = []
+        for user in sorted(by_user, key=lambda u: (loads.get(u, 0), u)):
+            cap = self.quotas.get(user)
+            if cap is not None and loads.get(user, 0) >= cap:
+                continue  # over quota: nothing this round
+            ordered.extend(by_user[user])
+        return ordered
+
+
+def make_scheduler(name: str, quotas: dict[str, int] | None = None):
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "fair":
+        return FairScheduler(quotas)
+    raise ConfigError(f"unknown scheduler {name!r} (want 'fifo' or 'fair')")

@@ -149,9 +149,11 @@ class TaskTracker:
         self.jobtracker = jobtracker
         self.state = TrackerState.UP
         jobtracker.register_tracker(self)
-        self._cancel_heartbeat = self.sim.every(
-            self.mr_config.tasktracker_heartbeat, self._heartbeat
-        )
+        # Trackers ride the shared per-interval timer wheel (one engine
+        # event per heartbeat instant for the whole fleet).
+        self._cancel_heartbeat = self.sim.wheel(
+            self.mr_config.tasktracker_heartbeat
+        ).subscribe(self._heartbeat)
         self.sim.bus.publish("mr.tasktracker.up", self.sim.now, tracker=self.name)
 
     def stop(self) -> None:

@@ -79,9 +79,14 @@ class FaultSite:
 
 
 class ScheduledEvent:
-    """Handle to a scheduled callback; supports cancellation."""
+    """Handle to a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    Cancellation is O(1): the event is flagged and the owning engine's
+    live-event counter is decremented; the heap entry itself rots in
+    place until it reaches the head or a compaction sweeps it out.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -89,12 +94,90 @@ class ScheduledEvent:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: "Simulation | None" = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
+            self._sim = None
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
+
+
+class TimerWheel:
+    """One engine event per tick shared by every fixed-interval timer.
+
+    10k DataNode heartbeats at the same instant used to be 10k
+    closure-per-tick :meth:`Simulation.every` timers — 10k heap pushes
+    and pops per interval.  A wheel is *one* scheduled event per tick
+    that fans out over a subscriber index, so the engine's per-tick
+    work is O(1) heap traffic plus the fan-out itself.
+
+    Determinism: subscribers fire in subscription order (a monotonic
+    token), and a subscriber joining at time ``s`` first fires at the
+    first tick strictly after ``s`` — mirroring ``every()``'s
+    "first fire at s + interval" contract up to phase alignment (wheel
+    ticks sit on multiples of ``interval`` from the wheel's creation
+    time, so co-interval daemons share one event).
+    """
+
+    __slots__ = ("sim", "interval", "epoch", "_subs", "_tokens", "_pending")
+
+    def __init__(self, sim: "Simulation", interval: float):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.epoch = sim.now
+        #: token -> (fn, args, joined_at); insertion order == token order.
+        self._subs: dict[int, tuple[Callable[..., Any], tuple, float]] = {}
+        self._tokens = itertools.count()
+        self._pending: ScheduledEvent | None = None
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def _next_tick(self) -> float:
+        """First tick time strictly after now, on the wheel's phase."""
+        k = math.floor((self.sim.now - self.epoch) / self.interval) + 1
+        t = self.epoch + k * self.interval
+        while t <= self.sim.now:  # float guard at large k
+            k += 1
+            t = self.epoch + k * self.interval
+        return t
+
+    def _arm(self) -> None:
+        if self._pending is None and self._subs:
+            self._pending = self.sim.schedule_at(self._next_tick(), self._tick)
+
+    def _tick(self) -> None:
+        self._pending = None
+        now = self.sim.now
+        for token, (fn, args, joined_at) in sorted(self._subs.items()):
+            if joined_at >= now:
+                continue  # first fire is the next tick after joining
+            if token in self._subs:  # not unsubscribed mid-fan-out
+                fn(*args)
+        self._arm()
+
+    def subscribe(self, fn: Callable[..., Any], *args: Any) -> Callable[[], None]:
+        """Fire ``fn(*args)`` every tick until cancelled; returns the
+        cancel callable (same contract as :meth:`Simulation.every`)."""
+        token = next(self._tokens)
+        self._subs[token] = (fn, args, self.sim.now)
+        self._arm()
+
+        def cancel() -> None:
+            self._subs.pop(token, None)
+            if not self._subs and self._pending is not None:
+                self._pending.cancel()
+                self._pending = None
+
+        return cancel
 
 
 class Simulation:
@@ -111,12 +194,18 @@ class Simulation:
     5.0
     """
 
+    #: Compact the heap once this many cancelled events rot in it (and
+    #: they outnumber the live ones) — keeps ``len(queue)`` O(live).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start: float = 0.0):
         self.clock = SimClock(start)
         self.bus = EventBus()
         self._queue: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_queue = 0
+        self._wheels: dict[float, TimerWheel] = {}
         self._work_joiners: list[WorkJoiner] = []
         self.faults: FaultSite = FaultSite()
 
@@ -130,8 +219,34 @@ class Simulation:
         return self._events_processed
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued — O(1),
+        maintained by a live-event counter instead of a queue scan."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    def _note_cancel(self) -> None:
+        """A queued event was cancelled; compact once rot dominates."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (ordering unchanged:
+        the heap invariant is on (time, seq), which filtering keeps)."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
+    def _pop_event(self) -> ScheduledEvent:
+        """Heap-pop one event, keeping the cancellation census exact."""
+        event = heapq.heappop(self._queue)
+        if event.cancelled:
+            self._cancelled_in_queue -= 1
+        else:
+            event._sim = None  # no longer in the queue; cancel() is a no-op decrement-wise
+        return event
 
     # ------------------------------------------------------------------
     def schedule(
@@ -149,8 +264,20 @@ class Simulation:
                 f"cannot schedule in the past: {time} < now={self.now}"
             )
         event = ScheduledEvent(time, next(self._seq), fn, args)
+        event._sim = self
         heapq.heappush(self._queue, event)
         return event
+
+    def wheel(self, interval: float) -> TimerWheel:
+        """The shared :class:`TimerWheel` for ``interval`` (created on
+        first request).  All fixed-interval daemons with the same
+        interval ride one wheel: one engine event per tick, fanning out
+        over subscribers in subscription order."""
+        wheel = self._wheels.get(interval)
+        if wheel is None:
+            wheel = TimerWheel(self, interval)
+            self._wheels[interval] = wheel
+        return wheel
 
     def every(
         self,
@@ -187,6 +314,17 @@ class Simulation:
         return cancel
 
     # ------------------------------------------------------------------
+    def snapshot(self, *roots: Any):
+        """Checkpoint the simulation (and any ``roots`` — platform,
+        cluster, scenario state) for bit-identical resume.  Returns a
+        :class:`repro.sim.snapshot.SimSnapshot`; ``restore()`` yields an
+        independent ``(sim, roots)`` copy whose continued run replays
+        exactly the trace this one would have produced."""
+        from repro.sim.snapshot import SimSnapshot
+
+        return SimSnapshot(self, roots)
+
+    # ------------------------------------------------------------------
     def install_faults(self, site: FaultSite) -> None:
         """Route injection hooks through ``site`` (see ``repro.faults``)."""
         self.faults = site
@@ -220,7 +358,7 @@ class Simulation:
         """Process the next event; returns False if the queue is empty."""
         while True:
             while self._queue and self._queue[0].cancelled:
-                heapq.heappop(self._queue)
+                self._pop_event()
             if not self._queue:
                 if self._work_joiners and self._join_in_flight(math.inf):
                     continue  # joins may have scheduled new events
@@ -229,7 +367,7 @@ class Simulation:
                 self._queue[0].time
             ):
                 continue  # completions may land before the old head
-            event = heapq.heappop(self._queue)
+            event = self._pop_event()
             self.clock._advance_to(event.time)
             self._events_processed += 1
             event.fn(*event.args)
@@ -249,7 +387,7 @@ class Simulation:
         for _ in range(max_events):
             # Peek at the next live event.
             while self._queue and self._queue[0].cancelled:
-                heapq.heappop(self._queue)
+                self._pop_event()
             if not self._queue or self._queue[0].time > time:
                 # In-flight real work could still complete at <= time.
                 if self._work_joiners and self._join_in_flight(

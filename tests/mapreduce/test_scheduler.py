@@ -1,0 +1,166 @@
+"""PendingMapQueue locality buckets and the pluggable job schedulers."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.mapreduce.config import JobConf, MapReduceConfig
+from repro.mapreduce.inputformat import InputSplit
+from repro.mapreduce.scheduler import (
+    FairScheduler,
+    FifoScheduler,
+    PendingMapQueue,
+    make_scheduler,
+)
+from repro.mapreduce.tasks import MapTask
+from repro.util.errors import ConfigError
+
+
+def make_tasks(locations_per_task):
+    return [
+        MapTask(
+            job_id="job_0001",
+            index=i,
+            split=InputSplit(
+                path="/in",
+                block_index=i,
+                start_offset=0,
+                length=1024,
+                locations=tuple(locs),
+            ),
+        )
+        for i, locs in enumerate(locations_per_task)
+    ]
+
+
+@pytest.fixture
+def topo():
+    # node0..node3 on rack0, node4..node7 on rack1.
+    return ClusterTopology.regular(num_nodes=8, nodes_per_rack=4)
+
+
+class TestPendingMapQueue:
+    def test_node_local_preferred(self, topo):
+        tasks = make_tasks([("node4",), ("node0",), ("node1",)])
+        queue = PendingMapQueue(topo, tasks, initial=range(3))
+        assert queue.pick_for("node0") == (1, "node_local")
+
+    def test_rack_local_when_no_node_local(self, topo):
+        tasks = make_tasks([("node4",), ("node1",)])
+        queue = PendingMapQueue(topo, tasks, initial=range(2))
+        # node0 shares rack0 with node1 only.
+        assert queue.pick_for("node0") == (1, "rack_local")
+
+    def test_off_rack_fifo_fallback(self, topo):
+        tasks = make_tasks([("node4",), ("node5",)])
+        queue = PendingMapQueue(topo, tasks, initial=range(2))
+        assert queue.pick_for("node0") == (0, "off_rack")
+        assert queue.pick_for("node0") == (1, "off_rack")
+        assert queue.pick_for("node0") is None
+
+    def test_fifo_within_equal_rank(self, topo):
+        tasks = make_tasks([("node0",), ("node0",), ("node0",)])
+        queue = PendingMapQueue(topo, tasks, initial=range(3))
+        picks = [queue.pick_for("node0")[0] for _ in range(3)]
+        assert picks == [0, 1, 2]
+
+    def test_requeue_goes_to_the_back(self, topo):
+        tasks = make_tasks([("node0",), ("node0",)])
+        queue = PendingMapQueue(topo, tasks, initial=range(2))
+        assert queue.pick_for("node0")[0] == 0
+        queue.add(0)  # re-queued after a failure
+        assert queue.pick_for("node0")[0] == 1
+        assert queue.pick_for("node0")[0] == 0
+
+    def test_add_is_idempotent(self, topo):
+        tasks = make_tasks([("node0",)])
+        queue = PendingMapQueue(topo, tasks, initial=[0])
+        queue.add(0)
+        assert len(queue) == 1
+        assert queue.pick_for("node0")[0] == 0
+        assert not queue
+
+    def test_container_protocol(self, topo):
+        tasks = make_tasks([("node0",), ("node1",), ("node2",)])
+        queue = PendingMapQueue(topo, tasks, initial=[2, 0, 1])
+        assert len(queue) == 3
+        assert 2 in queue and 1 in queue
+        assert list(queue) == [2, 0, 1]  # FIFO enqueue order
+        queue.pick_for("node2")
+        assert 2 not in queue
+
+    def test_unknown_replica_nodes_ignored(self, topo):
+        # Split locations may name nodes outside the topology (e.g. a
+        # decommissioned DataNode) — they rank off_rack, not crash.
+        tasks = make_tasks([("ghost-node",)])
+        queue = PendingMapQueue(topo, tasks, initial=[0])
+        assert queue.pick_for("node0") == (0, "off_rack")
+
+    def test_stranger_tracker_gets_global_head(self, topo):
+        tasks = make_tasks([("node0",)])
+        queue = PendingMapQueue(topo, tasks, initial=[0])
+        # A tracker not in the topology cannot be node/rack local.
+        assert queue.pick_for("not-a-node") == (0, "off_rack")
+
+
+class FakeJob:
+    def __init__(self, user, active_attempts=0):
+        self.conf = JobConf(name="j", user=user)
+        self.active_attempts = active_attempts
+
+
+class TestStrategies:
+    def test_fifo_preserves_submission_order(self):
+        jobs = [(1, FakeJob("a")), (2, FakeJob("b")), (3, FakeJob("a"))]
+        assert FifoScheduler().job_order(jobs, None) == [
+            job for _seq, job in jobs
+        ]
+
+    def test_fair_orders_users_by_load(self):
+        light, heavy = FakeJob("light"), FakeJob("heavy")
+        candidates = [(1, heavy), (2, light)]
+        loads = {"heavy": 10, "light": 1}
+        assert FairScheduler().job_order(candidates, loads) == [light, heavy]
+
+    def test_fair_fifo_within_user(self):
+        first, second = FakeJob("u"), FakeJob("u")
+        ordered = FairScheduler().job_order([(1, first), (2, second)], {})
+        assert ordered == [first, second]
+
+    def test_quota_cap_skips_user_for_the_round(self):
+        capped, free = FakeJob("capped"), FakeJob("free")
+        scheduler = FairScheduler(quotas={"capped": 4})
+        ordered = scheduler.job_order(
+            [(1, capped), (2, free)], {"capped": 4, "free": 0}
+        )
+        assert ordered == [free]
+
+    def test_wave_loads_sums_active_attempts_per_user(self):
+        active = {
+            1: FakeJob("a", active_attempts=2),
+            2: FakeJob("b", active_attempts=1),
+            3: FakeJob("a", active_attempts=3),
+        }
+        assert FairScheduler().wave_loads(active) == {"a": 5, "b": 1}
+
+    def test_make_scheduler(self):
+        assert make_scheduler("fifo").name == "fifo"
+        fair = make_scheduler("fair", {"u": 2})
+        assert fair.name == "fair" and fair.quotas == {"u": 2}
+        with pytest.raises(ConfigError):
+            make_scheduler("lottery")
+
+
+class TestConfigValidation:
+    def test_scheduler_name_validated(self):
+        with pytest.raises(ConfigError):
+            MapReduceConfig(scheduler="lottery")
+
+    def test_quota_floor_validated(self):
+        with pytest.raises(ConfigError):
+            MapReduceConfig(user_quotas={"u": 0})
+
+    def test_defaults_are_fifo_no_quotas(self):
+        config = MapReduceConfig()
+        assert config.scheduler == "fifo"
+        assert config.user_quotas is None
+        assert JobConf().user == "student"
