@@ -1,0 +1,385 @@
+"""Workloads on the fast engine: compiled sparklite + multi-stage SQL.
+
+PR 10's claim is not that a simulated cluster beats an in-process
+loop — it is that the high-level workload layer now *compiles onto*
+the fast MapReduce engine and inherits its optimisations while staying
+bit-identical to the reference evaluators.  So this benchmark measures
+and asserts the structural observables of that compilation:
+
+- **identity** (always, every host): compiled PageRank and n-gram
+  runs equal the in-memory evaluator's answers exactly; the MovieLens
+  and airline multi-stage SQL joins equal pure-Python ground truth;
+- **stage reuse**: ``cache()`` materializes the PageRank link table
+  once — later iterations hit the HDFS materialization instead of
+  re-running the shuffle (job counts prove it);
+- **predicate pushdown**: a WHERE clause naming one side of a join
+  filters map-side, shrinking the join stage's shuffle;
+- **stage rollups**: every row carries per-stage counters and host
+  PerfStats deltas (``last_plan`` for sparklite, per-stage job
+  counters for Hive) so regressions show up in the JSON, not just in
+  wall time.
+
+Writes ``BENCH_workloads.json`` at the repo root.  Quick mode
+(``--quick`` / ``REPRO_BENCH_QUICK=1``) shrinks every dataset and
+skips the file write; all identity and structure assertions still run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from benchmarks.conftest import banner, quick_mode, show
+from repro.datasets.airline import generate_airline
+from repro.datasets.movielens import generate_movielens
+from repro.datasets.shakespeare import generate_shakespeare
+from repro.hive import ColumnType, HiveLite, TableSchema
+from repro.jobs.ngrams import ngram_counts, ngram_reference
+from repro.jobs.pagerank import generate_web_graph, pagerank
+from repro.mapreduce.backend import usable_cores
+from repro.mapreduce.cluster import MapReduceCluster
+from repro.mapreduce.counters import perf_stats
+from repro.sparklite import SparkLiteContext
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_workloads.json"
+
+
+def _compiled_context() -> SparkLiteContext:
+    return SparkLiteContext.on_mapreduce(num_workers=4, seed=1)
+
+
+def _stage_rollup(plan: list[dict]) -> list[dict]:
+    """last_plan, with counter values coerced to plain ints for JSON."""
+    return [
+        {
+            "stage": stage["stage"],
+            "job": stage["job"],
+            "counters": {
+                name: int(value or 0)
+                for name, value in stage["counters"].items()
+            },
+            "perf": stage["perf"],
+        }
+        for stage in plan
+    ]
+
+
+def _report_rollup(reports) -> list[dict]:
+    """Per-stage counters of interest out of Hive stage reports."""
+    interesting = (
+        "Map input records",
+        "Map output records",
+        "Reduce output records",
+        "HDFS bytes read",
+        "HDFS bytes written",
+    )
+    rollup = []
+    for report in reports:
+        counters = {
+            name: int(value)
+            for group in report.counters.as_dict().values()
+            for name, value in group.items()
+            if name in interesting
+        }
+        rollup.append({"job": report.name, "counters": counters})
+    return rollup
+
+
+# --------------------------------------------------------------------------
+# workload 1: iterative PageRank
+
+
+def _bench_pagerank(quick: bool) -> dict:
+    pages, iterations = (30, 2) if quick else (60, 4)
+    graph = generate_web_graph(seed=3, num_pages=pages, avg_degree=4)
+
+    t0 = time.perf_counter()
+    local = pagerank(SparkLiteContext.local(3), graph.edges, iterations)
+    local_wall = time.perf_counter() - t0
+
+    sc = _compiled_context()
+    t0 = time.perf_counter()
+    compiled = pagerank(sc, graph.edges, iterations)
+    compiled_wall = time.perf_counter() - t0
+    runner = sc._compiled_runner()
+
+    assert compiled.ranks == local.ranks, "compiled PageRank diverged"
+    # cache() pays off: the link table's shuffle runs once, later
+    # iterations read the HDFS materialization.
+    assert runner.cache_hits >= iterations, "cached stages were not reused"
+    jobs_per_iteration = 4  # join, contributions+zero-rank reduce, 2 counts
+    assert runner.jobs_run <= 2 + jobs_per_iteration * iterations + 1, (
+        f"stage reuse regressed: {runner.jobs_run} jobs for "
+        f"{iterations} iterations"
+    )
+    return {
+        "pages": pages,
+        "edges": len(graph.edges),
+        "iterations": iterations,
+        "bit_identical_to_local": True,
+        "local_wall_seconds": local_wall,
+        "compiled_wall_seconds": compiled_wall,
+        "jobs_run": runner.jobs_run,
+        "stages_run": runner.stages_run,
+        "cached_stage_hits": runner.cache_hits,
+        "final_action_stages": _stage_rollup(runner.last_plan),
+    }
+
+
+# --------------------------------------------------------------------------
+# workload 2: the n-gram corpus pipeline
+
+
+def _bench_ngrams(quick: bool) -> dict:
+    words = 400 if quick else 2000
+    corpus = generate_shakespeare(seed=5, num_plays=2, words_per_play=words)
+    lines = corpus.text.splitlines()
+
+    t0 = time.perf_counter()
+    local = ngram_counts(
+        SparkLiteContext.local(3).parallelize(lines, 4), n=2
+    ).collect()
+    local_wall = time.perf_counter() - t0
+
+    sc = _compiled_context()
+    t0 = time.perf_counter()
+    compiled = ngram_counts(sc.parallelize(lines, 4), n=2).collect()
+    compiled_wall = time.perf_counter() - t0
+
+    assert compiled == local, "compiled n-gram pipeline diverged"
+    assert dict(compiled) == ngram_reference(corpus.text, n=2)
+    return {
+        "corpus_lines": len(lines),
+        "distinct_bigrams": len(compiled),
+        "bit_identical_to_local": True,
+        "local_wall_seconds": local_wall,
+        "compiled_wall_seconds": compiled_wall,
+        "stages": _stage_rollup(sc.last_plan),
+    }
+
+
+# --------------------------------------------------------------------------
+# workloads 3+4: multi-stage SQL joins
+
+
+def _movielens_hive(quick: bool):
+    num_ratings = 800 if quick else 4000
+    data = generate_movielens(seed=5, num_ratings=num_ratings, num_movies=80)
+    hive = HiveLite(MapReduceCluster(num_workers=4, seed=1), multi_stage=True)
+    hive.create_table(
+        TableSchema(
+            name="ratings",
+            columns=(
+                ("user_id", ColumnType.INT),
+                ("movie_id", ColumnType.INT),
+                ("rating", ColumnType.FLOAT),
+                ("ts", ColumnType.INT),
+            ),
+            location="/warehouse/ratings.dat",
+            delimiter="::",
+        ),
+        data=data.ratings_text,
+    )
+    hive.create_table(
+        TableSchema(
+            name="movies",
+            columns=(
+                ("id", ColumnType.INT),
+                ("title", ColumnType.STRING),
+                ("genres", ColumnType.STRING),
+            ),
+            location="/warehouse/movies.dat",
+            delimiter="::",
+        ),
+        data=data.movies_text,
+    )
+    return data, hive
+
+
+def _movielens_ground_truth(data, min_rating: float) -> dict[str, list]:
+    titles = {}
+    for line in data.movies_text.splitlines():
+        movie_id, title, _genres = line.split("::")
+        titles[int(movie_id)] = title
+    stats: dict[str, list] = {}
+    for line in data.ratings_text.splitlines():
+        user, movie, rating, _ts = line.split("::")
+        if float(rating) >= min_rating and int(movie) in titles:
+            entry = stats.setdefault(titles[int(movie)], [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(rating)
+    return stats
+
+
+def _bench_movielens_join(quick: bool) -> dict:
+    data, hive = _movielens_hive(quick)
+    sql = (
+        "SELECT movies.title, COUNT(*), AVG(ratings.rating) FROM ratings "
+        "JOIN movies ON ratings.movie_id = movies.id "
+        "WHERE ratings.rating >= 3 "
+        "GROUP BY movies.title ORDER BY COUNT(*) DESC LIMIT 10"
+    )
+    perf = perf_stats()
+    before = perf.snapshot()
+    t0 = time.perf_counter()
+    result = hive.execute(sql)
+    wall = time.perf_counter() - t0
+
+    truth = _movielens_ground_truth(data, min_rating=3.0)
+    for title, count, avg in result.rows:
+        t_count, t_sum = truth[title]
+        assert count == t_count, f"{title}: count {count} != {t_count}"
+        assert math.isclose(avg, t_sum / t_count, rel_tol=1e-9)
+    counts = [row[1] for row in result.rows]
+    assert counts == sorted(counts, reverse=True)
+
+    # Predicate pushdown: the WHERE runs map-side, so the join stage
+    # shuffles fewer records than the two tables' parsed rows.
+    join_counters = {
+        name: value
+        for group in result.stage_reports[0].counters.as_dict().values()
+        for name, value in group.items()
+    }
+    parsed_rows = data.ratings_text.count("\n") + data.movies_text.count("\n")
+    assert join_counters["Map output records"] < parsed_rows, (
+        "WHERE was not pushed below the join shuffle"
+    )
+    return {
+        "ratings_rows": data.ratings_text.count("\n"),
+        "movies_rows": data.movies_text.count("\n"),
+        "result_rows": len(result.rows),
+        "matches_ground_truth": True,
+        "wall_seconds": wall,
+        "join_map_output_records": int(join_counters["Map output records"]),
+        "pushdown_effective": True,
+        "stages": _report_rollup(result.stage_reports),
+        "perf": perf.delta_since(before),
+    }
+
+
+def _bench_airline_join(quick: bool) -> dict:
+    from repro.datasets.airline import CARRIERS
+
+    num_rows = 2000 if quick else 8000
+    data = generate_airline(seed=7, num_rows=num_rows)
+    hive = HiveLite(MapReduceCluster(num_workers=4, seed=1), multi_stage=True)
+    hive.create_table(
+        TableSchema(
+            name="flights",
+            columns=(
+                ("year", ColumnType.INT),
+                ("month", ColumnType.INT),
+                ("day", ColumnType.INT),
+                ("dow", ColumnType.INT),
+                ("dep_time", ColumnType.INT),
+                ("carrier", ColumnType.STRING),
+                ("flight_num", ColumnType.INT),
+                ("arr_delay", ColumnType.INT),
+                ("dep_delay", ColumnType.INT),
+                ("origin", ColumnType.STRING),
+                ("dest", ColumnType.STRING),
+                ("distance", ColumnType.INT),
+                ("cancelled", ColumnType.INT),
+            ),
+            location="/warehouse/flights.csv",
+            skip_header=True,
+        ),
+        data=data.csv_text,
+    )
+    hive.create_table(
+        TableSchema(
+            name="carriers",
+            columns=(
+                ("code", ColumnType.STRING),
+                ("mean_delay", ColumnType.FLOAT),
+            ),
+            location="/warehouse/carriers.csv",
+        ),
+        data="\n".join(f"{code},{mean}" for code, mean, _ in CARRIERS) + "\n",
+    )
+    # "NA" delay rows (cancelled flights) fail INT parsing and drop out
+    # map-side — the same rows the ground truth excludes.
+    sql = (
+        "SELECT carriers.code, AVG(flights.arr_delay) FROM flights "
+        "JOIN carriers ON flights.carrier = carriers.code "
+        "GROUP BY carriers.code ORDER BY AVG(flights.arr_delay) LIMIT 5"
+    )
+    t0 = time.perf_counter()
+    result = hive.execute(sql)
+    wall = time.perf_counter() - t0
+
+    truth = data.true_average_delays()
+    for code, avg in result.rows:
+        assert math.isclose(avg, truth[code], rel_tol=1e-9), (
+            f"{code}: {avg} != {truth[code]}"
+        )
+    assert result.rows[0][0] == data.best_carrier()
+    averages = [row[1] for row in result.rows]
+    assert averages == sorted(averages)
+    return {
+        "flight_rows": data.num_rows,
+        "carriers": len(CARRIERS),
+        "result_rows": len(result.rows),
+        "matches_ground_truth": True,
+        "best_carrier": result.rows[0][0],
+        "wall_seconds": wall,
+        "stages": _report_rollup(result.stage_reports),
+    }
+
+
+# --------------------------------------------------------------------------
+
+
+def _experiment(quick: bool) -> dict:
+    payload = {
+        "benchmark": "workloads_on_fast_engine",
+        "quick": quick,
+        "host_cores": usable_cores(),
+        "pagerank": _bench_pagerank(quick),
+        "ngrams": _bench_ngrams(quick),
+        "movielens_join": _bench_movielens_join(quick),
+        "airline_join": _bench_airline_join(quick),
+    }
+    if not quick:
+        RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def bench_workloads(benchmark, request):
+    quick = quick_mode(request)
+    payload = benchmark.pedantic(
+        _experiment, args=(quick,), rounds=1, iterations=1
+    )
+    banner("Workloads on the fast engine (compiled sparklite + SQL stages)")
+    show(f"host cores: {payload['host_cores']}" + ("; QUICK" if quick else ""))
+
+    pr = payload["pagerank"]
+    show(
+        f"pagerank     {pr['pages']} pages x {pr['iterations']} iters: "
+        f"{pr['jobs_run']} jobs, {pr['cached_stage_hits']} cached-stage hits, "
+        f"compiled {pr['compiled_wall_seconds'] * 1000:.0f} ms "
+        f"(local {pr['local_wall_seconds'] * 1000:.0f} ms), bit-identical"
+    )
+    ng = payload["ngrams"]
+    show(
+        f"ngrams       {ng['corpus_lines']} lines -> "
+        f"{ng['distinct_bigrams']} bigrams in {len(ng['stages'])} stage(s), "
+        f"compiled {ng['compiled_wall_seconds'] * 1000:.0f} ms, bit-identical"
+    )
+    ml = payload["movielens_join"]
+    show(
+        f"movielens    {ml['ratings_rows']} ratings JOIN {ml['movies_rows']} "
+        f"movies: {len(ml['stages'])} stages, map-side pushdown kept shuffle "
+        f"at {ml['join_map_output_records']} records, matches ground truth"
+    )
+    al = payload["airline_join"]
+    show(
+        f"airline      {al['flight_rows']} flights JOIN {al['carriers']} "
+        f"carriers: best carrier {al['best_carrier']}, "
+        f"{len(al['stages'])} stages, matches ground truth"
+    )
+    assert ml["stages"] and al["stages"] and len(al["stages"]) >= 3
+    if not quick:
+        show(f"results written to {RESULT_FILE.name}")

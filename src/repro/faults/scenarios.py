@@ -62,6 +62,15 @@ class Scenario:
     paper_incident: str
     #: seed -> the fault plan to arm.
     plan: Callable[[int], FaultPlan]
+    #: The workload run through the chaos.  None = the classic single
+    #: WordCount job; otherwise ``workload(cluster) -> (report, files)``
+    #: runs any deterministic multi-job program (e.g. compiled sparklite
+    #: PageRank) and returns its final-stage report plus the output
+    #: bytes that must be bit-identical to the fault-free baseline's.
+    workload: (
+        Callable[[MapReduceCluster], tuple[JobReport, dict[str, bytes]]]
+        | None
+    ) = None
     #: Optional post-run phase (runs after output capture, may advance
     #: the simulation further) appending scenario-specific checks.
     post: Callable[[MapReduceCluster, FaultInjector, list[Check]], None] | None = None
@@ -220,16 +229,19 @@ def _run_once(
         transport=transport,
         block_cache_bytes=block_cache_bytes,
     ) as mr:
-        input_path = _load_corpus(mr)
+        input_path = None if scenario.workload else _load_corpus(mr)
         mr.sim.bus.record_history = True
         injector = (
             FaultInjector(plan, mr).arm() if plan is not None else None
         )
         try:
-            report = mr.run_job(
-                _job(), input_path, "/chaos/out", timeout=scenario.timeout
-            )
-            files = _read_part_files(mr, "/chaos/out")
+            if scenario.workload is not None:
+                report, files = scenario.workload(mr)
+            else:
+                report = mr.run_job(
+                    _job(), input_path, "/chaos/out", timeout=scenario.timeout
+                )
+                files = _read_part_files(mr, "/chaos/out")
             if injector is not None and checks is not None and scenario.post:
                 scenario.post(mr, injector, checks)
             fsck_render = (
@@ -514,6 +526,40 @@ def _checkpoint_roll_post(
     )
 
 
+def _pagerank_datanode_plan(seed: int) -> FaultPlan:
+    # The second completed *job* (an early PageRank stage) pulls the
+    # trigger: a DataNode dies between iterations and stays down, so
+    # every later stage re-reading cached link-table intermediates and
+    # prior-iteration ranks must fail over to surviving replicas.
+    return FaultPlan(seed=seed).on_event(
+        "mr.jobtracker.succeeded", "datanode.crash", count=2, target="node2"
+    )
+
+
+def _pagerank_workload(
+    mr: MapReduceCluster,
+) -> tuple[JobReport, dict[str, bytes]]:
+    """Compiled sparklite PageRank: a multi-stage iterative program.
+
+    Every iteration is a join + reduce stage pair over HDFS-resident
+    intermediates; the final ranks (full ``repr`` precision — the
+    bit-identity claim) are the drill's comparable output, and the last
+    stage's report carries the counters that must survive the chaos.
+    """
+    from repro.jobs.pagerank import generate_web_graph, pagerank
+    from repro.sparklite.context import SparkLiteContext
+
+    names = [node.name for node in mr.hdfs.topology.nodes()]
+    sc = SparkLiteContext(names, cluster=mr, sparklite_backend="mapreduce")
+    graph = generate_web_graph(seed=3, num_pages=40, avg_degree=3)
+    result = pagerank(sc, graph.edges, iterations=3, num_partitions=3)
+    ranks = (
+        "\n".join(f"{page}\t{rank!r}" for page, rank in result.ranks) + "\n"
+    )
+    runner = sc._compiled_runner()
+    return runner.last_report, {"ranks": ranks.encode()}
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -585,6 +631,18 @@ SCENARIOS: dict[str, Scenario] = {
                 "tasks drag (Sections II.A, V)"
             ),
             plan=_shuffle_storm_plan,
+        ),
+        Scenario(
+            name="pagerank_datanode_loss",
+            title="Kill a DataNode between PageRank iterations",
+            paper_incident=(
+                "iterative jobs amplify single-node failures: every later "
+                "stage re-reads cached intermediates from HDFS, so a dead "
+                "DataNode mid-iteration exercises replica failover on the "
+                "compiled sparklite pipeline (Sections II.A, IV)"
+            ),
+            plan=_pagerank_datanode_plan,
+            workload=_pagerank_workload,
         ),
     )
 }

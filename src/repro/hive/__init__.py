@@ -2,11 +2,14 @@
 
 The other half of Version 4's ecosystem lecture ("one lecture
 introducing HBase/Hive").  A metastore maps table names to delimited
-files in HDFS; a micro-SQL dialect (SELECT / WHERE / GROUP BY /
+files in HDFS; a micro-SQL dialect (SELECT / JOIN / WHERE / GROUP BY /
 ORDER BY / LIMIT with COUNT, SUM, AVG, MIN, MAX) compiles into the same
 MapReduce jobs students write by hand — which is the lecture's point:
 aggregation SQL *is* the WordCount pattern, with the monoid combiner
-falling out of the aggregate functions automatically.
+falling out of the aggregate functions automatically.  With
+``HiveLite(cluster, multi_stage=True)``, JOIN and ORDER BY queries
+become chained stages (repartition join, total-order sample-partitioned
+sort) exactly as Hive plans them — see ``repro.hive.planner``.
 """
 
 from repro.hive.schema import ColumnType, TableSchema

@@ -8,13 +8,21 @@ The compilation is the lecture's punchline, visible in code:
   a monoid — so the combiner is *always* legal and is installed
   automatically (Lin's "Monoidify!" applied mechanically);
 - ``ORDER BY``/``LIMIT`` run in the final single-threaded stage, as
-  Hive's plans do.
+  Hive's plans do — *or*, with ``multi_stage=True``, as a total-order
+  sort stage with a sampled :class:`~repro.hive.planner.RangePartitioner`;
+- ``JOIN`` always plans multi-stage: a repartition-join job feeds the
+  aggregation/projection job through HDFS temp files
+  (see :mod:`repro.hive.planner`).
+
+Single-stage and multi-stage plans return bit-identical rows: both
+order results by the same composite sort token
+(:func:`~repro.hive.planner.row_sort_token`).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.hive.parser import (
@@ -25,20 +33,29 @@ from repro.hive.parser import (
     SqlError,
     parse_query,
 )
+
+# Re-exported from the planner so stage code and engine never disagree
+# on the wire format (historically these lived here).
+from repro.hive.planner import (
+    AGG_SEP,
+    FIELD_SEP,
+    GLOBAL_GROUP,
+    GROUP_SEP,
+    ROW_SEP,
+    JoinStageJob,
+    RangePartitioner,
+    SortStageJob,
+    row_sort_token,
+    sample_boundaries,
+)
 from repro.hive.schema import ColumnType, Metastore, TableSchema
 from repro.mapreduce.api import Context, Job, Mapper, Reducer
 from repro.mapreduce.cluster import MapReduceCluster
 from repro.mapreduce.config import JobConf
 from repro.mapreduce.job import JobReport
+from repro.mapreduce.outputformat import TextOutputFormat
 from repro.mapreduce.types import NullWritable, Text, Writable
-
-#: Separators inside shuffle keys/values (never appear in user data
-#: because TableSchema delimits on printable characters).
-GROUP_SEP = "\x02"
-AGG_SEP = "\x03"
-FIELD_SEP = ":"
-#: The single group of a global aggregation (no GROUP BY).
-GLOBAL_GROUP = "\x04__all__"
+from repro.sparklite.codec import unescape_text
 
 
 # --------------------------------------------------------------------------
@@ -287,12 +304,15 @@ def _projection_job(
 
 @dataclass
 class QueryResult:
-    """Rows out of a query, plus the job that produced them."""
+    """Rows out of a query, plus the job(s) that produced them."""
 
     columns: tuple[str, ...]
     rows: list[tuple]
     report: JobReport | None = None
     sql: str = ""
+    #: Every stage's report in plan order (multi-stage plans; a
+    #: single-stage query has the one report here too).
+    stage_reports: tuple = ()
 
     def render(self) -> str:
         from repro.util.textable import TextTable
@@ -304,12 +324,27 @@ class QueryResult:
 
 
 class HiveLite:
-    """Parse, plan, run — over a MapReduceCluster."""
+    """Parse, plan, run — over a MapReduceCluster.
 
-    def __init__(self, cluster: MapReduceCluster):
+    ``multi_stage=True`` plans ``ORDER BY`` as a total-order sort stage
+    instead of a driver-side sort (``JOIN`` queries are always
+    multi-stage).  ``sort_partitions`` sizes that stage; the default
+    follows the cluster's worker count, capped at 4.
+    """
+
+    def __init__(
+        self,
+        cluster: MapReduceCluster,
+        multi_stage: bool = False,
+        sort_partitions: int | None = None,
+    ):
         self.cluster = cluster
         self.metastore = Metastore()
         self.udfs: dict[str, Callable] = {}
+        self.multi_stage = multi_stage
+        self.sort_partitions = sort_partitions or max(
+            1, min(4, len(cluster.tasktrackers))
+        )
         self._seq = itertools.count(1)
 
     # -- DDL ----------------------------------------------------------------
@@ -403,9 +438,26 @@ class HiveLite:
     def explain(self, sql: str) -> str:
         """Render the plan without running it."""
         query = parse_query(sql)
-        schema = self.metastore.get(query.table)
-        self._validate(query, schema)
-        lines = [f"EXPLAIN {sql}", f"  scan: {schema.location}"]
+        lines = [f"EXPLAIN {sql}"]
+        if query.is_join:
+            stage_query, schema, _job, inputs = self._compile_join(query)
+            self._validate(stage_query, schema)
+            lines.append(f"  stage 1: repartition join {' + '.join(inputs)}")
+            lines.append(
+                f"    shuffle key: {query.join_on[0]} = {query.join_on[1]} "
+                "(values tagged by side)"
+            )
+            if query.where:
+                conds = " AND ".join(
+                    f"{c.column} {c.op} {c.literal!r}" for c in query.where
+                )
+                lines.append(f"    pushed-down map-side filter: {conds}")
+            query = stage_query
+            lines.append("  stage 2: scan <join output rows>")
+        else:
+            schema = self.metastore.get(query.table)
+            self._validate(query, schema)
+            lines.append(f"  scan: {schema.location}")
         if query.where:
             conds = " AND ".join(
                 f"{c.column} {c.op} {c.literal!r}" for c in query.where
@@ -430,7 +482,15 @@ class HiveLite:
             lines.append("  map-only projection")
         if query.order_by:
             direction = "DESC" if query.order_desc else "ASC"
-            lines.append(f"  final stage: sort by {query.order_by} {direction}")
+            if self.multi_stage or query.is_join:
+                lines.append(
+                    f"  sort stage: total-order sort by {query.order_by} "
+                    f"{direction} ({self.sort_partitions} sampled ranges)"
+                )
+            else:
+                lines.append(
+                    f"  final stage: sort by {query.order_by} {direction}"
+                )
         if query.limit is not None:
             lines.append(f"  final stage: limit {query.limit}")
         return "\n".join(lines)
@@ -438,6 +498,8 @@ class HiveLite:
     # -- execution ---------------------------------------------------------
     def execute(self, sql: str) -> QueryResult:
         query = parse_query(sql)
+        if query.is_join or (self.multi_stage and query.order_by is not None):
+            return self._execute_multi_stage(query, sql)
         schema = self.metastore.get(query.table)
         self._validate(query, schema)
         output = f"/tmp/hive/query_{next(self._seq):05d}"
@@ -449,9 +511,282 @@ class HiveLite:
             job, schema.location, output, require_success=True
         )
         rows = self._collect(query, schema, output)
-        rows = self._order_and_limit(query, rows)
+        rows = self._order_and_limit(query, schema, rows)
         columns = self._output_columns(query, schema)
-        return QueryResult(columns=columns, rows=rows, report=report, sql=sql)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            report=report,
+            sql=sql,
+            stage_reports=(report,),
+        )
+
+    def _execute_multi_stage(self, query: Query, sql: str) -> QueryResult:
+        """JOIN / total-order plans: stages chained through HDFS temps."""
+        base = f"/tmp/hive/query_{next(self._seq):05d}"
+        reports: list[JobReport] = []
+        if query.is_join:
+            query, schema, join_job, inputs = self._compile_join(query)
+            self._validate(query, schema)
+            join_out = f"{base}_join"
+            reports.append(
+                self.cluster.run_job(
+                    join_job, inputs, join_out, require_success=True
+                )
+            )
+            stage_inputs = self._nonempty_parts(join_out)
+        else:
+            schema = self.metastore.get(query.table)
+            self._validate(query, schema)
+            stage_inputs = [schema.location]
+        columns = self._output_columns(query, schema)
+        rows: list[tuple] = []
+        if stage_inputs:
+            result_out = f"{base}_result"
+            if query.is_aggregation:
+                job = _aggregation_job(schema, query)
+            else:
+                job = _projection_job(schema, query, self.udfs)
+            reports.append(
+                self.cluster.run_job(
+                    job, stage_inputs, result_out, require_success=True
+                )
+            )
+            if query.order_by is not None:
+                sorted_out = f"{base}_sorted"
+                sort_report, rows = self._sort_stage(
+                    query, schema, result_out, sorted_out
+                )
+                if sort_report is not None:
+                    reports.append(sort_report)
+            else:
+                rows = self._collect(query, schema, result_out)
+                rows = self._order_and_limit(query, schema, rows)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            report=reports[-1] if reports else None,
+            sql=sql,
+            stage_reports=tuple(reports),
+        )
+
+    # -- join planning -----------------------------------------------------
+    def _compile_join(
+        self, query: Query
+    ) -> tuple[Query, TableSchema, Job, list[str]]:
+        """Build the repartition-join stage and the rewritten query.
+
+        Returns ``(stage2 query, combined schema, join job, inputs)``:
+        the query with every column qualified and WHERE pushed down
+        into the join mappers, plus the virtual two-table schema whose
+        rows the join stage emits.
+        """
+        left = self.metastore.get(query.table)
+        right = self.metastore.get(query.join_table)
+        if left.name == right.name:
+            raise SqlError("self-joins are not supported")
+        combined_columns = tuple(
+            (f"{schema.name}.{name}", ctype)
+            for schema in (left, right)
+            for name, ctype in schema.columns
+        )
+        combined = TableSchema(
+            name=f"{left.name}_join_{right.name}",
+            columns=combined_columns,
+            location="<join-stage>",
+            delimiter=ROW_SEP,
+        )
+        query = self._qualify(query, left, right, combined)
+        left_key = self._side_key(query.join_on[0], left, right, "left")
+        right_key = self._side_key(query.join_on[1], left, right, "right")
+        if (
+            left.columns[left_key][1] is not right.columns[right_key][1]
+        ):
+            raise SqlError(
+                f"join keys {query.join_on[0]!r} and {query.join_on[1]!r} "
+                "have different column types"
+            )
+        # Predicate pushdown: every condition names exactly one table,
+        # so all of WHERE filters map-side, before the shuffle.
+        conds = {"left": [], "right": []}
+        for condition in query.where:
+            table, column = condition.column.split(".", 1)
+            side = "left" if table == left.name else "right"
+            schema = left if side == "left" else right
+            conds[side].append(
+                (schema.column_index(column), condition.op, condition.literal)
+            )
+        specs = {}
+        for side, schema, key in (
+            ("left", left, left_key),
+            ("right", right, right_key),
+        ):
+            specs[side] = {
+                "location": schema.location,
+                "delim": schema.delimiter,
+                "skip_header": schema.skip_header,
+                "first": schema.columns[0][0],
+                "kinds": tuple(ctype.value for _n, ctype in schema.columns),
+                "key": key,
+                "conds": tuple(conds[side]),
+            }
+        job = JoinStageJob(
+            conf=JobConf(name=f"hive-join-{left.name}-{right.name}"),
+            hv_join=specs,
+        )
+        stage_query = replace(query, table=combined.name, where=())
+        return stage_query, combined, job, [left.location, right.location]
+
+    def _side_key(
+        self, expr: str, left: TableSchema, right: TableSchema, side: str
+    ) -> int:
+        """Resolve one side of ``ON`` to a column index of that table."""
+        schema = left if side == "left" else right
+        if "." in expr:
+            table, column = expr.split(".", 1)
+            if table != schema.name:
+                raise SqlError(
+                    f"ON {expr!r}: the {side} side must reference "
+                    f"table {schema.name!r}"
+                )
+            return schema.column_index(column)
+        return schema.column_index(expr)
+
+    def _qualify(
+        self,
+        query: Query,
+        left: TableSchema,
+        right: TableSchema,
+        combined: TableSchema,
+    ) -> Query:
+        """Rewrite every column reference to its ``table.column`` form."""
+        names = {name for name, _t in combined.columns}
+
+        def qual(name: str) -> str:
+            if name == "*":
+                return name
+            if "." in name:
+                if name not in names:
+                    raise SqlError(f"unknown column {name!r}")
+                return name
+            candidates = [
+                f"{schema.name}.{name}"
+                for schema in (left, right)
+                if any(column == name for column, _t in schema.columns)
+            ]
+            if not candidates:
+                raise SqlError(f"unknown column {name!r}")
+            if len(candidates) > 1:
+                raise SqlError(
+                    f"column {name!r} is ambiguous between "
+                    f"{left.name!r} and {right.name!r}; qualify it"
+                )
+            return candidates[0]
+
+        items = tuple(
+            replace(item, column=qual(item.column)) for item in query.items
+        )
+        relabel = {
+            old.label: new.label for old, new in zip(query.items, items)
+        } | {old.column: new.column for old, new in zip(query.items, items)}
+        order_by = (
+            relabel.get(query.order_by, query.order_by)
+            if query.order_by is not None
+            else None
+        )
+        return replace(
+            query,
+            items=items,
+            where=tuple(
+                replace(c, column=qual(c.column)) for c in query.where
+            ),
+            group_by=tuple(qual(c) for c in query.group_by),
+            order_by=order_by,
+        )
+
+    # -- the total-order sort stage ---------------------------------------
+    def _sort_stage(
+        self, query: Query, schema: TableSchema, result_out: str, output: str
+    ) -> tuple[JobReport | None, list[tuple]]:
+        """Run the sampled range-partitioned sort; collect in key order."""
+        parts = self._nonempty_parts(result_out, with_length=True)
+        if not parts:
+            return None, []
+        fields = self._field_specs(query, schema)
+        sort_index = self._sort_index(query, schema)
+        client = self.cluster._output_client(None)
+        boundaries = sample_boundaries(
+            client,
+            parts,
+            fields,
+            query.is_aggregation,
+            sort_index,
+            self.sort_partitions,
+        )
+        job = SortStageJob(
+            conf=JobConf(
+                name="hive-sort", num_reduces=self.sort_partitions
+            ),
+            hv_fields=fields,
+            hv_sort=sort_index,
+            hv_agg=query.is_aggregation,
+        )
+        job.partitioner = RangePartitioner(boundaries)
+        report = self.cluster.run_job(
+            job, [path for path, _len in parts], output, require_success=True
+        )
+        return report, self._sorted_rows(query, schema, output)
+
+    def _sorted_rows(
+        self, query: Query, schema: TableSchema, output: str
+    ) -> list[tuple]:
+        """Concatenate sorted parts in partition (= key) order.
+
+        ``LIMIT k`` stops after the first parts that supply *k* rows —
+        the total-order sort's payoff: the driver never touches the
+        tail partitions (reversed for DESC).
+        """
+        client = self.cluster._output_client(None)
+        names = sorted(
+            status.path
+            for status in client.list_status(output)
+            if not status.is_dir
+            and status.path.rsplit("/", 1)[-1].startswith("part-")
+        )
+        if query.order_desc:
+            names = list(reversed(names))
+        rows: list[tuple] = []
+        for path in names:
+            pairs = TextOutputFormat.parse(client.read_text(path))
+            if query.order_desc:
+                pairs = list(reversed(pairs))
+            lines = [unescape_text(value) for _token, value in pairs]
+            rows.extend(
+                self._rows_from_pairs(
+                    query,
+                    schema,
+                    [TextOutputFormat.parse_line(line) for line in lines],
+                )
+            )
+            if query.limit is not None and len(rows) >= query.limit:
+                break
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def _nonempty_parts(self, output: str, with_length: bool = False):
+        """Non-empty ``part-*`` files of a finished stage, name-sorted."""
+        client = self.cluster._output_client(None)
+        parts = sorted(
+            (status.path, status.length)
+            for status in client.list_status(output)
+            if not status.is_dir
+            and status.path.rsplit("/", 1)[-1].startswith("part-")
+            and status.length > 0
+        )
+        if with_length:
+            return parts
+        return [path for path, _length in parts]
 
     def _output_columns(self, query: Query, schema: TableSchema) -> tuple[str, ...]:
         out: list[str] = []
@@ -463,7 +798,13 @@ class HiveLite:
         return tuple(out)
 
     def _collect(self, query: Query, schema: TableSchema, output: str) -> list[tuple]:
-        pairs = self.cluster.read_output(output)
+        return self._rows_from_pairs(
+            query, schema, self.cluster.read_output(output)
+        )
+
+    def _rows_from_pairs(
+        self, query: Query, schema: TableSchema, pairs: list[tuple[str, str]]
+    ) -> list[tuple]:
         rows: list[tuple] = []
         if not query.is_aggregation:
             parsers: list[Callable[[str], object]] = []
@@ -519,18 +860,16 @@ class HiveLite:
         # MIN/MAX keep the column's type.
         return schema.column_type(item.column).parse(raw)
 
-    def _order_and_limit(self, query: Query, rows: list[tuple]) -> list[tuple]:
+    def _order_and_limit(
+        self, query: Query, schema: TableSchema, rows: list[tuple]
+    ) -> list[tuple]:
         if query.order_by is not None:
-            labels = []
-            for item in query.items:
-                labels.append(item.label)
-            if query.order_by in labels:
-                index = labels.index(query.order_by)
-            else:
-                index = [i.column for i in query.items].index(query.order_by)
+            # The same composite token the multi-stage sort shuffles on:
+            # single-stage and total-order plans return identical rows.
+            index = self._sort_index(query, schema)
             rows = sorted(
                 rows,
-                key=lambda r: (r[index] is None, r[index]),
+                key=lambda r: row_sort_token(r, index),
                 reverse=query.order_desc,
             )
         else:
@@ -538,3 +877,69 @@ class HiveLite:
         if query.limit is not None:
             rows = rows[: query.limit]
         return rows
+
+    def _sort_index(self, query: Query, schema: TableSchema) -> int:
+        """Position of ORDER BY in the *expanded* output row (``*``
+        widens to the schema's columns, which the label list ignores)."""
+        labels: list[str] = []
+        columns: list[str] = []
+        for item in query.items:
+            if item.column == "*" and item.aggregate is None:
+                for name, _ctype in schema.columns:
+                    labels.append(name)
+                    columns.append(name)
+            else:
+                labels.append(item.label)
+                columns.append(item.column)
+        if query.order_by in labels:
+            return labels.index(query.order_by)
+        return columns.index(query.order_by)
+
+    def _field_specs(
+        self, query: Query, schema: TableSchema
+    ) -> tuple[tuple[str, int, str], ...]:
+        """Per-output-column ``(source, index, kind)`` line-decode spec
+        (the param the sort stage's mappers rebuild rows from)."""
+        specs: list[tuple[str, int, str]] = []
+        if query.is_aggregation:
+            agg_index = 0
+            for item in query.items:
+                if item.aggregate is None:
+                    specs.append(
+                        (
+                            "group",
+                            query.group_by.index(item.column),
+                            schema.column_type(item.column).value,
+                        )
+                    )
+                elif item.aggregate == "COUNT":
+                    specs.append(("agg", agg_index, "int"))
+                    agg_index += 1
+                elif item.aggregate in ("SUM", "AVG"):
+                    specs.append(("agg", agg_index, "float"))
+                    agg_index += 1
+                else:  # MIN/MAX keep the column's type
+                    specs.append(
+                        (
+                            "agg",
+                            agg_index,
+                            schema.column_type(item.column).value,
+                        )
+                    )
+                    agg_index += 1
+            return tuple(specs)
+        position = 0
+        for item in query.items:
+            if item.column == "*":
+                for _name, ctype in schema.columns:
+                    specs.append(("key", position, ctype.value))
+                    position += 1
+            elif item.udf is not None:
+                specs.append(("key", position, "raw"))
+                position += 1
+            else:
+                specs.append(
+                    ("key", position, schema.column_type(item.column).value)
+                )
+                position += 1
+        return tuple(specs)

@@ -2,11 +2,17 @@
 
 Grammar::
 
-    query    := SELECT items FROM ident [WHERE conj] [GROUP BY idents]
+    query    := SELECT items FROM ident [JOIN ident ON ident '=' ident]
+                [WHERE conj] [GROUP BY idents]
                 [ORDER BY ident [ASC|DESC]] [LIMIT int]
     items    := item (',' item)*
     item     := '*' | ident | agg '(' (ident | '*') ')' | ident '(' ident ')'
     agg      := COUNT | SUM | AVG | MIN | MAX
+
+Identifiers may be dot-qualified (``ratings.movie_id``); a ``JOIN``
+query *requires* qualification wherever a bare column name would be
+ambiguous between the two tables.  The ``ON`` clause supports exactly
+one equality — the equi-join the repartition-join pattern shuffles on.
 
 A non-aggregate ``ident '(' ident ')'`` is a **UDF call** — the name
 must be registered with :meth:`repro.hive.engine.HiveLite.register_udf`
@@ -66,6 +72,15 @@ class Query:
     order_by: str | None = None
     order_desc: bool = False
     limit: int | None = None
+    #: The right-hand table of ``FROM a JOIN b ON a.x = b.y`` (None when
+    #: the query scans a single table).
+    join_table: str | None = None
+    #: The two sides of the ON equality, as written (possibly qualified).
+    join_on: tuple[str, str] | None = None
+
+    @property
+    def is_join(self) -> bool:
+        return self.join_table is not None
 
     @property
     def aggregates(self) -> tuple[SelectItem, ...]:
@@ -143,6 +158,24 @@ class _Parser:
         if kind != "word":
             raise SqlError(f"expected table name, got {table!r}")
 
+        join_table = None
+        join_on = None
+        if self.accept_word("JOIN"):
+            kind, join_table = self.next()
+            if kind != "word":
+                raise SqlError(f"expected join table name, got {join_table!r}")
+            self.expect_word("ON")
+            kind, left_key = self.next()
+            if kind != "word":
+                raise SqlError(f"expected join column, got {left_key!r}")
+            kind, op = self.next()
+            if kind != "op" or op != "=":
+                raise SqlError(f"JOIN supports only '=', got {op!r}")
+            kind, right_key = self.next()
+            if kind != "word":
+                raise SqlError(f"expected join column, got {right_key!r}")
+            join_on = (left_key, right_key)
+
         where: tuple = ()
         group_by: tuple = ()
         order_by = None
@@ -182,6 +215,8 @@ class _Parser:
             order_by=order_by,
             order_desc=order_desc,
             limit=limit,
+            join_table=join_table,
+            join_on=join_on,
         )
 
     def _items(self) -> tuple[SelectItem, ...]:

@@ -17,7 +17,12 @@ difference *is* the lesson:
 - :mod:`~repro.jobs.album_rating` — highest-average-rating album
   (assignment 2);
 - :mod:`~repro.jobs.trace_resubmissions` — the job with the most task
-  resubmissions in the Google trace (Version 1, assignment 2).
+  resubmissions in the Google trace (Version 1, assignment 2);
+- :mod:`~repro.jobs.pagerank` — iterative PageRank on sparklite
+  (cached link table, per-iteration stage reuse on the compiled
+  backend);
+- :mod:`~repro.jobs.ngrams` — n-gram corpus pipeline over the
+  vectorised tokenizer, one shuffle.
 """
 
 from repro.jobs.wordcount import (
@@ -39,6 +44,13 @@ from repro.jobs.trace_resubmissions import (
     MaxResubmissionsJob,
     find_max_resubmission_job,
 )
+from repro.jobs.pagerank import (
+    PageRankResult,
+    generate_web_graph,
+    pagerank,
+    pagerank_reference,
+)
+from repro.jobs.ngrams import ngram_counts, ngram_reference, top_ngrams
 
 __all__ = [
     "WordCountJob",
@@ -56,4 +68,11 @@ __all__ = [
     "TraceResubmissionsJob",
     "MaxResubmissionsJob",
     "find_max_resubmission_job",
+    "PageRankResult",
+    "generate_web_graph",
+    "pagerank",
+    "pagerank_reference",
+    "ngram_counts",
+    "ngram_reference",
+    "top_ngrams",
 ]

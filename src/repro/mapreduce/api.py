@@ -44,11 +44,17 @@ class Context:
         side_reader: Callable[[str], tuple[str, float]] | None = None,
         node_cache: dict[str, Any] | None = None,
         task_node: str | None = None,
+        input_path: str | None = None,
     ):
         self.conf = conf
         self.counters = counters
         self.node_cache = node_cache if node_cache is not None else {}
         self.task_node = task_node
+        #: The HDFS path of the split a map task is reading, None in
+        #: reduce tasks.  Multi-input jobs (the sparklite/Hive planners'
+        #: tagged-union joins) use it to pick the per-source mapper
+        #: behaviour, like Hadoop's MultipleInputs/TaggedInputSplit.
+        self.input_path = input_path
         self._side_reader = side_reader
         self._collected: list[tuple[Writable, Writable]] = []
         #: Simulated seconds of extra I/O charged by user-code helpers

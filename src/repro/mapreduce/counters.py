@@ -184,6 +184,21 @@ class PerfStats:
         for f in fields(self):
             setattr(self, f.name, f.default)
 
+    def snapshot(self) -> dict[str, float | int]:
+        """Freeze the current tallies (for :meth:`delta_since`)."""
+        return self.as_dict()
+
+    def delta_since(self, snapshot: dict[str, float | int]) -> dict:
+        """What accumulated since ``snapshot`` — the per-stage rollup
+        the workload planners record for each compiled stage.  Only
+        fields that moved are included, so rollups stay readable."""
+        out: dict[str, float | int] = {}
+        for name, value in self.as_dict().items():
+            moved = value - snapshot.get(name, 0)
+            if moved:
+                out[name] = moved
+        return out
+
     def render(self) -> str:
         lines = ["Perf (host-side, non-deterministic):"]
         for name, value in self.as_dict().items():

@@ -201,6 +201,7 @@ def execute_map(
         side_reader=side_reader,
         node_cache=node_cache,
         task_node=task_node,
+        input_path=split.path,
     )
     context = (
         sanitizer.make_context(**context_kwargs)

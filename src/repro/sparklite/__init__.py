@@ -15,6 +15,7 @@ when an executor dies and takes its cached partitions with it, the
 120
 """
 
+from repro.sparklite.codec import decode_element, encode_element, stable_hash
 from repro.sparklite.context import SparkLiteContext
 from repro.sparklite.rdd import RDD
 
@@ -36,4 +37,11 @@ def lint_rdd_pipeline(*paths):
     return lint_paths(list(paths), families=("sparklite",))
 
 
-__all__ = ["SparkLiteContext", "RDD", "lint_rdd_pipeline"]
+__all__ = [
+    "SparkLiteContext",
+    "RDD",
+    "lint_rdd_pipeline",
+    "encode_element",
+    "decode_element",
+    "stable_hash",
+]

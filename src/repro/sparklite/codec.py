@@ -1,0 +1,225 @@
+"""A canonical, injective text codec for sparklite elements.
+
+Compiled execution (``repro.sparklite.planner``) ships RDD elements
+through MapReduce stages as ``Text`` lines, so every element needs a
+textual form that
+
+- is **injective**: distinct elements never collide (``repr`` fails
+  this — ``"1"`` vs ``1`` vs ``1.0`` — which is why partitioning and
+  ordering used to be fragile);
+- is **line-safe**: never contains ``\\t``, ``\\n`` or ``\\r``, so one
+  encoded element is exactly one ``TextOutputFormat`` field;
+- sorts **identically everywhere**: the in-memory evaluator and the MR
+  shuffle order keys by the same encoded string, which is what makes
+  compiled output bit-identical to in-memory output;
+- is **seed-stable**: hashing the encoded bytes (CRC32) gives the same
+  partition under every ``PYTHONHASHSEED`` and Python build.
+
+The supported element universe is what RDD pipelines actually move:
+``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes`` and
+``tuple``/``list`` nests of those.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import zlib
+
+from repro.util.errors import ReproError
+
+
+class CodecError(ReproError):
+    """An element outside the encodable universe, or a corrupt encoding."""
+
+
+_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
+
+def escape_text(text: str) -> str:
+    """Make a string line-safe (no tab/newline/CR, reversible)."""
+    if "\\" not in text and "\t" not in text and "\n" not in text and "\r" not in text:
+        return text
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+def unescape_text(text: str) -> str:
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    it = iter(range(len(text)))
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise CodecError(f"dangling escape in {text!r}")
+            nxt = text[i + 1]
+            if nxt not in _UNESCAPES:
+                raise CodecError(f"bad escape \\{nxt} in {text!r}")
+            out.append(_UNESCAPES[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    del it
+    return "".join(out)
+
+
+def encode_element(value) -> str:
+    """Encode one element as a line-safe, injective, sortable-enough string.
+
+    The leading tag byte keeps types apart (``1`` and ``"1"`` and
+    ``True`` all encode differently); containers carry explicit length
+    prefixes so nesting round-trips unambiguously.
+    """
+    # bool before int: bool is an int subclass but must stay distinct.
+    if value is None:
+        return "n"
+    if isinstance(value, bool):
+        return "b1" if value else "b0"
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "fnan"
+        # repr round-trips every finite float (and +/-inf) exactly.
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return "s" + escape_text(value)
+    if isinstance(value, bytes):
+        return "y" + value.hex()
+    if isinstance(value, (tuple, list)):
+        tag = "t" if isinstance(value, tuple) else "l"
+        parts = [encode_element(item) for item in value]
+        return tag + str(len(parts)) + "".join(f",{len(p)}:{p}" for p in parts)
+    raise CodecError(
+        f"cannot encode {type(value).__name__!r} element {value!r}; "
+        "compiled sparklite supports None/bool/int/float/str/bytes and "
+        "tuple/list nests of those"
+    )
+
+
+def decode_element(text: str):
+    """Invert :func:`encode_element`."""
+    value, rest = _decode(text)
+    if rest:
+        raise CodecError(f"trailing bytes {rest!r} after decoding {text!r}")
+    return value
+
+
+def _decode(text: str):
+    if not text:
+        raise CodecError("empty encoding")
+    tag, body = text[0], text[1:]
+    if tag == "n":
+        return None, body
+    if tag == "b":
+        if body[:1] not in ("0", "1"):
+            raise CodecError(f"bad bool encoding {text!r}")
+        return body[0] == "1", body[1:]
+    if tag == "i":
+        digits = _take_number(body)
+        return int(digits), body[len(digits):]
+    if tag == "f":
+        if body.startswith("nan"):
+            return math.nan, body[3:]
+        digits = _take_float(body)
+        return float(digits), body[len(digits):]
+    if tag == "s":
+        return unescape_text(body), ""
+    if tag == "y":
+        return bytes.fromhex(body), ""
+    if tag in ("t", "l"):
+        count_digits = _take_number(body)
+        count = int(count_digits)
+        rest = body[len(count_digits):]
+        items = []
+        for _ in range(count):
+            if not rest.startswith(","):
+                raise CodecError(f"bad container encoding {text!r}")
+            rest = rest[1:]
+            length_digits = _take_number(rest)
+            length = int(length_digits)
+            rest = rest[len(length_digits) + 1:]  # skip digits + ':'
+            items.append(decode_element(rest[:length]))
+            rest = rest[length:]
+        return (tuple(items) if tag == "t" else items), rest
+    raise CodecError(f"unknown tag {tag!r} in {text!r}")
+
+
+def _take_number(text: str) -> str:
+    i = 0
+    if text[:1] == "-":
+        i = 1
+    while i < len(text) and text[i].isdigit():
+        i += 1
+    if i == 0 or (i == 1 and text[:1] == "-"):
+        raise CodecError(f"expected number at {text!r}")
+    return text[:i]
+
+
+def _take_float(text: str) -> str:
+    i = 0
+    allowed = set("0123456789+-.einf")
+    while i < len(text) and text[i] in allowed:
+        i += 1
+    if i == 0:
+        raise CodecError(f"expected float at {text!r}")
+    return text[:i]
+
+
+def stable_hash(value) -> int:
+    """A type-aware, ``PYTHONHASHSEED``-independent 31-bit hash.
+
+    CRC32 over the canonical encoding: the Writable-serialization route
+    the partitioners use, so in-memory hash partitioning and the MR
+    :class:`~repro.mapreduce.partitioner.HashPartitioner` (CRC32 over
+    the ``Text`` key, which *is* the encoding) agree by construction.
+    """
+    return zlib.crc32(sort_token(value).encode("utf-8")) & 0x7FFFFFFF
+
+
+def sort_token(value) -> str:
+    """The canonical grouping/ordering token both evaluators use.
+
+    Keys with equal tokens shuffle to the same group; groups order by
+    token.  Encodable values use the injective codec (so the MR ``Text``
+    key *is* the token); anything outside the codec universe — legal on
+    the local backend only — falls back to a ``repr`` token, preserving
+    the historical permissiveness of in-memory evaluation.
+    """
+    try:
+        return encode_element(value)
+    except CodecError:
+        return "z" + repr(value)
+
+
+# --------------------------------------------------------------------------
+# order-preserving scalar encodings (the Hive total-order sort stage)
+
+
+def sortable_int(value: int) -> str:
+    """Fixed-width text whose lexicographic order == numeric order.
+
+    Valid for |value| < 10**19 (every schema INT this repo generates);
+    the offset trick keeps negatives ordered without a sign branch.
+    """
+    if abs(value) >= 10**19:
+        raise CodecError(f"sortable_int range exceeded: {value}")
+    return str(value + 10**19).zfill(20)
+
+
+def sortable_float(value: float) -> str:
+    """IEEE-754 bit trick: flip sign bit (positives) or all bits
+    (negatives) so the hex string sorts in numeric order.  NaN sorts
+    last (all-ones prefix after flip puts it above +inf)."""
+    if math.isnan(value):
+        return "f" * 16 + "n"
+    bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+    if bits & (1 << 63):
+        bits = ~bits & ((1 << 64) - 1)
+    else:
+        bits |= 1 << 63
+    return f"{bits:016x}"

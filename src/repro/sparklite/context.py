@@ -5,17 +5,32 @@ partition index.  ``crash_executor`` wipes one executor's cache — and
 the next action transparently recomputes exactly the lost partitions
 through the lineage, which the ``recomputations`` counter makes
 observable (the number Spark's resilience story is about).
+
+Two execution backends share one API (``sparklite_backend``):
+
+- ``"local"`` — the historical in-process recursive evaluator;
+- ``"mapreduce"`` — actions compile the lineage DAG into MapReduce
+  stages (``repro.sparklite.planner``) that run on an attached
+  :class:`~repro.mapreduce.cluster.MapReduceCluster`, riding the framed
+  /shm shuffle, spill merge, auto backend and HDFS block cache.  The
+  two backends produce bit-identical results (property-tested), so a
+  context can flip between them mid-session.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.hdfs.cluster import HdfsCluster
 from repro.mapreduce.blockio import BlockFetcher
 from repro.sparklite.rdd import HdfsTextRDD, ParallelizedRDD, RDD
 from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.cluster import MapReduceCluster
+    from repro.sparklite.planner import CompiledRunner
 
 
 @dataclass
@@ -38,11 +53,21 @@ class SparkLiteContext:
         self,
         executor_names: list[str],
         hdfs: HdfsCluster | None = None,
+        sparklite_backend: str = "local",
+        cluster: "MapReduceCluster | None" = None,
+        keep_stage_outputs: bool = False,
     ):
         if not executor_names:
             raise ReproError("need at least one executor")
+        if cluster is not None:
+            if hdfs is not None and hdfs is not cluster.hdfs:
+                raise ReproError(
+                    "hdfs and cluster.hdfs must be the same cluster"
+                )
+            hdfs = cluster.hdfs
         self.executors = {name: Executor(name) for name in executor_names}
         self.hdfs = hdfs
+        self.cluster = cluster
         self.fetcher = (
             BlockFetcher(
                 namenode=hdfs.namenode,
@@ -52,11 +77,60 @@ class SparkLiteContext:
             if hdfs is not None
             else None
         )
+        #: Keep compiled stage outputs in HDFS after each action (for
+        #: inspection/benchmarks) instead of deleting the non-cached ones.
+        self.keep_stage_outputs = keep_stage_outputs
+        #: Context-owned lineage id counter (reproducible run-to-run).
+        self._rdd_ids = itertools.count(1)
+        self._runner: "CompiledRunner | None" = None
+        self.sparklite_backend = sparklite_backend
         #: Partitions recomputed because their cache was lost/absent of a
         #: cached RDD (the resilience observable).
         self.recomputations = 0
         #: Partitions served straight from executor memory.
         self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sparklite_backend(self) -> str:
+        """``"local"`` (in-process evaluator) or ``"mapreduce"``."""
+        return self._backend
+
+    @sparklite_backend.setter
+    def sparklite_backend(self, value: str) -> None:
+        if value not in ("local", "mapreduce"):
+            raise ReproError(
+                f'sparklite_backend must be "local" or "mapreduce", '
+                f"got {value!r}"
+            )
+        if value == "mapreduce" and self.cluster is None:
+            raise ReproError(
+                'sparklite_backend="mapreduce" needs a MapReduceCluster; '
+                "build the context with on_mapreduce() or pass cluster="
+            )
+        self._backend = value
+
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def _compiled_runner(self) -> "CompiledRunner | None":
+        """The compiled-stage runner, or None on the local backend."""
+        if self._backend != "mapreduce":
+            return None
+        if self._runner is None:
+            from repro.sparklite.planner import CompiledRunner
+
+            self._runner = CompiledRunner(self)
+        return self._runner
+
+    @property
+    def last_plan(self) -> list[dict]:
+        """Per-stage rollups of the most recent compiled action:
+        one dict per stage with the job name, counters of interest and
+        the host-side PerfStats delta (framed/shm bytes, spill runs)."""
+        if self._runner is None:
+            return []
+        return self._runner.last_plan
 
     # ------------------------------------------------------------------
     @classmethod
@@ -69,6 +143,37 @@ class SparkLiteContext:
         """Executors co-located with the HDFS DataNodes."""
         names = [node.name for node in hdfs.topology.nodes()]
         return cls(names, hdfs=hdfs)
+
+    @classmethod
+    def on_mapreduce(
+        cls,
+        cluster: "MapReduceCluster | None" = None,
+        num_workers: int = 4,
+        seed: int = 1,
+        mr_config=None,
+        **kwargs,
+    ) -> "SparkLiteContext":
+        """A compiled context: actions run as MapReduce stages.
+
+        With no ``cluster``, builds one whose defaults are the fast
+        path: ``execution_backend="auto"`` picks serial vs pooled per
+        stage, the framed wire transport carries the shuffle, and the
+        PR 5 block cache serves re-read intermediates.
+        """
+        if cluster is None:
+            from repro.mapreduce.cluster import MapReduceCluster
+            from repro.mapreduce.config import MapReduceConfig
+
+            cluster = MapReduceCluster(
+                num_workers=num_workers,
+                seed=seed,
+                mr_config=mr_config
+                or MapReduceConfig(execution_backend="auto"),
+            )
+        names = [node.name for node in cluster.hdfs.topology.nodes()]
+        return cls(
+            names, cluster=cluster, sparklite_backend="mapreduce", **kwargs
+        )
 
     # ------------------------------------------------------------------
     # RDD construction
@@ -121,3 +226,5 @@ class SparkLiteContext:
         for executor in self.executors.values():
             for key in [k for k in executor.cache if k[0] == rdd.rdd_id]:
                 del executor.cache[key]
+        if self._runner is not None:
+            self._runner.evict(rdd.rdd_id)

@@ -10,21 +10,24 @@ lineage recomputes it.
 
 from __future__ import annotations
 
-import itertools
-import zlib
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.sparklite.codec import sort_token, stable_hash
 from repro.util.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sparklite.context import SparkLiteContext
 
-_rdd_ids = itertools.count(1)
-
 
 def _hash_partition(key, num_partitions: int) -> int:
-    digest = zlib.crc32(repr(key).encode("utf-8")) & 0x7FFFFFFF
-    return digest % num_partitions
+    """Partition by the key's canonical Writable serialization.
+
+    CRC32 over :func:`~repro.sparklite.codec.encode_element` — the same
+    bytes the MR ``HashPartitioner`` hashes when the compiled planner
+    ships the key as a ``Text``, so in-memory and compiled shuffles
+    place every key identically, under every ``PYTHONHASHSEED``.
+    """
+    return stable_hash(key) % num_partitions
 
 
 class RDD:
@@ -40,7 +43,10 @@ class RDD:
         if num_partitions < 1:
             raise ReproError("an RDD needs at least one partition")
         self.context = context
-        self.rdd_id = next(_rdd_ids)
+        # Context-owned counter (not a module global): lineage ids — and
+        # everything derived from them (descriptions, digests, compiled
+        # stage paths) — are reproducible run-to-run and snapshot-safe.
+        self.rdd_id = context._next_rdd_id()
         self.num_partitions = num_partitions
         self.parents = parents
         self.description = description
@@ -126,16 +132,32 @@ class RDD:
 
     # ------------------------------------------------------------------
     # actions
+    #
+    # Every action funnels through ``collect``-style full evaluation.
+    # Under ``sparklite_backend="mapreduce"`` the context returns a
+    # compiled runner and the lineage executes as MapReduce stages on
+    # the cluster; the element order the two paths produce is identical
+    # by construction (see repro.sparklite.planner), so the derived
+    # actions below need no per-backend cases.
     def collect(self) -> list:
+        runner = self.context._compiled_runner()
+        if runner is not None:
+            return runner.collect(self)
         out: list = []
         for index in range(self.num_partitions):
             out.extend(self.partition(index))
         return out
 
     def count(self) -> int:
+        runner = self.context._compiled_runner()
+        if runner is not None:
+            return len(runner.collect(self))
         return sum(len(self.partition(i)) for i in range(self.num_partitions))
 
     def take(self, n: int) -> list:
+        runner = self.context._compiled_runner()
+        if runner is not None:
+            return runner.collect(self)[:n]
         out: list = []
         for index in range(self.num_partitions):
             out.extend(self.partition(index))
@@ -146,12 +168,11 @@ class RDD:
     def reduce(self, fn: Callable):
         current = None
         seen = False
-        for index in range(self.num_partitions):
-            for value in self.partition(index):
-                if not seen:
-                    current, seen = value, True
-                else:
-                    current = fn(current, value)
+        for value in self.collect():
+            if not seen:
+                current, seen = value, True
+            else:
+                current = fn(current, value)
         if not seen:
             raise ReproError("reduce of an empty RDD")
         return current
@@ -272,21 +293,29 @@ class _Shuffled(RDD):
         self.merge_fn = merge_fn
 
     def _compute_partition(self, index: int) -> list:
-        merged: dict = {}
+        # Group by the canonical key token (not Python ``==``): the MR
+        # shuffle groups by the encoded Text key, so e.g. ``1`` and
+        # ``1.0`` stay distinct groups on both backends.
+        merged: dict[str, list] = {}
         parent = self.parents[0]
         for parent_index in range(parent.num_partitions):
             for key, value in parent.partition(parent_index):
+                token = sort_token(key)
                 if _hash_partition(key, self.num_partitions) != index:
                     continue
-                if key not in merged:
-                    merged[key] = value if self.merge_fn else [value]
+                entry = merged.get(token)
+                if entry is None:
+                    merged[token] = [key, value if self.merge_fn else [value]]
                 elif self.merge_fn:
-                    merged[key] = self.merge_fn(merged[key], value)
+                    entry[1] = self.merge_fn(entry[1], value)
                 else:
-                    merged[key].append(value)
-        # Tie-break repr collisions by the pair itself so the output
-        # order never inherits the dict's insertion (arrival) order.
-        return sorted(merged.items(), key=lambda kv: (repr(kv[0]), kv))
+                    entry[1].append(value)
+        # Tokens are injective, so sorting them reproduces exactly the
+        # MR shuffle's key order — no tie-break needed.
+        return [
+            (entry[0], entry[1])
+            for _token, entry in sorted(merged.items())
+        ]
 
 
 class _Joined(RDD):
@@ -294,16 +323,21 @@ class _Joined(RDD):
         super().__init__(left.context, num_partitions, (left, right), "join")
 
     def _compute_partition(self, index: int) -> list:
-        left_values: dict = {}
+        # Match keys by canonical token (see _Shuffled): both backends
+        # join exactly the keys whose encodings agree.
+        left_values: dict[str, list] = {}
         for parent_index in range(self.parents[0].num_partitions):
             for key, value in self.parents[0].partition(parent_index):
                 if _hash_partition(key, self.num_partitions) == index:
-                    left_values.setdefault(key, []).append(value)
+                    left_values.setdefault(sort_token(key), []).append(value)
         out = []
         for parent_index in range(self.parents[1].num_partitions):
             for key, value in self.parents[1].partition(parent_index):
                 if _hash_partition(key, self.num_partitions) != index:
                     continue
-                for left_value in left_values.get(key, ()):
+                for left_value in left_values.get(sort_token(key), ()):
                     out.append((key, (left_value, value)))
-        return sorted(out, key=lambda kv: repr(kv[0]))
+        # Stable sort on the injective key encoding: pairs with equal
+        # keys keep their (right-arrival x left-arrival) emission order,
+        # matching the compiled join reducer's per-key loop exactly.
+        return sorted(out, key=lambda kv: sort_token(kv[0]))

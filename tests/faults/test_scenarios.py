@@ -39,6 +39,15 @@ def test_corrupt_cluster_storm_is_recorded():
     assert any("block.corrupted" in line for line in result.fault_log)
 
 
+def test_pagerank_drill_loses_a_datanode_and_stays_bit_identical():
+    result = run_scenario("pagerank_datanode_loss", seed=3)
+    assert result.ok, result.summary()
+    assert any("datanode.crash" in line for line in result.fault_log)
+    # The comparable artifact is the full-precision rank table.
+    assert result.output_files["ranks"] == result.baseline_files["ranks"]
+    assert b"\t" in result.output_files["ranks"]
+
+
 def test_registry_lookup():
     assert [s.name for s in list_scenarios()] == sorted(SCENARIOS)
     assert get_scenario("kill_datanode").title

@@ -1,0 +1,173 @@
+"""The canonical element codec: injectivity, line-safety, seed-stability.
+
+Compiled sparklite rests on this codec agreeing with itself everywhere:
+the MR shuffle key *is* the encoding, so the properties below are the
+bit-identity contract's foundations.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sparklite.codec import (
+    CodecError,
+    decode_element,
+    encode_element,
+    escape_text,
+    sort_token,
+    sortable_float,
+    sortable_int,
+    stable_hash,
+    unescape_text,
+)
+from repro.util.rng import RngStream
+
+CORPUS = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    10**18,
+    -(10**18),
+    0.0,
+    -0.0,
+    1.5,
+    -2.25,
+    math.inf,
+    -math.inf,
+    0.1 + 0.2,  # repr round-trip of a non-terminating binary fraction
+    "",
+    "plain",
+    "tab\tnewline\ncr\rback\\slash",
+    "unicode é中",
+    b"",
+    b"\x00\xff",
+    (),
+    (1, 2),
+    [1, "1", 1.0, True],
+    ("nested", (None, [b"x", (3,)])),
+    [[], (), [()]],
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", CORPUS, ids=repr)
+    def test_round_trips_exactly(self, value):
+        decoded = decode_element(encode_element(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_nan_round_trips(self):
+        assert math.isnan(decode_element(encode_element(math.nan)))
+
+    def test_negative_zero_keeps_sign(self):
+        assert math.copysign(1, decode_element(encode_element(-0.0))) == -1
+
+
+class TestInjectivity:
+    def test_lookalikes_stay_distinct(self):
+        lookalikes = [1, "1", 1.0, True, (1,), [1], "i1", b"1"]
+        encodings = [encode_element(v) for v in lookalikes]
+        assert len(set(encodings)) == len(lookalikes)
+
+    def test_corpus_has_no_collisions(self):
+        # -0.0 == 0.0 compares equal; every other pair must differ.
+        encodings = {}
+        for value in CORPUS:
+            enc = encode_element(value)
+            assert enc not in encodings or encodings[enc] == value
+            encodings[enc] = value
+
+    def test_container_flattening_is_unambiguous(self):
+        # ("ab","c") vs ("a","bc") vs ("abc",) must not collide.
+        variants = [("ab", "c"), ("a", "bc"), ("abc",), ("ab,c",)]
+        assert len({encode_element(v) for v in variants}) == len(variants)
+
+
+class TestLineSafety:
+    @pytest.mark.parametrize("value", CORPUS, ids=repr)
+    def test_no_line_breaking_bytes(self, value):
+        enc = encode_element(value)
+        assert "\t" not in enc and "\n" not in enc and "\r" not in enc
+
+    def test_escape_unescape_inverse(self):
+        gnarly = "a\\t\tb\\\\n\nc\rd\\"
+        assert unescape_text(escape_text(gnarly)) == gnarly
+
+    def test_bad_escapes_rejected(self):
+        with pytest.raises(CodecError):
+            unescape_text("dangling\\")
+        with pytest.raises(CodecError):
+            unescape_text("bad\\q")
+
+
+class TestErrors:
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_element({"a": 1})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode_element("i1junk")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_element("q???")
+
+
+class TestSortableScalars:
+    def test_int_tokens_sort_numerically(self):
+        rng = RngStream(seed=7).child("tests", "sortable-int").rng
+        values = [int(v) for v in rng.integers(-(10**12), 10**12, size=200)]
+        values += [0, -1, 1, 10**18, -(10**18)]
+        ordered = sorted(values)
+        assert sorted(values, key=sortable_int) == ordered
+
+    def test_float_tokens_sort_numerically(self):
+        rng = RngStream(seed=7).child("tests", "sortable-float").rng
+        values = [float(v) for v in rng.normal(0, 1e6, size=200)]
+        values += [0.0, -0.0, math.inf, -math.inf, 1e-300, -1e-300]
+        assert sorted(values, key=sortable_float) == sorted(values)
+
+    def test_nan_sorts_last(self):
+        assert sortable_float(math.nan) > sortable_float(math.inf)
+
+    def test_int_range_guard(self):
+        with pytest.raises(CodecError):
+            sortable_int(10**19)
+
+
+class TestStableHash:
+    def test_fallback_token_for_unencodable(self):
+        # Local-backend-only values still get a grouping token.
+        assert sort_token(frozenset({1})).startswith("z")
+
+    def test_hash_partitions_survive_pythonhashseed(self):
+        """The Writable-serialization hash route must not see
+        PYTHONHASHSEED at all — the same keys land in the same
+        partitions in interpreters with different seeds."""
+        program = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.sparklite.codec import stable_hash;"
+            "keys = [('k', i) for i in range(50)]"
+            " + ['w%d' % i for i in range(50)] + list(range(50));"
+            "print([stable_hash(k) % 7 for k in keys])"
+        )
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env.pop("PYTHONPATH", None)
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
